@@ -1,0 +1,100 @@
+#ifndef SES_BENCH_BENCH_COMMON_H_
+#define SES_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment harnesses. Each harness reproduces one
+// table or figure of the paper's Section 5; see EXPERIMENTS.md for the
+// paper-vs-measured record.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "query/pattern_builder.h"
+#include "workload/chemotherapy.h"
+#include "workload/paper_fixture.h"
+#include "workload/replicate.h"
+#include "workload/window.h"
+
+namespace ses::bench {
+
+/// Harness scale. The paper's runs took up to thousands of seconds on a
+/// 2006-era Opteron; the default "quick" scale reproduces every trend in
+/// seconds, `--full` approaches the paper's data-set scale (W ≈ 1322 for
+/// the base data set).
+struct BenchArgs {
+  bool full = false;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--full]\n  --full  paper-scale data set\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(1);
+    }
+  }
+  return args;
+}
+
+/// The experiment pattern family of §5.3-§5.5:
+///   (⟨V1, {b}⟩, Θ, 264h), V1 a prefix of {c, d, p, v, r, l}.
+/// `exclusive` selects Θ1-style conditions (each variable matches a
+/// distinct medication type — pairwise mutually exclusive) versus Θ2-style
+/// (all variables match the same medication type — not exclusive).
+/// `group_p` makes the third variable the group variable p+ (patterns P3,
+/// P5, P6 use ⟨{c, d, p+}, {b}⟩).
+inline Pattern MedicationPattern(int num_v1, bool exclusive, bool group_p) {
+  SES_CHECK(num_v1 >= 1 && num_v1 <= 6);
+  static const char* kNames[] = {"c", "d", "p", "v", "r", "l"};
+  static const char* kTypes[] = {"C", "D", "P", "V", "R", "L"};
+  PatternBuilder builder(workload::ChemotherapySchema());
+  builder.BeginSet();
+  for (int i = 0; i < num_v1; ++i) {
+    if (group_p && i == 2) {
+      builder.GroupVar(kNames[i]);
+    } else {
+      builder.Var(kNames[i]);
+    }
+  }
+  builder.EndSet();
+  builder.BeginSet().Var("b").EndSet();
+  for (int i = 0; i < num_v1; ++i) {
+    builder.WhereConst(kNames[i], "L", ComparisonOp::kEq,
+                       Value(exclusive ? kTypes[i] : "C"));
+  }
+  builder.WhereConst("b", "L", ComparisonOp::kEq, Value("B"));
+  builder.Within(duration::Hours(264));
+  Result<Pattern> pattern = builder.Build();
+  SES_CHECK(pattern.ok()) << pattern.status().ToString();
+  return *pattern;
+}
+
+/// Base data set for a harness: the synthetic chemotherapy stream, sized
+/// either for quick runs or for the paper-scale window size.
+inline EventRelation MakeBaseDataset(const BenchArgs& args,
+                                     int quick_patients, int quick_cycles) {
+  workload::ChemotherapyOptions options;
+  if (!args.full) {
+    options.num_patients = quick_patients;
+    options.cycles_per_patient = quick_cycles;
+  }
+  return workload::GenerateChemotherapy(options);
+}
+
+inline void PrintDatasetInfo(const char* name, const EventRelation& relation) {
+  std::printf("%s: %zu events, W = %lld (tau = 264h)\n", name,
+              relation.size(),
+              static_cast<long long>(workload::ComputeWindowSize(
+                  relation, duration::Hours(264))));
+}
+
+}  // namespace ses::bench
+
+#endif  // SES_BENCH_BENCH_COMMON_H_

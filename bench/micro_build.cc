@@ -1,0 +1,60 @@
+// Microbenchmarks (google-benchmark) for automaton construction: states
+// and transitions grow with 2^|V1|, so building is exponential in the set
+// size — this quantifies the constant factors (ablation for DESIGN.md
+// choice 3, bitmask state encoding).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/automaton_builder.h"
+#include "query/parser.h"
+
+namespace {
+
+using namespace ses;
+using namespace ses::bench;
+
+void BM_BuildAutomatonExclusive(benchmark::State& state) {
+  int num_v1 = static_cast<int>(state.range(0));
+  Pattern pattern = MedicationPattern(num_v1, /*exclusive=*/true,
+                                      /*group_p=*/false);
+  for (auto _ : state) {
+    SesAutomaton automaton = AutomatonBuilder::Build(pattern);
+    benchmark::DoNotOptimize(automaton.num_states());
+  }
+  SesAutomaton automaton = AutomatonBuilder::Build(pattern);
+  state.counters["states"] = automaton.num_states();
+  state.counters["transitions"] = automaton.num_transitions();
+}
+BENCHMARK(BM_BuildAutomatonExclusive)->DenseRange(2, 6, 1);
+
+void BM_BuildAutomatonWithGroup(benchmark::State& state) {
+  int num_v1 = static_cast<int>(state.range(0));
+  Pattern pattern = MedicationPattern(num_v1, /*exclusive=*/false,
+                                      /*group_p=*/true);
+  for (auto _ : state) {
+    SesAutomaton automaton = AutomatonBuilder::Build(pattern);
+    benchmark::DoNotOptimize(automaton.num_states());
+  }
+  SesAutomaton automaton = AutomatonBuilder::Build(pattern);
+  state.counters["states"] = automaton.num_states();
+  state.counters["transitions"] = automaton.num_transitions();
+}
+BENCHMARK(BM_BuildAutomatonWithGroup)->DenseRange(3, 6, 1);
+
+void BM_ParsePattern(benchmark::State& state) {
+  Schema schema = workload::ChemotherapySchema();
+  const char* query = R"(
+    PATTERN {c, p+, d} -> {b}
+    WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+      AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+    WITHIN 264h
+  )";
+  for (auto _ : state) {
+    Result<Pattern> pattern = ParsePattern(query, schema);
+    benchmark::DoNotOptimize(pattern.ok());
+  }
+}
+BENCHMARK(BM_ParsePattern);
+
+}  // namespace

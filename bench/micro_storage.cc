@@ -1,0 +1,96 @@
+// Microbenchmarks (google-benchmark) for the storage substrate: table
+// write/read throughput, range-scan cost, and CSV round-trip speed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "event/csv.h"
+#include "storage/table_reader.h"
+#include "storage/table_writer.h"
+#include "workload/generic_generator.h"
+
+namespace {
+
+using namespace ses;
+
+EventRelation BenchRelation(int64_t n) {
+  workload::StreamOptions options;
+  options.num_events = n;
+  options.num_partitions = 16;
+  options.seed = 99;
+  return workload::GenerateStream(options);
+}
+
+std::string BenchPath() {
+  return (std::filesystem::temp_directory_path() / "ses_bench.sestbl")
+      .string();
+}
+
+void BM_TableWrite(benchmark::State& state) {
+  EventRelation relation = BenchRelation(state.range(0));
+  std::string path = BenchPath();
+  for (auto _ : state) {
+    Status status = storage::WriteTable(relation, path);
+    SES_CHECK(status.ok()) << status.ToString();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(relation.size()));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_TableWrite)->Arg(10000)->Arg(100000);
+
+void BM_TableReadAll(benchmark::State& state) {
+  EventRelation relation = BenchRelation(state.range(0));
+  std::string path = BenchPath();
+  SES_CHECK(storage::WriteTable(relation, path).ok());
+  for (auto _ : state) {
+    Result<EventRelation> loaded = storage::ReadTable(path);
+    SES_CHECK(loaded.ok());
+    benchmark::DoNotOptimize(loaded->size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(relation.size()));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_TableReadAll)->Arg(10000)->Arg(100000);
+
+void BM_TableRangeScan(benchmark::State& state) {
+  // Scan a fixed 1% slice out of the middle; the sparse index should make
+  // this nearly independent of total table size.
+  EventRelation relation = BenchRelation(state.range(0));
+  std::string path = BenchPath();
+  SES_CHECK(storage::WriteTable(relation, path).ok());
+  Result<storage::TableReader> reader = storage::TableReader::Open(path);
+  SES_CHECK(reader.ok());
+  Timestamp span = reader->max_timestamp() - reader->min_timestamp();
+  Timestamp from = reader->min_timestamp() + span / 2;
+  Timestamp to = from + span / 100;
+  int64_t scanned = 0;
+  for (auto _ : state) {
+    Result<EventRelation> slice = reader->Scan(from, to);
+    SES_CHECK(slice.ok());
+    scanned = static_cast<int64_t>(slice->size());
+    benchmark::DoNotOptimize(scanned);
+  }
+  state.counters["events_in_slice"] = static_cast<double>(scanned);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_TableRangeScan)->Arg(10000)->Arg(100000);
+
+void BM_CsvRoundTrip(benchmark::State& state) {
+  EventRelation relation = BenchRelation(state.range(0));
+  for (auto _ : state) {
+    std::string csv = WriteCsvString(relation);
+    Result<EventRelation> parsed = ReadCsvString(csv, relation.schema());
+    SES_CHECK(parsed.ok());
+    benchmark::DoNotOptimize(parsed->size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(relation.size()));
+}
+BENCHMARK(BM_CsvRoundTrip)->Arg(10000);
+
+}  // namespace

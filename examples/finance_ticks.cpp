@@ -1,0 +1,98 @@
+// Finance: streaming detection of accumulation-then-breakout patterns.
+//
+// Events are order-book actions with schema (SYM, L, V, T): symbol id,
+// action type (BUY / SELL / TRADE), and volume. The pattern looks for two
+// large BUY orders and one large SELL order on the same symbol in any
+// order (the accumulation set), followed by a TRADE, within 15 minutes:
+//
+//   PATTERN {b1, b2, s} -> {t}
+//   WHERE b1.L='BUY' AND b2.L='BUY' AND s.L='SELL' AND t.L='TRADE'
+//     AND volume and symbol constraints
+//   WITHIN 15m
+//
+// Demonstrates: custom schemas, the programmatic PatternBuilder, the
+// streaming Push/Flush API, and per-event match delivery. Note that b1 and
+// b2 are NOT mutually exclusive (both match BUY events), so the automaton
+// branches — both assignments of the two BUY orders are explored.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/matcher.h"
+#include "query/pattern_builder.h"
+
+int main() {
+  using namespace ses;
+
+  Result<Schema> schema = Schema::Create({{"SYM", ValueType::kInt64},
+                                          {"L", ValueType::kString},
+                                          {"V", ValueType::kDouble}});
+  if (!schema.ok()) return 1;
+
+  PatternBuilder builder(*schema);
+  builder.BeginSet().Var("b1").Var("b2").Var("s").EndSet();
+  builder.BeginSet().Var("t").EndSet();
+  builder.WhereConst("b1", "L", ComparisonOp::kEq, Value("BUY"));
+  builder.WhereConst("b2", "L", ComparisonOp::kEq, Value("BUY"));
+  builder.WhereConst("s", "L", ComparisonOp::kEq, Value("SELL"));
+  builder.WhereConst("t", "L", ComparisonOp::kEq, Value("TRADE"));
+  // Large orders only.
+  builder.WhereConst("b1", "V", ComparisonOp::kGe, Value(1000.0));
+  builder.WhereConst("b2", "V", ComparisonOp::kGe, Value(1000.0));
+  builder.WhereConst("s", "V", ComparisonOp::kGe, Value(1000.0));
+  // All on the same symbol.
+  builder.WhereVar("b1", "SYM", ComparisonOp::kEq, "b2", "SYM");
+  builder.WhereVar("b1", "SYM", ComparisonOp::kEq, "s", "SYM");
+  builder.WhereVar("s", "SYM", ComparisonOp::kEq, "t", "SYM");
+  builder.Within(duration::Minutes(15));
+  Result<Pattern> pattern = builder.Build();
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "pattern error: %s\n",
+                 pattern.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pattern: %s\n", pattern->ToString().c_str());
+
+  // Simulate a tick stream and feed it event-by-event (streaming mode).
+  Matcher matcher(*pattern);
+  Random random(7);
+  const char* kActions[] = {"BUY", "SELL", "TRADE"};
+  Timestamp now = 0;
+  std::vector<Match> matches;
+  int64_t next_id = 1;
+  int reported = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += 1 + static_cast<Timestamp>(random.Uniform(30));  // seconds
+    int64_t symbol = 1 + static_cast<int64_t>(random.Uniform(3));
+    const char* action = kActions[random.Uniform(3)];
+    double volume = 10.0 * static_cast<double>(1 + random.Uniform(200));
+    Event event(next_id++, now,
+                {Value(symbol), Value(std::string(action)), Value(volume)});
+    matches.clear();
+    if (Status status = matcher.Push(event, &matches); !status.ok()) {
+      std::fprintf(stderr, "push error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    for (const Match& match : matches) {
+      if (reported < 5) {
+        std::printf("accumulation on symbol %lld at %s: %s\n",
+                    static_cast<long long>(
+                        match.bindings()[0].event.value(0).int64()),
+                    FormatTimestamp(match.start_time()).c_str(),
+                    match.ToString(*pattern).c_str());
+      }
+      ++reported;
+    }
+  }
+  matches.clear();
+  matcher.Flush(&matches);
+  reported += static_cast<int>(matches.size());
+
+  std::printf("\n%d accumulation patterns in %lld ticks "
+              "(max %lld simultaneous instances; branching due to the "
+              "non-exclusive BUY variables)\n",
+              reported, static_cast<long long>(matcher.stats().events_seen),
+              static_cast<long long>(
+                  matcher.stats().max_simultaneous_instances));
+  return 0;
+}

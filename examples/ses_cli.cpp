@@ -1,0 +1,228 @@
+// ses_cli — command-line SES pattern matching over CSV files or embedded
+// tables, the way a downstream user would script the library.
+//
+//   # run the paper's Q1 on the bundled Figure 1 data
+//   ses_cli --demo
+//
+//   # match a query against a CSV file (schema declared inline)
+//   ses_cli --schema "ID INT, L STRING, V DOUBLE, U STRING"
+//           --data events.csv
+//           --query "PATTERN {c, p+, d} -> {b} WHERE ... WITHIN 264h"
+//
+//   # match against an embedded table (self-describing, no --schema)
+//   ses_cli --data events.sestbl --query-file q.ses --stats
+//
+// Flags: --no-filter disables the §4.5 pre-filter, --dot prints the SES
+// automaton in Graphviz form instead of matching, --stats appends run
+// statistics.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/matcher.h"
+#include "event/csv.h"
+#include "query/parser.h"
+#include "storage/table_reader.h"
+#include "workload/paper_fixture.h"
+
+namespace {
+
+using namespace ses;
+
+struct CliArgs {
+  std::string schema_text;
+  std::string data_path;
+  std::string query;
+  std::string format = "text";  // text | csv
+  bool demo = false;
+  bool no_filter = false;
+  bool stats = false;
+  bool dot = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: ses_cli [--demo] [--schema \"NAME TYPE, ...\"] [--data FILE]\n"
+      "               [--query TEXT | --query-file FILE]\n"
+      "               [--no-filter] [--stats] [--dot]\n"
+      "  --demo        run the paper's running example (Figure 1 + Q1)\n"
+      "  --schema      attribute list for CSV input (TYPE: INT, DOUBLE,\n"
+      "                STRING); .sestbl tables are self-describing\n"
+      "  --data        input file (.csv or .sestbl)\n"
+      "  --query       SES pattern DSL text (see query/parser.h)\n"
+      "  --query-file  read the query from a file\n"
+      "  --no-filter   disable the event pre-filter (sec. 4.5)\n"
+      "  --stats       print execution statistics\n"
+      "  --format F    output format: text (default) or csv\n"
+      "  --dot         print the SES automaton as Graphviz dot and exit\n");
+}
+
+Result<CliArgs> ParseArgs(int argc, char** argv) {
+  CliArgs args;
+  auto need_value = [&](int& i) -> Result<std::string> {
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument(std::string(argv[i]) +
+                                     " requires a value");
+    }
+    return std::string(argv[++i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      args.demo = true;
+    } else if (std::strcmp(argv[i], "--schema") == 0) {
+      SES_ASSIGN_OR_RETURN(args.schema_text, need_value(i));
+    } else if (std::strcmp(argv[i], "--data") == 0) {
+      SES_ASSIGN_OR_RETURN(args.data_path, need_value(i));
+    } else if (std::strcmp(argv[i], "--query") == 0) {
+      SES_ASSIGN_OR_RETURN(args.query, need_value(i));
+    } else if (std::strcmp(argv[i], "--query-file") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string path, need_value(i));
+      std::ifstream file(path);
+      if (!file) return Status::IoError("cannot read query file: " + path);
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      args.query = buffer.str();
+    } else if (std::strcmp(argv[i], "--format") == 0) {
+      SES_ASSIGN_OR_RETURN(args.format, need_value(i));
+      if (args.format != "text" && args.format != "csv") {
+        return Status::InvalidArgument("--format must be text or csv");
+      }
+    } else if (std::strcmp(argv[i], "--no-filter") == 0) {
+      args.no_filter = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      args.stats = true;
+    } else if (std::strcmp(argv[i], "--dot") == 0) {
+      args.dot = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      return Status::InvalidArgument("unknown flag: " + std::string(argv[i]));
+    }
+  }
+  return args;
+}
+
+/// Parses "ID INT, L STRING, V DOUBLE".
+Result<Schema> ParseSchemaText(const std::string& text) {
+  std::vector<Attribute> attributes;
+  for (std::string_view part : strings::Split(text, ',')) {
+    part = strings::Trim(part);
+    if (part.empty()) continue;
+    size_t space = part.find_last_of(" \t");
+    if (space == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "schema entries need the form 'NAME TYPE': " + std::string(part));
+    }
+    std::string name(strings::Trim(part.substr(0, space)));
+    SES_ASSIGN_OR_RETURN(ValueType type,
+                         ValueTypeFromString(strings::Trim(
+                             part.substr(space + 1))));
+    attributes.push_back(Attribute{std::move(name), type});
+  }
+  return Schema::Create(std::move(attributes));
+}
+
+Result<EventRelation> LoadData(const CliArgs& args) {
+  if (args.demo) return workload::PaperEventRelation();
+  if (args.data_path.empty()) {
+    return Status::InvalidArgument("--data is required (or use --demo)");
+  }
+  if (strings::EndsWith(args.data_path, ".sestbl")) {
+    return storage::ReadTable(args.data_path);
+  }
+  if (args.schema_text.empty()) {
+    return Status::InvalidArgument("CSV input requires --schema");
+  }
+  SES_ASSIGN_OR_RETURN(Schema schema, ParseSchemaText(args.schema_text));
+  return ReadCsvFile(args.data_path, schema);
+}
+
+Status Run(const CliArgs& args) {
+  SES_ASSIGN_OR_RETURN(EventRelation events, LoadData(args));
+
+  std::string query = args.query;
+  if (args.demo && query.empty()) {
+    query = R"(
+      PATTERN {c, p+, d} -> {b}
+      WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+        AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+      WITHIN 264h)";
+  }
+  if (query.empty()) {
+    return Status::InvalidArgument("--query or --query-file is required");
+  }
+  SES_ASSIGN_OR_RETURN(Pattern pattern, ParsePattern(query, events.schema()));
+
+  MatcherOptions options;
+  options.enable_prefilter = !args.no_filter;
+  Matcher matcher(pattern, options);
+
+  if (args.dot) {
+    std::printf("%s", matcher.automaton().ToDot().c_str());
+    return Status::OK();
+  }
+
+  std::vector<Match> matches;
+  for (const Event& event : events) {
+    SES_RETURN_IF_ERROR(matcher.Push(event, &matches));
+  }
+  matcher.Flush(&matches);
+  SortMatches(&matches);
+
+  if (args.format == "csv") {
+    // One row per binding: match number, variable, event id, timestamp.
+    std::printf("match,variable,event,T\n");
+    int match_number = 0;
+    for (const Match& match : matches) {
+      ++match_number;
+      for (const Binding& binding : match.bindings()) {
+        std::printf("%d,%s,%lld,%lld\n", match_number,
+                    pattern.variable(binding.variable).ToString().c_str(),
+                    static_cast<long long>(binding.event.id()),
+                    static_cast<long long>(binding.event.timestamp()));
+      }
+    }
+  } else {
+    for (const Match& match : matches) {
+      std::printf("%s  [%s .. %s]\n", match.ToString(pattern).c_str(),
+                  FormatTimestamp(match.start_time()).c_str(),
+                  FormatTimestamp(match.end_time()).c_str());
+    }
+    std::printf("%zu match(es) over %zu events\n", matches.size(),
+                events.size());
+  }
+
+  if (args.stats) {
+    const ExecutorStats& stats = matcher.stats();
+    std::printf(
+        "stats: filtered %lld/%lld events, max %lld instances, "
+        "%lld transitions evaluated, %lld conditions evaluated\n",
+        static_cast<long long>(stats.events_filtered),
+        static_cast<long long>(stats.events_seen),
+        static_cast<long long>(stats.max_simultaneous_instances),
+        static_cast<long long>(stats.transitions_evaluated),
+        static_cast<long long>(stats.conditions_evaluated));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<CliArgs> args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 1;
+  }
+  if (Status status = Run(*args); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

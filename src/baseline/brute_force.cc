@@ -1,0 +1,92 @@
+#include "baseline/brute_force.h"
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/permutations.h"
+
+namespace ses::baseline {
+
+BruteForceMatcher::BruteForceMatcher(std::vector<Matcher> matchers)
+    : matchers_(std::move(matchers)) {
+  stats_.num_automata = static_cast<int64_t>(matchers_.size());
+}
+
+Result<BruteForceMatcher> BruteForceMatcher::Create(const Pattern& pattern,
+                                                    MatcherOptions options) {
+  SES_ASSIGN_OR_RETURN(std::vector<std::vector<VariableId>> orderings,
+                       EnumerateOrderings(pattern));
+  std::vector<Matcher> matchers;
+  matchers.reserve(orderings.size());
+  for (const std::vector<VariableId>& ordering : orderings) {
+    SES_ASSIGN_OR_RETURN(Pattern sequential,
+                         MakeSequentialPattern(pattern, ordering));
+    matchers.emplace_back(sequential, options);
+  }
+  return BruteForceMatcher(std::move(matchers));
+}
+
+Status BruteForceMatcher::Push(const Event& event, std::vector<Match>* out) {
+  ++stats_.events_seen;
+  for (Matcher& matcher : matchers_) {
+    SES_RETURN_IF_ERROR(matcher.Push(event, out));
+  }
+  RefreshAggregates();
+  return Status::OK();
+}
+
+void BruteForceMatcher::Flush(std::vector<Match>* out) {
+  for (Matcher& matcher : matchers_) {
+    matcher.Flush(out);
+  }
+  RefreshAggregates();
+}
+
+void BruteForceMatcher::RefreshAggregates() {
+  int64_t active = 0;
+  int64_t created = 0;
+  int64_t transitions = 0;
+  int64_t conditions = 0;
+  int64_t matches = 0;
+  for (const Matcher& matcher : matchers_) {
+    active += static_cast<int64_t>(matcher.num_active_instances());
+    created += matcher.stats().instances_created;
+    transitions += matcher.stats().transitions_evaluated;
+    conditions += matcher.stats().conditions_evaluated;
+    matches += matcher.stats().matches_emitted;
+  }
+  stats_.max_simultaneous_instances =
+      std::max(stats_.max_simultaneous_instances, active);
+  stats_.instances_created = created;
+  stats_.transitions_evaluated = transitions;
+  stats_.conditions_evaluated = conditions;
+  stats_.matches_emitted = matches;
+}
+
+Result<std::vector<Match>> BruteForceMatchRelation(const Pattern& pattern,
+                                                   const EventRelation& relation,
+                                                   MatcherOptions options,
+                                                   BruteForceStats* stats) {
+  SES_RETURN_IF_ERROR(relation.ValidateTotalOrder());
+  SES_ASSIGN_OR_RETURN(BruteForceMatcher matcher,
+                       BruteForceMatcher::Create(pattern, options));
+  std::vector<Match> matches;
+  for (const Event& event : relation) {
+    SES_RETURN_IF_ERROR(matcher.Push(event, &matches));
+  }
+  matcher.Flush(&matches);
+
+  // Deduplicate by substitution key.
+  std::set<std::vector<std::pair<VariableId, EventId>>> seen;
+  std::vector<Match> unique;
+  unique.reserve(matches.size());
+  for (Match& match : matches) {
+    if (seen.insert(match.SubstitutionKey()).second) {
+      unique.push_back(std::move(match));
+    }
+  }
+  if (stats != nullptr) *stats = matcher.stats();
+  return unique;
+}
+
+}  // namespace ses::baseline

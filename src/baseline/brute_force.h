@@ -1,0 +1,75 @@
+#ifndef SES_BASELINE_BRUTE_FORCE_H_
+#define SES_BASELINE_BRUTE_FORCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/matcher.h"
+
+namespace ses::baseline {
+
+/// Aggregated statistics across the bank of sequential automata.
+struct BruteForceStats {
+  int64_t num_automata = 0;
+  int64_t events_seen = 0;
+  /// Max over time of the summed instance counts of all automata — the
+  /// |Ω|BF statistic of Experiment 1 / Table 1.
+  int64_t max_simultaneous_instances = 0;
+  int64_t instances_created = 0;
+  int64_t transitions_evaluated = 0;
+  int64_t conditions_evaluated = 0;
+  int64_t matches_emitted = 0;  // before deduplication
+};
+
+/// The brute force baseline of §5.2: expands a SES pattern into the
+/// |V1|!·…·|Vm|! sequential patterns over single events, builds one (plain
+/// sequence) SES automaton per ordering, and executes all of them in
+/// parallel, iterating over every automaton for each input event.
+///
+/// Note on results: the paper uses this baseline to compare instance
+/// counts. Each sequential automaton applies skip-till-next-match locally
+/// to its own ordering, so the union of their outputs can contain
+/// substitutions that bind a variable to a later event than the SES
+/// automaton allows (the SES automaton is the canonical semantics). Every
+/// SES match is produced by exactly one ordering, hence the SES result set
+/// is a subset of the brute force union; tests assert this.
+class BruteForceMatcher {
+ public:
+  /// Fails for patterns with group variables (see EnumerateOrderings).
+  static Result<BruteForceMatcher> Create(const Pattern& pattern,
+                                          MatcherOptions options = {});
+
+  BruteForceMatcher(BruteForceMatcher&&) = default;
+  BruteForceMatcher& operator=(BruteForceMatcher&&) = default;
+
+  /// Offers the next event to every automaton.
+  Status Push(const Event& event, std::vector<Match>* out);
+
+  /// Flushes every automaton.
+  void Flush(std::vector<Match>* out);
+
+  int64_t num_automata() const {
+    return static_cast<int64_t>(matchers_.size());
+  }
+  const BruteForceStats& stats() const { return stats_; }
+
+ private:
+  explicit BruteForceMatcher(std::vector<Matcher> matchers);
+
+  void RefreshAggregates();
+
+  std::vector<Matcher> matchers_;
+  BruteForceStats stats_;
+};
+
+/// Batch API over a relation. Matches are deduplicated by substitution (the
+/// same substitution cannot be produced twice, but deduplication keeps the
+/// contract obvious). Statistics are stored in `stats` when non-null.
+Result<std::vector<Match>> BruteForceMatchRelation(
+    const Pattern& pattern, const EventRelation& relation,
+    MatcherOptions options = {}, BruteForceStats* stats = nullptr);
+
+}  // namespace ses::baseline
+
+#endif  // SES_BASELINE_BRUTE_FORCE_H_

@@ -1,0 +1,263 @@
+#include "baseline/definition_two.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace ses::baseline {
+
+namespace {
+
+/// A candidate substitution: for each variable, the indices (into the
+/// relation) of its bound events, ascending. Singletons hold exactly one
+/// index once complete; group variables one or more.
+struct Candidate {
+  std::vector<std::vector<int>> events_per_variable;
+  Timestamp min_ts = 0;
+  Timestamp max_ts = 0;
+  int total_bindings = 0;
+};
+
+/// Enumerates Γ: every substitution satisfying conditions 1-3.
+class Enumerator {
+ public:
+  Enumerator(const Pattern& pattern, const EventRelation& relation,
+             size_t max_candidates)
+      : pattern_(pattern),
+        relation_(relation),
+        max_candidates_(max_candidates) {
+    // Assignment order: variables set by set (condition 2 pruning relies
+    // on earlier sets being assigned first).
+    for (int s = 0; s < pattern.num_sets(); ++s) {
+      for (VariableId v : pattern.event_set(s)) order_.push_back(v);
+    }
+  }
+
+  Result<std::vector<Candidate>> Run() {
+    Candidate empty;
+    empty.events_per_variable.resize(pattern_.num_variables());
+    Status status = AssignVariable(0, empty);
+    if (!status.ok()) return status;
+    return std::move(candidates_);
+  }
+
+ private:
+  /// True if binding event `e` to `v` is consistent with the bindings in
+  /// `candidate` under conditions 1-3.
+  bool BindingAllowed(const Candidate& candidate, VariableId v,
+                      int event_index) const {
+    const Event& e = relation_.event(static_cast<size_t>(event_index));
+    // Condition 3 (window).
+    if (candidate.total_bindings > 0) {
+      Timestamp lo = std::min(candidate.min_ts, e.timestamp());
+      Timestamp hi = std::max(candidate.max_ts, e.timestamp());
+      if (hi - lo > pattern_.window()) return false;
+    }
+    // Events must be distinct across the whole substitution.
+    for (const auto& events : candidate.events_per_variable) {
+      if (std::find(events.begin(), events.end(), event_index) !=
+          events.end()) {
+        return false;
+      }
+    }
+    // Condition 2 (inter-set order) against already-bound variables.
+    int set_v = pattern_.variable(v).set_index;
+    for (VariableId u = 0; u < pattern_.num_variables(); ++u) {
+      int set_u = pattern_.variable(u).set_index;
+      if (set_u == set_v) continue;
+      for (int other : candidate.events_per_variable[u]) {
+        Timestamp ot = relation_.event(static_cast<size_t>(other)).timestamp();
+        if (set_u < set_v && ot >= e.timestamp()) return false;
+        if (set_u > set_v && ot <= e.timestamp()) return false;
+      }
+    }
+    // Condition 1 against constants, itself, and bound variables.
+    for (const Condition& c : pattern_.conditions()) {
+      if (!c.References(v)) continue;
+      if (c.is_constant_condition()) {
+        if (!c.EvaluateConstant(e)) return false;
+        continue;
+      }
+      VariableId other = *c.OtherVariable(v);
+      if (other == v) {
+        if (!c.EvaluateVariable(e, e)) return false;
+        continue;
+      }
+      bool lhs_is_v = c.lhs().variable == v;
+      for (int other_index : candidate.events_per_variable[other]) {
+        const Event& oe = relation_.event(static_cast<size_t>(other_index));
+        bool ok = lhs_is_v ? c.EvaluateVariable(e, oe)
+                           : c.EvaluateVariable(oe, e);
+        if (!ok) return false;
+      }
+    }
+    return true;
+  }
+
+  static void AddBinding(Candidate* candidate, VariableId v,
+                         int event_index, Timestamp ts) {
+    candidate->events_per_variable[v].push_back(event_index);
+    if (candidate->total_bindings == 0) {
+      candidate->min_ts = ts;
+      candidate->max_ts = ts;
+    } else {
+      candidate->min_ts = std::min(candidate->min_ts, ts);
+      candidate->max_ts = std::max(candidate->max_ts, ts);
+    }
+    ++candidate->total_bindings;
+  }
+
+  Status Emit(const Candidate& candidate) {
+    if (candidates_.size() >= max_candidates_) {
+      return Status::OutOfRange(strings::Format(
+          "Definition 2 candidate set exceeds %zu substitutions; the "
+          "enumerative evaluator is meant for small relations",
+          max_candidates_));
+    }
+    candidates_.push_back(candidate);
+    return Status::OK();
+  }
+
+  Status AssignVariable(size_t position, const Candidate& candidate) {
+    if (position == order_.size()) return Emit(candidate);
+    VariableId v = order_[position];
+    if (!pattern_.variable(v).is_group) {
+      if (pattern_.variable(v).is_optional) {
+        // Optional variables may stay unbound.
+        SES_RETURN_IF_ERROR(AssignVariable(position + 1, candidate));
+      }
+      for (int i = 0; i < static_cast<int>(relation_.size()); ++i) {
+        if (!BindingAllowed(candidate, v, i)) continue;
+        Candidate next = candidate;
+        AddBinding(&next, v, i, relation_.event(static_cast<size_t>(i)).timestamp());
+        SES_RETURN_IF_ERROR(AssignVariable(position + 1, next));
+      }
+      return Status::OK();
+    }
+    // Group variable: enumerate non-empty ascending subsets.
+    return AssignGroup(position, v, 0, /*bound_any=*/false, candidate);
+  }
+
+  Status AssignGroup(size_t position, VariableId v, int from_index,
+                     bool bound_any, const Candidate& candidate) {
+    if (bound_any) {
+      SES_RETURN_IF_ERROR(AssignVariable(position + 1, candidate));
+    }
+    for (int i = from_index; i < static_cast<int>(relation_.size()); ++i) {
+      if (!BindingAllowed(candidate, v, i)) continue;
+      Candidate next = candidate;
+      AddBinding(&next, v, i, relation_.event(static_cast<size_t>(i)).timestamp());
+      SES_RETURN_IF_ERROR(AssignGroup(position, v, i + 1, true, next));
+    }
+    return Status::OK();
+  }
+
+  const Pattern& pattern_;
+  const EventRelation& relation_;
+  const size_t max_candidates_;
+  std::vector<VariableId> order_;
+  std::vector<Candidate> candidates_;
+};
+
+/// Set-of-pairs view used for the conditions 4/5 checks.
+std::set<std::pair<VariableId, int>> PairSet(const Candidate& c) {
+  std::set<std::pair<VariableId, int>> pairs;
+  for (VariableId v = 0; v < static_cast<VariableId>(c.events_per_variable.size());
+       ++v) {
+    for (int e : c.events_per_variable[v]) pairs.emplace(v, e);
+  }
+  return pairs;
+}
+
+Match ToMatch(const Candidate& candidate, const EventRelation& relation) {
+  // Bindings in chronological order, like the automaton reports them.
+  std::vector<Binding> bindings;
+  for (VariableId v = 0;
+       v < static_cast<VariableId>(candidate.events_per_variable.size());
+       ++v) {
+    for (int e : candidate.events_per_variable[v]) {
+      bindings.push_back(Binding{v, relation.event(static_cast<size_t>(e))});
+    }
+  }
+  std::sort(bindings.begin(), bindings.end(),
+            [](const Binding& a, const Binding& b) {
+              return a.event.timestamp() < b.event.timestamp();
+            });
+  return Match(std::move(bindings));
+}
+
+}  // namespace
+
+Result<std::vector<Match>> DefinitionTwoMatch(const Pattern& pattern,
+                                              const EventRelation& relation,
+                                              DefinitionTwoOptions options) {
+  SES_RETURN_IF_ERROR(relation.ValidateTotalOrder());
+  Enumerator enumerator(pattern, relation, options.max_candidates);
+  SES_ASSIGN_OR_RETURN(std::vector<Candidate> gamma, enumerator.Run());
+
+  // For condition 4: events usable for each variable, per scope. For the
+  // global scope the set is taken over all of Γ; for the same-start scope
+  // it is computed per start timestamp.
+  auto usable_for = [&](VariableId v, Timestamp start,
+                        Condition4Scope scope) {
+    std::set<int> usable;
+    for (const Candidate& g : gamma) {
+      if (scope == Condition4Scope::kSameStart && g.min_ts != start) {
+        continue;
+      }
+      for (int e : g.events_per_variable[v]) usable.insert(e);
+    }
+    return usable;
+  };
+
+  std::vector<Match> matches;
+  for (const Candidate& candidate : gamma) {
+    std::set<std::pair<VariableId, int>> own = PairSet(candidate);
+
+    // Condition 4: for every ordered pair of bindings (v/e, v'/e') with
+    // e.T < e'.T there is no alternative binding v'/e'' strictly between
+    // them (in scope) that γ does not contain.
+    bool condition4 = true;
+    for (const auto& [v, e] : own) {
+      if (!condition4) break;
+      Timestamp te = relation.event(static_cast<size_t>(e)).timestamp();
+      for (const auto& [v_prime, e_prime] : own) {
+        if (!condition4) break;
+        Timestamp te_prime =
+            relation.event(static_cast<size_t>(e_prime)).timestamp();
+        if (te >= te_prime) continue;
+        std::set<int> usable =
+            usable_for(v_prime, candidate.min_ts, options.condition4_scope);
+        for (int alt : usable) {
+          Timestamp ta = relation.event(static_cast<size_t>(alt)).timestamp();
+          if (ta > te && ta < te_prime && own.count({v_prime, alt}) == 0) {
+            condition4 = false;
+            break;
+          }
+        }
+      }
+    }
+    if (!condition4) continue;
+
+    // Condition 5: γ is not a proper subset of another substitution in Γ
+    // with the same earliest event.
+    bool condition5 = true;
+    for (const Candidate& other : gamma) {
+      if (other.min_ts != candidate.min_ts) continue;
+      if (other.total_bindings <= candidate.total_bindings) continue;
+      std::set<std::pair<VariableId, int>> other_pairs = PairSet(other);
+      if (std::includes(other_pairs.begin(), other_pairs.end(), own.begin(),
+                        own.end())) {
+        condition5 = false;
+        break;
+      }
+    }
+    if (!condition5) continue;
+
+    matches.push_back(ToMatch(candidate, relation));
+  }
+  return matches;
+}
+
+}  // namespace ses::baseline

@@ -1,0 +1,62 @@
+#ifndef SES_BASELINE_DEFINITION_TWO_H_
+#define SES_BASELINE_DEFINITION_TWO_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/match.h"
+#include "event/relation.h"
+#include "query/pattern.h"
+
+namespace ses::baseline {
+
+/// Quantifier scope for condition 4 of Definition 2.
+enum class Condition4Scope {
+  /// The literal paper text: the alternative binding v'/e'' may come from
+  /// ANY substitution γ' ∈ Γ. This reading is demonstrably over-restrictive
+  /// — on the paper's own running example it rejects both intended matches
+  /// (each contains a pair of bindings that brackets an event which is
+  /// bound by the OTHER patient's match), leaving an empty result.
+  kGlobal,
+  /// A minimal repair: γ' is restricted to substitutions that start at the
+  /// same earliest event as γ (minT(γ') = minT(γ)), i.e. alternatives for
+  /// the same run. On the running example this coincides with the output
+  /// of Algorithm 1 (three matches).
+  kSameStart,
+};
+
+/// Options for the enumerative Definition 2 evaluator.
+struct DefinitionTwoOptions {
+  Condition4Scope condition4_scope = Condition4Scope::kSameStart;
+  /// Abort with OutOfRange when the candidate set Γ (substitutions
+  /// satisfying conditions 1-3) exceeds this size — the evaluator is
+  /// exponential and intended for small relations only.
+  size_t max_candidates = 200000;
+};
+
+/// Evaluates the *literal* Definition 2 of the paper: enumerates every
+/// substitution γ that satisfies conditions 1-3 (conditions hold, inter-set
+/// order, window), then filters by the global conditions 4
+/// (skip-till-next-match: no alternative binding of a later variable exists
+/// strictly between two matched events in ANY substitution of Γ) and 5
+/// (maximality among substitutions with the same earliest event).
+///
+/// This evaluator exists to make the paper's formal semantics executable
+/// and comparable against the automaton (Algorithm 1), which implements the
+/// operational skip-till-next-match of SASE+. The two disagree in both
+/// directions on corner cases:
+///  * the automaton emits runs that condition 4's global reading rejects
+///    (e.g. the third match on the paper's running example — a later-start
+///    run that skipped an event only usable by a different partition), and
+///  * condition 4 admits substitutions the automaton loses to forced
+///    branching (the condition-chain poisoning documented in DESIGN.md),
+///    because "could have been bound" is judged against full substitutions
+///    in Γ rather than against the instance's own prefix.
+/// See tests/definition_two_test.cc for concrete instances of both.
+Result<std::vector<Match>> DefinitionTwoMatch(
+    const Pattern& pattern, const EventRelation& relation,
+    DefinitionTwoOptions options = {});
+
+}  // namespace ses::baseline
+
+#endif  // SES_BASELINE_DEFINITION_TWO_H_

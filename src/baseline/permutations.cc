@@ -1,0 +1,74 @@
+#include "baseline/permutations.h"
+
+#include <algorithm>
+
+namespace ses::baseline {
+
+Result<std::vector<std::vector<VariableId>>> EnumerateOrderings(
+    const Pattern& pattern) {
+  if (pattern.HasGroupVariables()) {
+    return Status::Unimplemented(
+        "the brute force baseline expands only patterns without group "
+        "variables (a group variable's events may interleave with its set, "
+        "which no finite set of plain sequences can express)");
+  }
+  if (pattern.HasOptionalVariables()) {
+    return Status::Unimplemented(
+        "the brute force baseline does not support optional variables "
+        "(they are an extension beyond the paper)");
+  }
+
+  // Per-set permutations, combined by backtracking over sets.
+  std::vector<std::vector<VariableId>> orderings;
+  std::vector<VariableId> current;
+  current.reserve(pattern.num_variables());
+
+  // Recursively append every permutation of set `i` to `current`.
+  auto expand = [&](auto&& self, int i) -> void {
+    if (i == pattern.num_sets()) {
+      orderings.push_back(current);
+      return;
+    }
+    std::vector<VariableId> set = pattern.event_set(i);
+    std::sort(set.begin(), set.end());
+    do {
+      size_t checkpoint = current.size();
+      current.insert(current.end(), set.begin(), set.end());
+      self(self, i + 1);
+      current.resize(checkpoint);
+    } while (std::next_permutation(set.begin(), set.end()));
+  };
+  expand(expand, 0);
+  return orderings;
+}
+
+uint64_t NumOrderings(const Pattern& pattern) {
+  uint64_t total = 1;
+  for (int i = 0; i < pattern.num_sets(); ++i) {
+    uint64_t factorial = 1;
+    for (uint64_t k = 2; k <= pattern.event_set(i).size(); ++k) {
+      if (factorial > UINT64_MAX / k) return UINT64_MAX;
+      factorial *= k;
+    }
+    if (total > UINT64_MAX / factorial) return UINT64_MAX;
+    total *= factorial;
+  }
+  return total;
+}
+
+Result<Pattern> MakeSequentialPattern(
+    const Pattern& pattern, const std::vector<VariableId>& ordering) {
+  std::vector<EventVariable> variables(pattern.variables());
+  std::vector<Pattern::EventSet> sets;
+  sets.reserve(ordering.size());
+  for (size_t position = 0; position < ordering.size(); ++position) {
+    VariableId v = ordering[position];
+    variables[v].set_index = static_cast<int>(position);
+    sets.push_back({v});
+  }
+  return Pattern::Create(std::move(variables), std::move(sets),
+                         pattern.conditions(), pattern.window(),
+                         pattern.schema());
+}
+
+}  // namespace ses::baseline

@@ -1,0 +1,33 @@
+#ifndef SES_BASELINE_PERMUTATIONS_H_
+#define SES_BASELINE_PERMUTATIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "query/pattern.h"
+
+namespace ses::baseline {
+
+/// Enumerates the sequential variable orderings of a SES pattern (§5.2):
+/// every concatenation of one permutation per event set pattern. Defined
+/// only for patterns whose sets contain singleton variables exclusively —
+/// with a group variable the matching events may interleave with the other
+/// variables of its set, so no finite list of plain sequences covers the
+/// pattern (the paper's brute force baseline makes the same restriction).
+Result<std::vector<std::vector<VariableId>>> EnumerateOrderings(
+    const Pattern& pattern);
+
+/// |V1|!·|V2|!···|Vm|! without enumerating. Saturates at UINT64_MAX.
+uint64_t NumOrderings(const Pattern& pattern);
+
+/// Builds the sequential SES pattern ⟨{vπ(1)}, {vπ(2)}, ...⟩ for one
+/// ordering: same variables (ids preserved so conditions keep working),
+/// same conditions, same window, but each variable in its own singleton
+/// event set pattern following `ordering`.
+Result<Pattern> MakeSequentialPattern(const Pattern& pattern,
+                                      const std::vector<VariableId>& ordering);
+
+}  // namespace ses::baseline
+
+#endif  // SES_BASELINE_PERMUTATIONS_H_

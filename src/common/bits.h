@@ -1,0 +1,41 @@
+#ifndef SES_COMMON_BITS_H_
+#define SES_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace ses::bits {
+
+/// Number of set bits.
+inline int Popcount(uint64_t x) { return std::popcount(x); }
+
+/// True if bit `i` (0-based) is set.
+inline bool Test(uint64_t mask, int i) { return (mask >> i) & 1ULL; }
+
+/// Returns `mask` with bit `i` set.
+inline uint64_t Set(uint64_t mask, int i) { return mask | (1ULL << i); }
+
+/// Returns `mask` with bit `i` cleared.
+inline uint64_t Clear(uint64_t mask, int i) { return mask & ~(1ULL << i); }
+
+/// Index of the lowest set bit. Undefined for 0.
+inline int LowestBit(uint64_t x) { return std::countr_zero(x); }
+
+/// Calls `fn(int bit_index)` for each set bit, lowest first.
+template <typename Fn>
+void ForEachBit(uint64_t mask, Fn&& fn) {
+  while (mask != 0) {
+    int i = LowestBit(mask);
+    fn(i);
+    mask &= mask - 1;
+  }
+}
+
+/// True if `sub` is a subset of `super`.
+inline bool IsSubset(uint64_t sub, uint64_t super) {
+  return (sub & ~super) == 0;
+}
+
+}  // namespace ses::bits
+
+#endif  // SES_COMMON_BITS_H_

@@ -1,0 +1,39 @@
+#include "common/crc32c.h"
+
+namespace ses::crc32c {
+
+namespace {
+
+// Table-driven CRC-32C. The table is computed once at first use.
+struct Table {
+  uint32_t entries[256];
+  Table() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table* table = new Table();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const Table& table = GetTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace ses::crc32c

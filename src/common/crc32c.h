@@ -1,0 +1,29 @@
+#ifndef SES_COMMON_CRC32C_H_
+#define SES_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ses::crc32c {
+
+/// Extends `crc` with `data[0, n)`. Software implementation of CRC-32C
+/// (Castagnoli polynomial), used by the storage layer to checksum pages.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC-32C of `data[0, n)`.
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+
+/// Masked CRC (rotated + offset) so that checksumming data that embeds CRCs
+/// does not produce degenerate values. Same scheme as LevelDB/RocksDB.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace ses::crc32c
+
+#endif  // SES_COMMON_CRC32C_H_

@@ -1,0 +1,53 @@
+#ifndef SES_COMMON_RANDOM_H_
+#define SES_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ses {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+/// Used by workload generators and property tests so runs are reproducible
+/// from a single seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      using std::swap;
+      swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index for a non-empty container size.
+  size_t Index(size_t size) { return static_cast<size_t>(Uniform(size)); }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ses
+
+#endif  // SES_COMMON_RANDOM_H_

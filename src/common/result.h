@@ -1,0 +1,82 @@
+#ifndef SES_COMMON_RESULT_H_
+#define SES_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ses {
+
+/// Result<T> holds either a value of type T or a non-OK Status. This is the
+/// return type of fallible operations that produce a value (the library does
+/// not use exceptions).
+///
+/// Usage:
+///   Result<Pattern> r = ParsePattern(text, schema);
+///   if (!r.ok()) return r.status();
+///   Pattern p = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so that
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result error constructor requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The held status: OK if a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked with assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is set.
+};
+
+}  // namespace ses
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the value to `lhs`. `lhs` may be a declaration.
+#define SES_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  SES_ASSIGN_OR_RETURN_IMPL_(                         \
+      SES_RESULT_CONCAT_(ses_result_, __LINE__), lhs, rexpr)
+
+#define SES_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define SES_RESULT_CONCAT_INNER_(a, b) a##b
+#define SES_RESULT_CONCAT_(a, b) SES_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // SES_COMMON_RESULT_H_

@@ -1,0 +1,33 @@
+#include "common/time.h"
+
+#include "common/strings.h"
+
+namespace ses {
+
+std::string FormatTimestamp(Timestamp t) {
+  bool negative = t < 0;
+  int64_t abs = negative ? -t : t;
+  int64_t days = abs / 86400;
+  int64_t rem = abs % 86400;
+  int64_t h = rem / 3600;
+  int64_t m = (rem % 3600) / 60;
+  int64_t s = rem % 60;
+  return strings::Format("%s%lld+%02lld:%02lld:%02lld", negative ? "-" : "",
+                         static_cast<long long>(days), static_cast<long long>(h),
+                         static_cast<long long>(m), static_cast<long long>(s));
+}
+
+std::string FormatDuration(Duration d) {
+  if (d % 86400 == 0 && d != 0) {
+    return strings::Format("%lldd", static_cast<long long>(d / 86400));
+  }
+  if (d % 3600 == 0 && d != 0) {
+    return strings::Format("%lldh", static_cast<long long>(d / 3600));
+  }
+  if (d % 60 == 0 && d != 0) {
+    return strings::Format("%lldm", static_cast<long long>(d / 60));
+  }
+  return strings::Format("%llds", static_cast<long long>(d));
+}
+
+}  // namespace ses

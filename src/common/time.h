@@ -1,0 +1,36 @@
+#ifndef SES_COMMON_TIME_H_
+#define SES_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ses {
+
+/// Occurrence time of an event. The time domain is discrete and totally
+/// ordered (paper §3.1). The canonical tick is one second; the helpers in
+/// ses::duration construct durations at coarser granularities (the paper's
+/// running example uses hours: τ = 264 h = eleven days).
+using Timestamp = int64_t;
+
+/// A length of time in ticks (seconds).
+using Duration = int64_t;
+
+namespace duration {
+
+constexpr Duration Seconds(int64_t n) { return n; }
+constexpr Duration Minutes(int64_t n) { return n * 60; }
+constexpr Duration Hours(int64_t n) { return n * 3600; }
+constexpr Duration Days(int64_t n) { return n * 86400; }
+
+}  // namespace duration
+
+/// Formats a timestamp as "D+HH:MM:SS" (days since epoch + time of day),
+/// e.g. tick 183600 -> "2+03:00:00". Purely for human-readable output.
+std::string FormatTimestamp(Timestamp t);
+
+/// Formats a duration as e.g. "264h", "90m", "45s" (largest exact unit).
+std::string FormatDuration(Duration d);
+
+}  // namespace ses
+
+#endif  // SES_COMMON_TIME_H_

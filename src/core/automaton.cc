@@ -1,0 +1,89 @@
+#include "core/automaton.h"
+
+#include "common/bits.h"
+#include "common/strings.h"
+
+namespace ses {
+
+int SesAutomaton::num_accepting_states() const {
+  int n = 0;
+  for (bool accepting : is_accepting_) {
+    if (accepting) ++n;
+  }
+  return n;
+}
+
+int SesAutomaton::num_transitions() const {
+  int n = 0;
+  for (const auto& list : outgoing_) n += static_cast<int>(list.size());
+  return n;
+}
+
+Result<StateId> SesAutomaton::StateByMask(VariableMask mask) const {
+  auto it = state_index_.find(mask);
+  if (it == state_index_.end()) {
+    return Status::NotFound(
+        strings::Format("no state with mask 0x%llx",
+                        static_cast<unsigned long long>(mask)));
+  }
+  return it->second;
+}
+
+std::string SesAutomaton::StateName(StateId q) const {
+  VariableMask mask = state_masks_[q];
+  if (mask == 0) return "()";
+  std::string name;
+  bits::ForEachBit(mask, [&](int v) {
+    name += pattern_.variable(v).ToString();
+  });
+  return name;
+}
+
+std::string SesAutomaton::ToString() const {
+  std::string out = strings::Format(
+      "SES automaton for %s: %d states, %d transitions\n",
+      pattern_.ToString().c_str(), num_states(), num_transitions());
+  for (StateId q = 0; q < num_states(); ++q) {
+    out += strings::Format("  state %d %s%s%s\n", q, StateName(q).c_str(),
+                           q == start_ ? " [start]" : "",
+                           q == accepting_ ? " [accepting]" : "");
+    for (const Transition& t : outgoing_[q]) {
+      std::string conds;
+      for (size_t i = 0; i < t.conditions.size(); ++i) {
+        if (i > 0) conds += ", ";
+        conds += pattern_.ConditionToString(t.conditions[i]);
+      }
+      out += strings::Format("    --%s{%s}--> %s%s\n",
+                             pattern_.variable(t.variable).ToString().c_str(),
+                             conds.c_str(), StateName(t.to).c_str(),
+                             t.is_loop() ? " (loop)" : "");
+    }
+  }
+  return out;
+}
+
+std::string SesAutomaton::ToDot() const {
+  std::string out = "digraph ses_automaton {\n  rankdir=LR;\n";
+  out += "  node [shape=circle];\n";
+  out += strings::Format("  q%d [shape=doublecircle];\n", accepting_);
+  out += strings::Format("  start [shape=point]; start -> q%d;\n", start_);
+  for (StateId q = 0; q < num_states(); ++q) {
+    out += strings::Format("  q%d [label=\"%s\"];\n", q, StateName(q).c_str());
+  }
+  for (StateId q = 0; q < num_states(); ++q) {
+    for (const Transition& t : outgoing_[q]) {
+      std::string conds;
+      for (size_t i = 0; i < t.conditions.size(); ++i) {
+        if (i > 0) conds += ", ";
+        conds += pattern_.ConditionToString(t.conditions[i]);
+      }
+      out += strings::Format(
+          "  q%d -> q%d [label=\"%s: %s\"];\n", t.from, t.to,
+          pattern_.variable(t.variable).ToString().c_str(), conds.c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ses

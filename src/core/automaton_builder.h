@@ -1,0 +1,33 @@
+#ifndef SES_CORE_AUTOMATON_BUILDER_H_
+#define SES_CORE_AUTOMATON_BUILDER_H_
+
+#include "core/automaton.h"
+#include "query/pattern.h"
+
+namespace ses {
+
+/// Translates a SES pattern into a SES automaton (§4.2).
+///
+/// The paper describes a two-step process: (1) build one automaton per
+/// event set pattern Vi whose states are the subsets of Vi (§4.2.1), and
+/// (2) concatenate them in sequence, renaming the states of automaton i by
+/// uniting them with V1 ∪ ... ∪ Vi-1 and extending the conditions of the
+/// transitions leaving its start state with the ordering constraints
+/// v'.T < v.T for every preceding variable v' (§4.2.2).
+///
+/// Because states are variable masks, the renaming of step 2 is simply a
+/// bitwise OR with the prefix mask, so the builder constructs the
+/// concatenated automaton directly: for every set index i and every subset
+/// S ⊆ Vi there is a state prefix(i) | S; the accepting state of automaton
+/// i and the start state of automaton i+1 coincide (the "merged" state of
+/// the paper). Tests assert that the result matches Figures 3-5.
+class AutomatonBuilder {
+ public:
+  /// Builds the automaton for `pattern`. `pattern` is copied into the
+  /// automaton so the result is self-contained.
+  static SesAutomaton Build(const Pattern& pattern);
+};
+
+}  // namespace ses
+
+#endif  // SES_CORE_AUTOMATON_BUILDER_H_

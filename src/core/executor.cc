@@ -1,0 +1,185 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ses {
+
+SesExecutor::SesExecutor(const SesAutomaton* automaton,
+                         ExecutorOptions options)
+    : automaton_(automaton),
+      options_(options),
+      filter_(automaton->pattern()) {
+  if (options_.shared_constant_evaluation) {
+    constant_memo_.resize(
+        static_cast<size_t>(automaton_->num_transitions()));
+  }
+}
+
+void SesExecutor::Consume(const Event& event, std::vector<Match>* out) {
+  ++stats_.events_seen;
+  if (options_.enable_prefilter && !filter_.ShouldProcess(event)) {
+    // §4.5: the event satisfies no constant condition, so it cannot fire
+    // any transition; skip the iteration over Ω entirely.
+    ++stats_.events_filtered;
+    if (observer_ != nullptr) observer_->OnEvent(event, /*filtered=*/true);
+    return;
+  }
+  ++stats_.events_processed;
+  if (observer_ != nullptr) observer_->OnEvent(event, /*filtered=*/false);
+  ++event_epoch_;
+
+  auto shared_event = std::make_shared<const Event>(event);
+  const Duration window = automaton_->window();
+
+  // Line 4 of Algorithm 1: a fresh instance in the start state. It dies in
+  // ConsumeOnInstance unless this event fires one of its transitions.
+  instances_.push_back(
+      AutomatonInstance{automaton_->start_state(), MatchBuffer()});
+
+  next_.clear();
+  for (const AutomatonInstance& instance : instances_) {
+    if (!instance.buffer.empty() &&
+        event.timestamp() - instance.buffer.min_timestamp() > window) {
+      // Lines 7-10: the window expired; an accepting instance reports its
+      // buffer as a matching substitution, the instance is removed.
+      ++stats_.instances_expired;
+      bool accepted = automaton_->IsAccepting(instance.state);
+      if (observer_ != nullptr) observer_->OnExpired(instance, accepted);
+      if (accepted) {
+        EmitMatch(instance, out);
+      }
+      continue;
+    }
+    ConsumeOnInstance(instance, shared_event);
+  }
+  std::swap(instances_, next_);
+  stats_.max_simultaneous_instances =
+      std::max(stats_.max_simultaneous_instances,
+               static_cast<int64_t>(instances_.size()));
+}
+
+void SesExecutor::ConsumeOnInstance(
+    const AutomatonInstance& instance,
+    const std::shared_ptr<const Event>& event) {
+  bool fired = false;
+  for (const Transition& transition : automaton_->outgoing(instance.state)) {
+    ++stats_.transitions_evaluated;
+    if (!EvaluateTransition(transition, instance.buffer, *event)) continue;
+    fired = true;
+    ++stats_.transitions_fired;
+    ++stats_.instances_created;
+    next_.push_back(AutomatonInstance{
+        transition.to, instance.buffer.Extend(transition.variable, event)});
+    if (observer_ != nullptr) {
+      observer_->OnTransition(instance, transition, *event, next_.back());
+    }
+  }
+  if (!fired && instance.state != automaton_->start_state()) {
+    // No transition fired: the event is ignored and the instance survives
+    // unchanged (skip-till-next-match). A fresh start-state instance that
+    // fired nothing is discarded (Algorithm 2, lines 8-10).
+    if (observer_ != nullptr) observer_->OnIgnored(instance, *event);
+    next_.push_back(instance);
+  }
+}
+
+bool SesExecutor::EvaluateTransition(const Transition& transition,
+                                     const MatchBuffer& buffer,
+                                     const Event& event) {
+  // Constant conditions (conditions[0, num_constant)) depend only on the
+  // event; with shared evaluation enabled their verdict is computed once
+  // per event per transition and reused across instances.
+  if (options_.shared_constant_evaluation && transition.num_constant > 0) {
+    ConstantVerdict& verdict =
+        constant_memo_[static_cast<size_t>(transition.id)];
+    if (verdict.epoch != event_epoch_) {
+      verdict.epoch = event_epoch_;
+      verdict.satisfied = true;
+      for (int i = 0; i < transition.num_constant; ++i) {
+        ++stats_.conditions_evaluated;
+        if (!transition.conditions[static_cast<size_t>(i)].EvaluateConstant(
+                event)) {
+          verdict.satisfied = false;
+          break;
+        }
+      }
+    }
+    if (!verdict.satisfied) return false;
+    for (size_t i = static_cast<size_t>(transition.num_constant);
+         i < transition.conditions.size(); ++i) {
+      if (!EvaluateVariableCondition(transition.conditions[i],
+                                     transition.variable, buffer, event)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  for (const Condition& condition : transition.conditions) {
+    if (condition.is_constant_condition()) {
+      ++stats_.conditions_evaluated;
+      if (!condition.EvaluateConstant(event)) return false;
+      continue;
+    }
+    if (!EvaluateVariableCondition(condition, transition.variable, buffer,
+                                   event)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SesExecutor::EvaluateVariableCondition(const Condition& condition,
+                                            VariableId bound_variable,
+                                            const MatchBuffer& buffer,
+                                            const Event& event) {
+  VariableId other = *condition.OtherVariable(bound_variable);
+  if (other == bound_variable) {
+    // Self-referential condition (v.A φ v.A'): under the decomposition
+    // semantics of §3.2 both occurrences denote the same event.
+    ++stats_.conditions_evaluated;
+    return condition.EvaluateVariable(event, event);
+  }
+  // Evaluate against every binding of the other variable (group variables
+  // may have several; the decomposition instantiates the condition once
+  // per binding).
+  bool ok = true;
+  bool lhs_is_bound_var = condition.lhs().variable == bound_variable;
+  buffer.ForEach([&](VariableId v, const Event& bound) {
+    if (!ok || v != other) return;
+    ++stats_.conditions_evaluated;
+    ok = lhs_is_bound_var ? condition.EvaluateVariable(event, bound)
+                          : condition.EvaluateVariable(bound, event);
+  });
+  return ok;
+}
+
+void SesExecutor::EmitMatch(const AutomatonInstance& instance,
+                            std::vector<Match>* out) {
+  ++stats_.matches_emitted;
+  out->push_back(Match(instance.buffer.ToBindings()));
+  if (observer_ != nullptr) observer_->OnMatch(out->back());
+}
+
+void SesExecutor::Flush(std::vector<Match>* out) {
+  for (const AutomatonInstance& instance : instances_) {
+    if (instance.buffer.empty()) continue;
+    ++stats_.instances_expired;
+    bool accepted = automaton_->IsAccepting(instance.state);
+    if (observer_ != nullptr) observer_->OnExpired(instance, accepted);
+    if (accepted) {
+      EmitMatch(instance, out);
+    }
+  }
+  instances_.clear();
+  next_.clear();
+}
+
+void SesExecutor::Reset() {
+  instances_.clear();
+  next_.clear();
+  stats_ = ExecutorStats{};
+}
+
+}  // namespace ses

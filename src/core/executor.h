@@ -1,0 +1,120 @@
+#ifndef SES_CORE_EXECUTOR_H_
+#define SES_CORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/automaton.h"
+#include "core/filter.h"
+#include "core/instance.h"
+#include "core/match.h"
+#include "core/trace.h"
+
+namespace ses {
+
+/// Execution options for the SES automaton.
+struct ExecutorOptions {
+  /// Enables the §4.5 event pre-filter (skipped automatically when the
+  /// pattern has a variable without constant conditions; see
+  /// EventPreFilter).
+  bool enable_prefilter = true;
+  /// Evaluates each transition's constant conditions once per input event
+  /// and memoizes the verdict, instead of re-evaluating them for every
+  /// instance sitting in the transition's source state. Semantically
+  /// neutral (constant conditions depend only on the event); pays off when
+  /// nondeterminism piles many instances into the same states. Off by
+  /// default to keep the executor's per-instance work identical to the
+  /// paper's Algorithm 2; benchmarked as an ablation in bench/micro_match.
+  bool shared_constant_evaluation = false;
+};
+
+/// Counters collected during execution. `max_simultaneous_instances` is the
+/// |Ω| statistic the paper's Experiments 1 and 2 report (measured after
+/// each input event has been fully processed).
+struct ExecutorStats {
+  int64_t events_seen = 0;       // events offered to the executor
+  int64_t events_filtered = 0;   // dropped by the pre-filter
+  int64_t events_processed = 0;  // reached the instance loop
+  int64_t instances_created = 0;
+  int64_t instances_expired = 0;
+  int64_t max_simultaneous_instances = 0;
+  int64_t transitions_evaluated = 0;
+  int64_t transitions_fired = 0;
+  int64_t conditions_evaluated = 0;
+  int64_t matches_emitted = 0;
+};
+
+/// Executes a SES automaton over a stream of events: function SESExec of
+/// Algorithm 1, with ConsumeEvent of Algorithm 2 inlined as a private
+/// helper. One difference to the paper's pseudo-code: Algorithm 1 only
+/// reports a match when an instance's window expires, so matches still
+/// pending at the end of a finite relation would be lost; Flush() treats
+/// end-of-stream as expiry and must be called after the last event.
+class SesExecutor {
+ public:
+  /// `automaton` must outlive the executor and is not owned.
+  SesExecutor(const SesAutomaton* automaton, ExecutorOptions options);
+
+  /// Feeds the next event (strictly increasing timestamps; enforced by
+  /// Matcher). Completed matches are appended to `out`.
+  void Consume(const Event& event, std::vector<Match>* out);
+
+  /// Ends the stream: every instance in the accepting state yields a
+  /// match; all instances are discarded.
+  void Flush(std::vector<Match>* out);
+
+  /// Drops all instances and statistics.
+  void Reset();
+
+  const ExecutorStats& stats() const { return stats_; }
+  size_t num_active_instances() const { return instances_.size(); }
+  const SesAutomaton& automaton() const { return *automaton_; }
+
+  /// Installs an observer (nullptr to remove). Not owned; must outlive the
+  /// executor or be removed before destruction.
+  void set_observer(ExecutionObserver* observer) { observer_ = observer; }
+
+ private:
+  /// Algorithm 2: lets one instance consume `event`; derived instances are
+  /// appended to next_. Returns nothing: a firing transition replaces the
+  /// instance by its branches, a non-firing event leaves the instance
+  /// unchanged unless it still sits in the start state.
+  void ConsumeOnInstance(const AutomatonInstance& instance,
+                         const std::shared_ptr<const Event>& event);
+
+  /// Evaluates Θδ of `transition` for binding `event`, against the
+  /// bindings collected in `buffer`.
+  bool EvaluateTransition(const Transition& transition,
+                          const MatchBuffer& buffer, const Event& event);
+
+  /// Evaluates one variable condition (v.A φ v'.A') for the new binding of
+  /// `bound_variable`, against every binding of the other variable.
+  bool EvaluateVariableCondition(const Condition& condition,
+                                 VariableId bound_variable,
+                                 const MatchBuffer& buffer,
+                                 const Event& event);
+
+  void EmitMatch(const AutomatonInstance& instance, std::vector<Match>* out);
+
+  const SesAutomaton* automaton_;
+  ExecutorOptions options_;
+  EventPreFilter filter_;
+  std::vector<AutomatonInstance> instances_;  // Ω
+  std::vector<AutomatonInstance> next_;       // Ω'
+  ExecutorStats stats_;
+
+  /// Per-event memo for shared constant-condition evaluation, indexed by
+  /// Transition::id. An entry is valid when its epoch equals event_epoch_.
+  struct ConstantVerdict {
+    uint64_t epoch = 0;
+    bool satisfied = false;
+  };
+  std::vector<ConstantVerdict> constant_memo_;
+  uint64_t event_epoch_ = 0;
+  ExecutionObserver* observer_ = nullptr;
+};
+
+}  // namespace ses
+
+#endif  // SES_CORE_EXECUTOR_H_

@@ -1,0 +1,29 @@
+#include "core/filter.h"
+
+namespace ses {
+
+EventPreFilter::EventPreFilter(const Pattern& pattern) {
+  std::vector<bool> constrained(pattern.num_variables(), false);
+  for (const Condition& c : pattern.conditions()) {
+    if (!c.is_constant_condition()) continue;
+    constant_conditions_.push_back(c);
+    constrained[c.lhs().variable] = true;
+  }
+  active_ = true;
+  for (bool has_constant : constrained) {
+    if (!has_constant) {
+      active_ = false;
+      break;
+    }
+  }
+}
+
+bool EventPreFilter::ShouldProcess(const Event& event) const {
+  if (!active_) return true;
+  for (const Condition& c : constant_conditions_) {
+    if (c.EvaluateConstant(event)) return true;
+  }
+  return false;
+}
+
+}  // namespace ses

@@ -1,0 +1,81 @@
+#include "core/match.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ses {
+
+Match::Match(std::vector<Binding> bindings) : bindings_(std::move(bindings)) {
+  SES_CHECK(!bindings_.empty()) << "a match needs at least one binding";
+  start_ = bindings_.front().event.timestamp();
+  end_ = bindings_.back().event.timestamp();
+  for (const Binding& b : bindings_) {
+    start_ = std::min(start_, b.event.timestamp());
+    end_ = std::max(end_, b.event.timestamp());
+  }
+}
+
+std::vector<Event> Match::EventsFor(VariableId variable) const {
+  std::vector<Event> out;
+  for (const Binding& b : bindings_) {
+    if (b.variable == variable) out.push_back(b.event);
+  }
+  return out;
+}
+
+std::vector<EventId> Match::event_ids() const {
+  std::vector<EventId> out;
+  out.reserve(bindings_.size());
+  for (const Binding& b : bindings_) out.push_back(b.event.id());
+  return out;
+}
+
+std::vector<std::pair<VariableId, EventId>> Match::SubstitutionKey() const {
+  std::vector<std::pair<VariableId, EventId>> key;
+  key.reserve(bindings_.size());
+  for (const Binding& b : bindings_) {
+    key.emplace_back(b.variable, b.event.id());
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+std::string Match::ToString(const Pattern& pattern) const {
+  std::string out = "{";
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += pattern.variable(bindings_[i].variable).ToString();
+    out += "/e";
+    out += std::to_string(bindings_[i].event.id());
+  }
+  out += "}";
+  return out;
+}
+
+void SortMatches(std::vector<Match>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const Match& a, const Match& b) {
+              if (a.start_time() != b.start_time()) {
+                return a.start_time() < b.start_time();
+              }
+              if (a.end_time() != b.end_time()) {
+                return a.end_time() < b.end_time();
+              }
+              return a.SubstitutionKey() < b.SubstitutionKey();
+            });
+}
+
+bool SameMatchSet(const std::vector<Match>& a, const std::vector<Match>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<std::vector<std::pair<VariableId, EventId>>> ka, kb;
+  ka.reserve(a.size());
+  kb.reserve(b.size());
+  for (const Match& m : a) ka.push_back(m.SubstitutionKey());
+  for (const Match& m : b) kb.push_back(m.SubstitutionKey());
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+}  // namespace ses

@@ -1,0 +1,63 @@
+#ifndef SES_CORE_MATCH_H_
+#define SES_CORE_MATCH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "event/event.h"
+#include "query/pattern.h"
+
+namespace ses {
+
+/// One binding v/e of a matching substitution.
+struct Binding {
+  VariableId variable;
+  Event event;
+};
+
+/// A matching substitution γ = {v1/e1, ..., vn/en} (Definition 2): exactly
+/// one binding per singleton variable, one or more per group variable.
+/// Bindings are stored in the order the events were consumed, i.e.
+/// chronologically.
+class Match {
+ public:
+  Match() = default;
+  explicit Match(std::vector<Binding> bindings);
+
+  const std::vector<Binding>& bindings() const { return bindings_; }
+  size_t size() const { return bindings_.size(); }
+
+  /// Timestamps of the chronologically first/last matched events.
+  Timestamp start_time() const { return start_; }
+  Timestamp end_time() const { return end_; }
+
+  /// Events bound to `variable`, chronologically.
+  std::vector<Event> EventsFor(VariableId variable) const;
+
+  /// Ids of all matched events, chronologically.
+  std::vector<EventId> event_ids() const;
+
+  /// Canonical identity of the substitution: sorted (variable, event id)
+  /// pairs. Two Match objects with equal keys denote the same substitution.
+  std::vector<std::pair<VariableId, EventId>> SubstitutionKey() const;
+
+  /// "{c/e1, d/e3, p+/e4, p+/e9, b/e12}" using names from `pattern`.
+  std::string ToString(const Pattern& pattern) const;
+
+ private:
+  std::vector<Binding> bindings_;
+  Timestamp start_ = 0;
+  Timestamp end_ = 0;
+};
+
+/// Sorts matches by (start time, end time, substitution key); used by tests
+/// and harnesses to compare result sets deterministically.
+void SortMatches(std::vector<Match>* matches);
+
+/// True if the two result sets contain the same substitutions.
+bool SameMatchSet(const std::vector<Match>& a, const std::vector<Match>& b);
+
+}  // namespace ses
+
+#endif  // SES_CORE_MATCH_H_

@@ -1,0 +1,99 @@
+#include "core/partitioned.h"
+
+#include "common/strings.h"
+
+namespace ses {
+
+Result<int> FindPartitionAttribute(const Pattern& pattern) {
+  int n = pattern.num_variables();
+  for (int attr = 0; attr < pattern.schema().num_attributes(); ++attr) {
+    ValueType type = pattern.schema().attribute(attr).type;
+    if (type == ValueType::kDouble) continue;
+    // Equality adjacency on this attribute.
+    std::vector<std::vector<bool>> eq(n, std::vector<bool>(n, false));
+    for (const Condition& c : pattern.conditions()) {
+      if (c.is_constant_condition()) continue;
+      if (c.op() != ComparisonOp::kEq) continue;
+      if (c.lhs().attribute != attr || c.rhs_ref().attribute != attr) {
+        continue;
+      }
+      eq[c.lhs().variable][c.rhs_ref().variable] = true;
+      eq[c.rhs_ref().variable][c.lhs().variable] = true;
+    }
+    bool complete = true;
+    for (int a = 0; a < n && complete; ++a) {
+      for (int b = a + 1; b < n && complete; ++b) {
+        if (!eq[a][b]) complete = false;
+      }
+    }
+    if (complete && n >= 1) return attr;
+  }
+  return Status::NotFound(
+      "no attribute carries a complete pairwise equality graph over all "
+      "event variables; partitioned execution would not be equivalent");
+}
+
+Result<PartitionedMatcher> PartitionedMatcher::Create(const Pattern& pattern,
+                                                      int attribute,
+                                                      MatcherOptions options) {
+  if (attribute < 0 || attribute >= pattern.schema().num_attributes()) {
+    return Status::InvalidArgument("partition attribute index out of range");
+  }
+  if (pattern.schema().attribute(attribute).type == ValueType::kDouble) {
+    return Status::InvalidArgument(
+        "DOUBLE attributes cannot be used as partition keys");
+  }
+  return PartitionedMatcher(pattern, attribute, options);
+}
+
+Status PartitionedMatcher::Push(const Event& event, std::vector<Match>* out) {
+  ++stats_.events_seen;
+  const Value& key = event.value(attribute_);
+  auto it = matchers_.find(key);
+  if (it == matchers_.end()) {
+    it = matchers_.emplace(key, Matcher(pattern_, options_)).first;
+    stats_.num_partitions = static_cast<int64_t>(matchers_.size());
+  }
+  Matcher& matcher = it->second;
+  int64_t before = static_cast<int64_t>(matcher.num_active_instances());
+  size_t matches_before = out->size();
+  SES_RETURN_IF_ERROR(matcher.Push(event, out));
+  active_instances_ +=
+      static_cast<int64_t>(matcher.num_active_instances()) - before;
+  stats_.max_simultaneous_instances =
+      std::max(stats_.max_simultaneous_instances, active_instances_);
+  stats_.matches_emitted +=
+      static_cast<int64_t>(out->size() - matches_before);
+  return Status::OK();
+}
+
+void PartitionedMatcher::Flush(std::vector<Match>* out) {
+  size_t matches_before = out->size();
+  for (auto& [key, matcher] : matchers_) {
+    matcher.Flush(out);
+  }
+  active_instances_ = 0;
+  stats_.matches_emitted +=
+      static_cast<int64_t>(out->size() - matches_before);
+}
+
+Result<std::vector<Match>> PartitionedMatchRelation(
+    const Pattern& pattern, const EventRelation& relation, int attribute,
+    MatcherOptions options, PartitionedStats* stats) {
+  SES_RETURN_IF_ERROR(relation.ValidateTotalOrder());
+  if (attribute < 0) {
+    SES_ASSIGN_OR_RETURN(attribute, FindPartitionAttribute(pattern));
+  }
+  SES_ASSIGN_OR_RETURN(PartitionedMatcher matcher,
+                       PartitionedMatcher::Create(pattern, attribute,
+                                                  options));
+  std::vector<Match> matches;
+  for (const Event& event : relation) {
+    SES_RETURN_IF_ERROR(matcher.Push(event, &matches));
+  }
+  matcher.Flush(&matches);
+  if (stats != nullptr) *stats = matcher.stats();
+  return matches;
+}
+
+}  // namespace ses

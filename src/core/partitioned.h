@@ -1,0 +1,104 @@
+#ifndef SES_CORE_PARTITIONED_H_
+#define SES_CORE_PARTITIONED_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/matcher.h"
+
+namespace ses {
+
+/// Partitioned execution — a runtime optimization in the spirit of the
+/// paper's future-work directions (§6) and of the PARTITION BY clause of
+/// the SQL pattern-matching proposal.
+///
+/// When the pattern's conditions require v.A = v'.A for EVERY pair of
+/// event variables (a complete equality graph on attribute A), every
+/// automaton instance is partition-pure: its first binding fixes the value
+/// of A and every later transition carries an equality condition against a
+/// bound variable. Events of other partitions can then never fire a
+/// transition, so running one independent matcher per distinct value of A
+/// produces exactly the same matches while each event only iterates over
+/// its own partition's instances — the per-event cost drops by roughly the
+/// number of active partitions.
+///
+/// Note the completeness requirement: a merely *connected* equality graph
+/// (a chain like Q1's Θ) is NOT sufficient — under a chain the global
+/// automaton can be poisoned by cross-partition events (see DESIGN.md), so
+/// partitioned execution would return strictly more matches. The detector
+/// below therefore only accepts complete graphs, where equivalence is
+/// exact (property-tested against the global matcher).
+
+/// Finds an attribute on which the pattern's equality conditions form a
+/// complete graph over all variables. Returns the schema attribute index,
+/// or NotFound if no attribute qualifies. Only INT and STRING attributes
+/// qualify (partition keys need exact equality).
+Result<int> FindPartitionAttribute(const Pattern& pattern);
+
+/// Statistics across all partitions.
+struct PartitionedStats {
+  int64_t num_partitions = 0;
+  int64_t events_seen = 0;
+  /// Max over time of the summed active instances of all partitions.
+  int64_t max_simultaneous_instances = 0;
+  int64_t matches_emitted = 0;
+};
+
+/// Runs one Matcher per partition-key value. The same streaming contract
+/// as Matcher: Push in strictly increasing timestamp order, then Flush.
+class PartitionedMatcher {
+ public:
+  /// `attribute` must be a valid partition attribute for `pattern`
+  /// (validated via FindPartitionAttribute semantics; pass the result of
+  /// that function). Fails if the attribute type is DOUBLE.
+  static Result<PartitionedMatcher> Create(const Pattern& pattern,
+                                           int attribute,
+                                           MatcherOptions options = {});
+
+  PartitionedMatcher(PartitionedMatcher&&) = default;
+  PartitionedMatcher& operator=(PartitionedMatcher&&) = default;
+
+  /// Routes the event to its partition's matcher (creating it on first
+  /// contact). Completed matches are appended to `out`.
+  Status Push(const Event& event, std::vector<Match>* out);
+
+  /// Flushes every partition.
+  void Flush(std::vector<Match>* out);
+
+  const PartitionedStats& stats() const { return stats_; }
+  int64_t num_partitions() const {
+    return static_cast<int64_t>(matchers_.size());
+  }
+
+ private:
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return Compare(a, b) < 0;
+    }
+  };
+
+  PartitionedMatcher(Pattern pattern, int attribute, MatcherOptions options)
+      : pattern_(std::move(pattern)),
+        attribute_(attribute),
+        options_(options) {}
+
+  Pattern pattern_;
+  int attribute_;
+  MatcherOptions options_;
+  std::map<Value, Matcher, ValueLess> matchers_;
+  int64_t active_instances_ = 0;
+  PartitionedStats stats_;
+};
+
+/// Batch API. When `attribute` is negative it is auto-detected with
+/// FindPartitionAttribute (an error if no attribute qualifies).
+Result<std::vector<Match>> PartitionedMatchRelation(
+    const Pattern& pattern, const EventRelation& relation,
+    int attribute = -1, MatcherOptions options = {},
+    PartitionedStats* stats = nullptr);
+
+}  // namespace ses
+
+#endif  // SES_CORE_PARTITIONED_H_

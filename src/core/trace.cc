@@ -1,0 +1,59 @@
+#include "core/trace.h"
+
+#include "common/strings.h"
+
+namespace ses {
+
+std::string TextTracer::InstanceToString(
+    const AutomatonInstance& instance) const {
+  std::string buffer = "{";
+  std::vector<Binding> bindings = instance.buffer.ToBindings();
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (i > 0) buffer += ", ";
+    buffer +=
+        automaton_->pattern().variable(bindings[i].variable).ToString();
+    buffer += "/e";
+    buffer += std::to_string(bindings[i].event.id());
+  }
+  buffer += "}";
+  return strings::Format("(%s, %s)",
+                         automaton_->StateName(instance.state).c_str(),
+                         buffer.c_str());
+}
+
+void TextTracer::OnEvent(const Event& event, bool filtered) {
+  trace_ += strings::Format("read e%lld%s\n",
+                            static_cast<long long>(event.id()),
+                            filtered ? " [filtered]" : "");
+}
+
+void TextTracer::OnTransition(const AutomatonInstance& instance,
+                              const Transition& transition,
+                              const Event& event,
+                              const AutomatonInstance& branched) {
+  (void)event;
+  trace_ += strings::Format(
+      "  %s --%s--> %s\n", InstanceToString(instance).c_str(),
+      automaton_->pattern().variable(transition.variable).ToString().c_str(),
+      InstanceToString(branched).c_str());
+}
+
+void TextTracer::OnIgnored(const AutomatonInstance& instance,
+                           const Event& event) {
+  (void)event;
+  trace_ +=
+      strings::Format("  %s ignored\n", InstanceToString(instance).c_str());
+}
+
+void TextTracer::OnExpired(const AutomatonInstance& instance, bool accepted) {
+  trace_ += strings::Format("  %s expired%s\n",
+                            InstanceToString(instance).c_str(),
+                            accepted ? " [accepting]" : "");
+}
+
+void TextTracer::OnMatch(const Match& match) {
+  trace_ += strings::Format("  match %s\n",
+                            match.ToString(automaton_->pattern()).c_str());
+}
+
+}  // namespace ses

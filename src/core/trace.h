@@ -1,0 +1,87 @@
+#ifndef SES_CORE_TRACE_H_
+#define SES_CORE_TRACE_H_
+
+#include <string>
+
+#include "core/automaton.h"
+#include "core/instance.h"
+#include "core/match.h"
+
+namespace ses {
+
+/// Observer interface over the executor's per-event work. All callbacks
+/// default to no-ops; the executor only invokes them when an observer is
+/// installed, so tracing costs nothing when unused.
+///
+/// The callback sequence per consumed event is:
+///   OnEvent  (once; filtered=true means §4.5 dropped the event and no
+///             further callbacks fire for it)
+///   then, for each instance: OnExpired | OnTransition* | OnIgnored
+///   and OnMatch for every reported substitution.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  virtual void OnEvent(const Event& event, bool filtered) {
+    (void)event;
+    (void)filtered;
+  }
+  /// `instance` took `transition` on `event`, producing `branched`.
+  virtual void OnTransition(const AutomatonInstance& instance,
+                            const Transition& transition, const Event& event,
+                            const AutomatonInstance& branched) {
+    (void)instance;
+    (void)transition;
+    (void)event;
+    (void)branched;
+  }
+  /// No transition of `instance` fired; the event is ignored
+  /// (skip-till-next-match). Not called for dying start-state instances.
+  virtual void OnIgnored(const AutomatonInstance& instance,
+                         const Event& event) {
+    (void)instance;
+    (void)event;
+  }
+  /// The instance's window expired (or Flush was called). `accepted` tells
+  /// whether it was in the accepting state and produced a match.
+  virtual void OnExpired(const AutomatonInstance& instance, bool accepted) {
+    (void)instance;
+    (void)accepted;
+  }
+  virtual void OnMatch(const Match& match) { (void)match; }
+};
+
+/// An observer that renders the execution in the style of Figure 6 of the
+/// paper: one line per step showing the instance's state, the transition
+/// taken, and the match buffer. Intended for debugging and documentation.
+///
+///   read e4[P]
+///     ({cd}, {c/e1, d/e3}) --p+--> ({cdp+}, {c/e1, d/e3, p+/e4})
+class TextTracer : public ExecutionObserver {
+ public:
+  /// `automaton` must outlive the tracer (use Matcher::automaton()).
+  explicit TextTracer(const SesAutomaton* automaton)
+      : automaton_(automaton) {}
+
+  void OnEvent(const Event& event, bool filtered) override;
+  void OnTransition(const AutomatonInstance& instance,
+                    const Transition& transition, const Event& event,
+                    const AutomatonInstance& branched) override;
+  void OnIgnored(const AutomatonInstance& instance,
+                 const Event& event) override;
+  void OnExpired(const AutomatonInstance& instance, bool accepted) override;
+  void OnMatch(const Match& match) override;
+
+  const std::string& trace() const { return trace_; }
+  void Clear() { trace_.clear(); }
+
+ private:
+  std::string InstanceToString(const AutomatonInstance& instance) const;
+
+  const SesAutomaton* automaton_;
+  std::string trace_;
+};
+
+}  // namespace ses
+
+#endif  // SES_CORE_TRACE_H_

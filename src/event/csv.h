@@ -1,0 +1,38 @@
+#ifndef SES_EVENT_CSV_H_
+#define SES_EVENT_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "event/relation.h"
+
+namespace ses {
+
+/// CSV serialization for event relations.
+///
+/// Layout: a header row "T,<attr1>,<attr2>,..." followed by one row per
+/// event. The first column is the timestamp in ticks; the remaining columns
+/// follow the schema's attribute order. String fields containing commas,
+/// quotes, or newlines are quoted RFC-4180 style.
+///
+/// CSV files make datasets portable between the embedded storage engine and
+/// external tools; the matcher itself consumes EventRelation directly.
+
+/// Renders `relation` to a CSV string.
+std::string WriteCsvString(const EventRelation& relation);
+
+/// Writes `relation` to `path`. Overwrites an existing file.
+Status WriteCsvFile(const EventRelation& relation, const std::string& path);
+
+/// Parses a CSV string produced by WriteCsvString. The header must name the
+/// timestamp column "T" first and match `schema` attribute names in order.
+Result<EventRelation> ReadCsvString(const std::string& contents,
+                                    const Schema& schema);
+
+/// Reads a relation from `path`.
+Result<EventRelation> ReadCsvFile(const std::string& path,
+                                  const Schema& schema);
+
+}  // namespace ses
+
+#endif  // SES_EVENT_CSV_H_

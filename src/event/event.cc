@@ -1,0 +1,19 @@
+#include "event/event.h"
+
+#include "common/strings.h"
+
+namespace ses {
+
+std::string Event::ToString() const {
+  std::string out =
+      strings::Format("e%lld@%s{", static_cast<long long>(id_),
+                      FormatTimestamp(timestamp_).c_str());
+  for (int i = 0; i < num_values(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ses

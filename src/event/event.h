@@ -1,0 +1,53 @@
+#ifndef SES_EVENT_EVENT_H_
+#define SES_EVENT_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "event/schema.h"
+#include "event/value.h"
+
+namespace ses {
+
+/// Stable identifier for an event within a relation or stream. Assigned in
+/// arrival order (the paper labels events e1, e2, ...). Used to report
+/// matches and to verify semantics in tests.
+using EventId = int64_t;
+
+constexpr EventId kInvalidEventId = -1;
+
+/// An event: a tuple of non-temporal attribute values plus an occurrence
+/// timestamp (paper §3.1). The attribute layout is defined by a Schema held
+/// by the enclosing EventRelation; an Event does not own a schema pointer so
+/// events stay compact.
+class Event {
+ public:
+  Event() : id_(kInvalidEventId), timestamp_(0) {}
+  Event(EventId id, Timestamp timestamp, std::vector<Value> values)
+      : id_(id), timestamp_(timestamp), values_(std::move(values)) {}
+
+  EventId id() const { return id_; }
+  Timestamp timestamp() const { return timestamp_; }
+  int num_values() const { return static_cast<int>(values_.size()); }
+  const Value& value(int attribute_index) const {
+    return values_[attribute_index];
+  }
+  const std::vector<Value>& values() const { return values_; }
+
+  void set_id(EventId id) { id_ = id; }
+  void set_timestamp(Timestamp t) { timestamp_ = t; }
+
+  /// "e3@0+11:00:00{1, B, 84, mgl}" — id, time, values.
+  std::string ToString() const;
+
+ private:
+  EventId id_;
+  Timestamp timestamp_;
+  std::vector<Value> values_;
+};
+
+}  // namespace ses
+
+#endif  // SES_EVENT_EVENT_H_

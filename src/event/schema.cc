@@ -1,0 +1,57 @@
+#include "event/schema.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace ses {
+
+bool operator==(const Attribute& a, const Attribute& b) {
+  return a.name == b.name && a.type == b.type;
+}
+
+Result<Schema> Schema::Create(std::vector<Attribute> attributes) {
+  std::unordered_set<std::string> seen;
+  for (const Attribute& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (attr.name == "T") {
+      return Status::InvalidArgument(
+          "attribute name 'T' is reserved for the temporal attribute");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + attr.name);
+    }
+  }
+  return Schema(std::move(attributes));
+}
+
+Result<int> Schema::IndexOf(std::string_view name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + std::string(name) + "'");
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return IndexOf(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += " ";
+    out += ValueTypeToString(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  return a.attributes_ == b.attributes_;
+}
+
+}  // namespace ses

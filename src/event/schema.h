@@ -1,0 +1,57 @@
+#ifndef SES_EVENT_SCHEMA_H_
+#define SES_EVENT_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "event/value.h"
+
+namespace ses {
+
+/// A named, typed non-temporal attribute of an event schema.
+struct Attribute {
+  std::string name;
+  ValueType type;
+};
+
+/// Event schema E = (A1, ..., Al, T) from the paper (§3.1). The temporal
+/// attribute T is implicit: every Event carries a timestamp in addition to
+/// the attributes described here. The reserved name "T" cannot be used for
+/// a non-temporal attribute.
+class Schema {
+ public:
+  /// Validates that attribute names are non-empty, unique, and that none is
+  /// the reserved temporal attribute "T".
+  static Result<Schema> Create(std::vector<Attribute> attributes);
+
+  Schema() = default;
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<int> IndexOf(std::string_view name) const;
+
+  bool Contains(std::string_view name) const;
+
+  /// "(ID INT, L STRING, V DOUBLE, U STRING)"
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+  friend bool operator!=(const Schema& a, const Schema& b) { return !(a == b); }
+
+ private:
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  std::vector<Attribute> attributes_;
+};
+
+bool operator==(const Attribute& a, const Attribute& b);
+
+}  // namespace ses
+
+#endif  // SES_EVENT_SCHEMA_H_

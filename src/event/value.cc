@@ -1,0 +1,80 @@
+#include "event/value.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace ses {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+Result<ValueType> ValueTypeFromString(std::string_view name) {
+  if (strings::EqualsIgnoreCase(name, "INT") ||
+      strings::EqualsIgnoreCase(name, "INT64") ||
+      strings::EqualsIgnoreCase(name, "INTEGER")) {
+    return ValueType::kInt64;
+  }
+  if (strings::EqualsIgnoreCase(name, "DOUBLE") ||
+      strings::EqualsIgnoreCase(name, "FLOAT") ||
+      strings::EqualsIgnoreCase(name, "REAL")) {
+    return ValueType::kDouble;
+  }
+  if (strings::EqualsIgnoreCase(name, "STRING") ||
+      strings::EqualsIgnoreCase(name, "TEXT") ||
+      strings::EqualsIgnoreCase(name, "VARCHAR")) {
+    return ValueType::kString;
+  }
+  return Status::InvalidArgument("unknown value type: " + std::string(name));
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(int64());
+    case ValueType::kDouble:
+      return strings::Format("%g", as_double());
+    case ValueType::kString:
+      return string();
+  }
+  return "";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_string() != b.is_string()) return false;
+  if (a.is_string()) return a.string() == b.string();
+  // Numeric: compare exactly when both int64, otherwise as doubles.
+  if (a.is_int64() && b.is_int64()) return a.int64() == b.int64();
+  return a.AsNumber() == b.AsNumber();
+}
+
+bool TypesComparable(ValueType a, ValueType b) {
+  bool a_str = a == ValueType::kString;
+  bool b_str = b == ValueType::kString;
+  return a_str == b_str;
+}
+
+int Compare(const Value& a, const Value& b) {
+  SES_CHECK(TypesComparable(a.type(), b.type()))
+      << "incomparable value types: " << ValueTypeToString(a.type()) << " vs "
+      << ValueTypeToString(b.type());
+  if (a.is_string()) {
+    return a.string().compare(b.string());
+  }
+  if (a.is_int64() && b.is_int64()) {
+    int64_t x = a.int64(), y = b.int64();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  double x = a.AsNumber(), y = b.AsNumber();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+}  // namespace ses

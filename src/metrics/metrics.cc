@@ -1,0 +1,26 @@
+#include "metrics/metrics.h"
+
+#include "common/strings.h"
+
+namespace ses {
+
+void MetricRegistry::Reset() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+}
+
+std::string MetricRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += strings::Format("%s = %lld\n", name.c_str(),
+                           static_cast<long long>(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += strings::Format("%s = %lld (max %lld)\n", name.c_str(),
+                           static_cast<long long>(g.current()),
+                           static_cast<long long>(g.max()));
+  }
+  return out;
+}
+
+}  // namespace ses

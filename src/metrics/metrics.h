@@ -1,0 +1,85 @@
+#ifndef SES_METRICS_METRICS_H_
+#define SES_METRICS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ses {
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// A gauge that remembers its maximum. The matcher uses this to report the
+/// maximal number of simultaneously active automaton instances — the metric
+/// the paper's Experiments 1 and 2 measure.
+class MaxGauge {
+ public:
+  void Observe(int64_t value) {
+    current_ = value;
+    if (value > max_) max_ = value;
+  }
+  int64_t current() const { return current_; }
+  int64_t max() const { return max_; }
+  void Reset() {
+    current_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  int64_t current_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Wall-clock stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart() { start_ = Clock::now(); }
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A named bag of counters and max-gauges, used by benchmark harnesses to
+/// collect per-run statistics.
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  MaxGauge& gauge(const std::string& name) { return gauges_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, MaxGauge>& gauges() const { return gauges_; }
+
+  void Reset();
+
+  /// Multi-line human-readable dump, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, MaxGauge> gauges_;
+};
+
+}  // namespace ses
+
+#endif  // SES_METRICS_METRICS_H_

@@ -1,0 +1,107 @@
+#ifndef SES_QUERY_CONDITION_H_
+#define SES_QUERY_CONDITION_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "event/event.h"
+#include "event/value.h"
+#include "query/variable.h"
+
+namespace ses {
+
+/// Comparison operator φ ∈ {=, ≠, <, ≤, >, ≥} (paper §3.2).
+enum class ComparisonOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view ComparisonOpToString(ComparisonOp op);
+
+/// Applies `op` to the three-way comparison result `cmp` (sign of a-b).
+bool ApplyComparison(ComparisonOp op, int cmp);
+
+/// The mirrored operator: a op b  <=>  b Mirror(op) a.
+ComparisonOp MirrorComparison(ComparisonOp op);
+
+/// Reference to an attribute of an event variable, e.g. c.ID.
+/// `attribute` is an index into the relation's schema, or
+/// kTimestampAttribute for the temporal attribute T.
+struct AttributeRef {
+  VariableId variable = -1;
+  int attribute = 0;
+
+  static constexpr int kTimestampAttribute = -1;
+
+  bool is_timestamp() const { return attribute == kTimestampAttribute; }
+
+  friend bool operator==(const AttributeRef& a, const AttributeRef& b) {
+    return a.variable == b.variable && a.attribute == b.attribute;
+  }
+};
+
+/// A condition θ of a SES pattern: `v.A φ C` (a constant condition),
+/// `v.A φ v'.A'` (a variable condition), or — an extension beyond the
+/// paper, for gap constraints — `v.A φ v'.A' + C` with a numeric offset,
+/// e.g. `b.T <= d.T + 7200` ("b at most two hours after d"). The left-hand
+/// side is always a variable reference; parsers normalize `C φ v.A` by
+/// mirroring φ and fold offsets accordingly.
+class Condition {
+ public:
+  /// v.A φ C
+  Condition(AttributeRef lhs, ComparisonOp op, Value constant)
+      : lhs_(lhs), op_(op), rhs_(std::move(constant)) {}
+
+  /// v.A φ v'.A'
+  Condition(AttributeRef lhs, ComparisonOp op, AttributeRef rhs)
+      : lhs_(lhs), op_(op), rhs_(rhs) {}
+
+  /// v.A φ v'.A' + offset (offset must be numeric; both attributes too).
+  Condition(AttributeRef lhs, ComparisonOp op, AttributeRef rhs, Value offset)
+      : lhs_(lhs), op_(op), rhs_(rhs), rhs_offset_(std::move(offset)) {}
+
+  const AttributeRef& lhs() const { return lhs_; }
+  ComparisonOp op() const { return op_; }
+
+  bool is_constant_condition() const {
+    return std::holds_alternative<Value>(rhs_);
+  }
+  const Value& constant() const { return std::get<Value>(rhs_); }
+  const AttributeRef& rhs_ref() const { return std::get<AttributeRef>(rhs_); }
+
+  /// Offset added to the right-hand attribute (variable conditions only).
+  /// Zero (the default) means a plain comparison.
+  const Value& rhs_offset() const { return rhs_offset_; }
+  bool has_offset() const {
+    return !(rhs_offset_.is_int64() && rhs_offset_.int64() == 0);
+  }
+
+  /// True if the condition mentions `v` on either side.
+  bool References(VariableId v) const;
+
+  /// The other variable mentioned besides `v`; nullopt for constant
+  /// conditions (or if `v` is not mentioned). For self-referential
+  /// conditions (v.A φ v.A') returns `v` itself.
+  std::optional<VariableId> OtherVariable(VariableId v) const;
+
+  /// Evaluates a constant condition against `e` (bound to lhs variable).
+  bool EvaluateConstant(const Event& e) const;
+
+  /// Evaluates a variable condition with `lhs_event` bound to the lhs
+  /// variable and `rhs_event` to the rhs variable.
+  bool EvaluateVariable(const Event& lhs_event, const Event& rhs_event) const;
+
+  /// "c.L = 'C'" / "c.ID = p.ID" — attribute names resolved via `names`
+  /// callbacks are not available here, so indices are shown when the caller
+  /// does not provide names (see Pattern::ConditionToString for the pretty
+  /// form).
+  std::string ToString() const;
+
+ private:
+  AttributeRef lhs_;
+  ComparisonOp op_;
+  std::variant<AttributeRef, Value> rhs_;
+  Value rhs_offset_{int64_t{0}};
+};
+
+}  // namespace ses
+
+#endif  // SES_QUERY_CONDITION_H_

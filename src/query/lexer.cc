@@ -1,0 +1,259 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ses {
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLeftBrace:
+      return "'{'";
+    case TokenKind::kRightBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kQuestion:
+      return "'?'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      SES_ASSIGN_OR_RETURN(Token token, Next());
+      tokens.push_back(std::move(token));
+    }
+    tokens.push_back(Make(TokenKind::kEnd, ""));
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Token Make(TokenKind kind, std::string text) const {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = token_line_;
+    t.column = token_column_;
+    return t;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(strings::Format(
+        "%d:%d: %s", token_line_, token_column_, message.c_str()));
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '-' && PeekAt(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Result<Token> Next() {
+    token_line_ = line_;
+    token_column_ = column_;
+    char c = Advance();
+    switch (c) {
+      case '{':
+        return Make(TokenKind::kLeftBrace, "{");
+      case '}':
+        return Make(TokenKind::kRightBrace, "}");
+      case ',':
+        return Make(TokenKind::kComma, ",");
+      case '.':
+        return Make(TokenKind::kDot, ".");
+      case '+':
+        return Make(TokenKind::kPlus, "+");
+      case '?':
+        return Make(TokenKind::kQuestion, "?");
+      case ';':
+        return Make(TokenKind::kSemicolon, ";");
+      case '=':
+        if (!AtEnd() && Peek() == '=') Advance();
+        return Make(TokenKind::kEq, "=");
+      case '!':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kNe, "!=");
+        }
+        return Error("unexpected '!'");
+      case '<':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kLe, "<=");
+        }
+        if (!AtEnd() && Peek() == '>') {
+          Advance();
+          return Make(TokenKind::kNe, "<>");
+        }
+        return Make(TokenKind::kLt, "<");
+      case '>':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kGe, ">=");
+        }
+        return Make(TokenKind::kGt, ">");
+      case '-':
+        if (!AtEnd() && Peek() == '>') {
+          Advance();
+          return Make(TokenKind::kArrow, "->");
+        }
+        // Negative numeric literal when directly attached to digits,
+        // otherwise a standalone minus (offset syntax: "b.T - 100").
+        if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          return Number("-");
+        }
+        return Make(TokenKind::kMinus, "-");
+      case '\'':
+      case '"':
+        return StringLiteral(c);
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return Number(std::string(1, c));
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text(1, c);
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        text += Advance();
+      }
+      return Make(TokenKind::kIdentifier, std::move(text));
+    }
+    return Error(strings::Format("unexpected character '%c'", c));
+  }
+
+  Result<Token> Number(std::string prefix) {
+    std::string text = std::move(prefix);
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text += Advance();
+    }
+    if (!AtEnd() && Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(PeekAt(1)))) {
+      is_float = true;
+      text += Advance();  // '.'
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text += Advance();
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      size_t save = pos_;
+      std::string exp(1, Advance());
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) exp += Advance();
+      if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_float = true;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          exp += Advance();
+        }
+        text += exp;
+      } else {
+        pos_ = save;  // 'e' belongs to a following identifier (unit suffix)
+      }
+    }
+    return Make(is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                std::move(text));
+  }
+
+  Result<Token> StringLiteral(char quote) {
+    std::string text;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      char c = Advance();
+      if (c == quote) {
+        // Doubled quote escapes itself ('it''s').
+        if (!AtEnd() && Peek() == quote) {
+          text += Advance();
+          continue;
+        }
+        break;
+      }
+      text += c;
+    }
+    return Make(TokenKind::kString, std::move(text));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  return Lexer(input).Run();
+}
+
+}  // namespace ses

@@ -1,0 +1,40 @@
+#ifndef SES_QUERY_PARSER_H_
+#define SES_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/pattern.h"
+
+namespace ses {
+
+/// Parses the SES pattern DSL, a textual form of Definition 1 inspired by
+/// the PERMUTE operator of the SQL change proposal [Zemke et al. 2007]:
+///
+///   PATTERN {c, p+, d} -> {b}
+///   WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+///     AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+///   WITHIN 264h
+///
+/// Grammar (keywords case-insensitive; `--` comments to end of line):
+///
+///   query       := "PATTERN" set (("->" | ";") set)*
+///                  ["WHERE" comparison ("AND" comparison)*]
+///                  "WITHIN" duration
+///   set         := "{" variable ("," variable)* "}"
+///   variable    := IDENT ["+"]
+///   comparison  := operand op operand        -- at least one side a ref
+///   operand     := IDENT "." IDENT | literal
+///   op          := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+///   literal     := INT | FLOAT | STRING
+///   duration    := INT [unit]   -- unit ∈ {s, m, h, d}; default seconds
+///
+/// The attribute name "T" refers to the event timestamp. Constants compared
+/// with INT attributes must be integer literals; DOUBLE attributes accept
+/// both. A comparison with the constant on the left is mirrored so the
+/// stored condition always has a variable reference on the left.
+Result<Pattern> ParsePattern(std::string_view text, const Schema& schema);
+
+}  // namespace ses
+
+#endif  // SES_QUERY_PARSER_H_

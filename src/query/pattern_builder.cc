@@ -1,0 +1,150 @@
+#include "query/pattern_builder.h"
+
+#include "common/strings.h"
+
+namespace ses {
+
+PatternBuilder& PatternBuilder::BeginSet() {
+  if (in_set_) {
+    RecordError(Status::FailedPrecondition(
+        "BeginSet() called while a set is already open"));
+    return *this;
+  }
+  in_set_ = true;
+  sets_.emplace_back();
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::Var(std::string_view name) {
+  AddVariable(name, /*is_group=*/false, /*is_optional=*/false);
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::GroupVar(std::string_view name) {
+  AddVariable(name, /*is_group=*/true, /*is_optional=*/false);
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::OptionalVar(std::string_view name) {
+  AddVariable(name, /*is_group=*/false, /*is_optional=*/true);
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::EndSet() {
+  if (!in_set_) {
+    RecordError(Status::FailedPrecondition("EndSet() without BeginSet()"));
+    return *this;
+  }
+  in_set_ = false;
+  return *this;
+}
+
+void PatternBuilder::AddVariable(std::string_view name, bool is_group,
+                                 bool is_optional) {
+  if (!in_set_) {
+    RecordError(Status::FailedPrecondition(
+        strings::Format("variable '%s' declared outside BeginSet()/EndSet()",
+                        std::string(name).c_str())));
+    return;
+  }
+  EventVariable v;
+  v.name = std::string(name);
+  v.is_group = is_group;
+  v.is_optional = is_optional;
+  v.set_index = static_cast<int>(sets_.size()) - 1;
+  sets_.back().push_back(static_cast<VariableId>(variables_.size()));
+  variables_.push_back(std::move(v));
+}
+
+Result<AttributeRef> PatternBuilder::ResolveRef(std::string_view var,
+                                                std::string_view attr) {
+  AttributeRef ref;
+  ref.variable = -1;
+  for (int v = 0; v < static_cast<int>(variables_.size()); ++v) {
+    if (variables_[v].name == var) {
+      ref.variable = v;
+      break;
+    }
+  }
+  if (ref.variable < 0) {
+    return Status::InvalidArgument("condition references unknown variable '" +
+                                   std::string(var) +
+                                   "' (declare variables before conditions)");
+  }
+  if (attr == "T") {
+    ref.attribute = AttributeRef::kTimestampAttribute;
+    return ref;
+  }
+  SES_ASSIGN_OR_RETURN(ref.attribute, schema_.IndexOf(attr));
+  return ref;
+}
+
+PatternBuilder& PatternBuilder::WhereConst(std::string_view var,
+                                           std::string_view attr,
+                                           ComparisonOp op, Value constant) {
+  Result<AttributeRef> ref = ResolveRef(var, attr);
+  if (!ref.ok()) {
+    RecordError(ref.status());
+    return *this;
+  }
+  conditions_.emplace_back(*ref, op, std::move(constant));
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::WhereVar(std::string_view lhs_var,
+                                         std::string_view lhs_attr,
+                                         ComparisonOp op,
+                                         std::string_view rhs_var,
+                                         std::string_view rhs_attr) {
+  Result<AttributeRef> lhs = ResolveRef(lhs_var, lhs_attr);
+  if (!lhs.ok()) {
+    RecordError(lhs.status());
+    return *this;
+  }
+  Result<AttributeRef> rhs = ResolveRef(rhs_var, rhs_attr);
+  if (!rhs.ok()) {
+    RecordError(rhs.status());
+    return *this;
+  }
+  conditions_.emplace_back(*lhs, op, *rhs);
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::WhereVarOffset(std::string_view lhs_var,
+                                               std::string_view lhs_attr,
+                                               ComparisonOp op,
+                                               std::string_view rhs_var,
+                                               std::string_view rhs_attr,
+                                               Value offset) {
+  Result<AttributeRef> lhs = ResolveRef(lhs_var, lhs_attr);
+  if (!lhs.ok()) {
+    RecordError(lhs.status());
+    return *this;
+  }
+  Result<AttributeRef> rhs = ResolveRef(rhs_var, rhs_attr);
+  if (!rhs.ok()) {
+    RecordError(rhs.status());
+    return *this;
+  }
+  conditions_.emplace_back(*lhs, op, *rhs, std::move(offset));
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::Within(Duration window) {
+  window_ = window;
+  return *this;
+}
+
+void PatternBuilder::RecordError(const Status& status) {
+  if (first_error_.ok()) first_error_ = status;
+}
+
+Result<Pattern> PatternBuilder::Build() const {
+  if (!first_error_.ok()) return first_error_;
+  if (in_set_) {
+    return Status::FailedPrecondition("Build() called with an open set");
+  }
+  return Pattern::Create(variables_, sets_, conditions_, window_, schema_);
+}
+
+}  // namespace ses

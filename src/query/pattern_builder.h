@@ -1,0 +1,84 @@
+#ifndef SES_QUERY_PATTERN_BUILDER_H_
+#define SES_QUERY_PATTERN_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "query/pattern.h"
+
+namespace ses {
+
+/// Fluent programmatic construction of SES patterns. Errors (unknown
+/// attributes, unknown variables, duplicate names, ...) are accumulated and
+/// reported by Build(), so call chains stay uncluttered:
+///
+///   PatternBuilder b(schema);
+///   b.BeginSet().Var("c").GroupVar("p").Var("d").EndSet()
+///    .BeginSet().Var("b").EndSet()
+///    .WhereConst("c", "L", ComparisonOp::kEq, Value("C"))
+///    .WhereVar("c", "ID", ComparisonOp::kEq, "p", "ID")
+///    .Within(duration::Hours(264));
+///   Result<Pattern> pattern = b.Build();
+class PatternBuilder {
+ public:
+  explicit PatternBuilder(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Opens the next event set pattern Vi.
+  PatternBuilder& BeginSet();
+
+  /// Declares a singleton variable in the currently open set.
+  PatternBuilder& Var(std::string_view name);
+
+  /// Declares a group (Kleene plus) variable in the currently open set.
+  PatternBuilder& GroupVar(std::string_view name);
+
+  /// Declares an optional (zero-or-one) variable in the currently open
+  /// set — an extension beyond the paper (see DESIGN.md).
+  PatternBuilder& OptionalVar(std::string_view name);
+
+  /// Closes the currently open set.
+  PatternBuilder& EndSet();
+
+  /// Adds a constant condition `var.attr op constant`. The attribute name
+  /// "T" refers to the timestamp.
+  PatternBuilder& WhereConst(std::string_view var, std::string_view attr,
+                             ComparisonOp op, Value constant);
+
+  /// Adds a variable condition `lhs_var.lhs_attr op rhs_var.rhs_attr`.
+  PatternBuilder& WhereVar(std::string_view lhs_var, std::string_view lhs_attr,
+                           ComparisonOp op, std::string_view rhs_var,
+                           std::string_view rhs_attr);
+
+  /// Adds an offset comparison `lhs.attr op rhs.attr + offset` (numeric
+  /// attributes only), e.g. b.T <= d.T + 7200.
+  PatternBuilder& WhereVarOffset(std::string_view lhs_var,
+                                 std::string_view lhs_attr, ComparisonOp op,
+                                 std::string_view rhs_var,
+                                 std::string_view rhs_attr, Value offset);
+
+  /// Sets the maximal duration τ between the first and last matched event.
+  PatternBuilder& Within(Duration window);
+
+  /// Validates and produces the pattern. Returns the first accumulated
+  /// error if any call was invalid.
+  Result<Pattern> Build() const;
+
+ private:
+  void AddVariable(std::string_view name, bool is_group, bool is_optional);
+  void RecordError(const Status& status);
+  Result<AttributeRef> ResolveRef(std::string_view var, std::string_view attr);
+
+  Schema schema_;
+  std::vector<EventVariable> variables_;
+  std::vector<Pattern::EventSet> sets_;
+  std::vector<Condition> conditions_;
+  Duration window_ = 0;
+  bool in_set_ = false;
+  Status first_error_;
+};
+
+}  // namespace ses
+
+#endif  // SES_QUERY_PATTERN_BUILDER_H_

@@ -1,0 +1,80 @@
+#include "query/unparse.h"
+
+#include "common/strings.h"
+
+namespace ses {
+
+namespace {
+
+std::string RefToString(const Pattern& pattern, const AttributeRef& ref) {
+  std::string attr = ref.is_timestamp()
+                         ? "T"
+                         : pattern.schema().attribute(ref.attribute).name;
+  // Note: the bare variable name, without the group "+" suffix (the suffix
+  // belongs to the declaration, not to references).
+  return pattern.variable(ref.variable).name + "." + attr;
+}
+
+std::string LiteralToString(const Value& value) {
+  if (!value.is_string()) return value.ToString();
+  // Escape embedded quotes by doubling them ('it''s').
+  std::string out = "'";
+  for (char c : value.string()) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  out += "'";
+  return out;
+}
+
+std::string DurationToDsl(Duration d) {
+  // FormatDuration emits <n><unit> with unit in {d, h, m, s} — exactly the
+  // DSL's duration grammar.
+  return FormatDuration(d);
+}
+
+}  // namespace
+
+std::string UnparsePattern(const Pattern& pattern) {
+  std::string out = "PATTERN ";
+  for (int i = 0; i < pattern.num_sets(); ++i) {
+    if (i > 0) out += " -> ";
+    out += "{";
+    const Pattern::EventSet& set = pattern.event_set(i);
+    for (size_t j = 0; j < set.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += pattern.variable(set[j]).ToString();
+    }
+    out += "}";
+  }
+  if (!pattern.conditions().empty()) {
+    out += "\nWHERE ";
+    for (size_t i = 0; i < pattern.conditions().size(); ++i) {
+      const Condition& c = pattern.conditions()[i];
+      if (i > 0) out += "\n  AND ";
+      out += RefToString(pattern, c.lhs());
+      out += " ";
+      out += ComparisonOpToString(c.op());
+      out += " ";
+      if (c.is_constant_condition()) {
+        out += LiteralToString(c.constant());
+      } else {
+        out += RefToString(pattern, c.rhs_ref());
+        if (c.has_offset()) {
+          if (c.rhs_offset().AsNumber() < 0) {
+            Value negated = c.rhs_offset().is_int64()
+                                ? Value(-c.rhs_offset().int64())
+                                : Value(-c.rhs_offset().as_double());
+            out += " - " + negated.ToString();
+          } else {
+            out += " + " + c.rhs_offset().ToString();
+          }
+        }
+      }
+    }
+  }
+  out += "\nWITHIN " + DurationToDsl(pattern.window());
+  return out;
+}
+
+}  // namespace ses

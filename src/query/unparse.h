@@ -1,0 +1,19 @@
+#ifndef SES_QUERY_UNPARSE_H_
+#define SES_QUERY_UNPARSE_H_
+
+#include <string>
+
+#include "query/pattern.h"
+
+namespace ses {
+
+/// Renders a pattern back into the DSL accepted by ParsePattern
+/// (query/parser.h). The round trip is lossless: parsing the output against
+/// the pattern's schema yields a structurally identical pattern (same
+/// variables, sets, conditions, window). Used to persist patterns, to log
+/// them, and by the round-trip property tests.
+std::string UnparsePattern(const Pattern& pattern);
+
+}  // namespace ses
+
+#endif  // SES_QUERY_UNPARSE_H_

@@ -1,0 +1,3 @@
+#include "query/variable.h"
+
+// EventVariable is header-only; this file exists to anchor the target.

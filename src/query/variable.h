@@ -1,0 +1,46 @@
+#ifndef SES_QUERY_VARIABLE_H_
+#define SES_QUERY_VARIABLE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ses {
+
+/// Index of an event variable within a Pattern (dense, 0-based, assigned in
+/// declaration order across all event set patterns). Patterns are limited to
+/// 63 variables so that sets of variables fit in a 64-bit mask.
+using VariableId = int;
+
+constexpr int kMaxVariables = 63;
+
+/// An event variable of a SES pattern (§3.2). A singleton variable binds
+/// exactly one event; a group variable (Kleene plus, written v+) binds one
+/// or more events; an optional variable (written v?, an extension beyond
+/// the paper in the direction of its future work on broader pattern
+/// classes) binds zero or one event.
+struct EventVariable {
+  std::string name;
+  bool is_group = false;
+  bool is_optional = false;
+  /// 0-based index of the event set pattern this variable belongs to.
+  int set_index = 0;
+
+  /// True for variables that must be bound in every match (singletons and
+  /// group variables).
+  bool is_required() const { return !is_optional; }
+
+  /// "p+" for group variables, "o?" for optional ones, "p" otherwise.
+  std::string ToString() const {
+    if (is_group) return name + "+";
+    if (is_optional) return name + "?";
+    return name;
+  }
+};
+
+/// A set of variables as a bitmask (bit i = variable id i). Used for
+/// automaton states and subset computations.
+using VariableMask = uint64_t;
+
+}  // namespace ses
+
+#endif  // SES_QUERY_VARIABLE_H_

@@ -1,0 +1,107 @@
+#include "storage/event_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "storage/table_reader.h"
+#include "storage/table_writer.h"
+
+namespace ses::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kTableExtension = ".sestbl";
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Result<EventStore> EventStore::Open(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create store directory '" + directory +
+                           "': " + ec.message());
+  }
+  return EventStore(directory);
+}
+
+Result<std::string> EventStore::PathFor(const std::string& name) const {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument(
+        "relation names may contain only [A-Za-z0-9_-]: '" + name + "'");
+  }
+  return (fs::path(directory_) / (name + kTableExtension)).string();
+}
+
+Status EventStore::Put(const std::string& name,
+                       const EventRelation& relation) {
+  SES_ASSIGN_OR_RETURN(std::string path, PathFor(name));
+  // Write to a temp file first so a crash cannot leave a torn table.
+  std::string tmp = path + ".tmp";
+  SES_RETURN_IF_ERROR(WriteTable(relation, tmp));
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IoError("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Result<EventRelation> EventStore::Get(const std::string& name) const {
+  SES_ASSIGN_OR_RETURN(std::string path, PathFor(name));
+  if (!fs::exists(path)) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return ReadTable(path);
+}
+
+Result<EventRelation> EventStore::Scan(const std::string& name,
+                                       Timestamp from_ts,
+                                       Timestamp to_ts) const {
+  SES_ASSIGN_OR_RETURN(std::string path, PathFor(name));
+  if (!fs::exists(path)) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  SES_ASSIGN_OR_RETURN(TableReader reader, TableReader::Open(path));
+  return reader.Scan(from_ts, to_ts);
+}
+
+bool EventStore::Contains(const std::string& name) const {
+  Result<std::string> path = PathFor(name);
+  return path.ok() && fs::exists(*path);
+}
+
+Result<std::vector<std::string>> EventStore::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string filename = entry.path().filename().string();
+    std::string ext = entry.path().extension().string();
+    if (ext != kTableExtension) continue;
+    names.push_back(entry.path().stem().string());
+  }
+  if (ec) return Status::IoError("cannot list store: " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status EventStore::Delete(const std::string& name) {
+  SES_ASSIGN_OR_RETURN(std::string path, PathFor(name));
+  std::error_code ec;
+  if (!fs::remove(path, ec)) {
+    if (ec) return Status::IoError("delete failed: " + ec.message());
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace ses::storage

@@ -1,0 +1,53 @@
+#ifndef SES_STORAGE_EVENT_STORE_H_
+#define SES_STORAGE_EVENT_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/relation.h"
+
+namespace ses::storage {
+
+/// A directory of named event tables — the embedded stand-in for the
+/// Oracle database the paper used to hold the input relation (§5.1). Each
+/// named relation is one "sestbl" file (see table_format.h) inside the
+/// store directory.
+class EventStore {
+ public:
+  /// Opens (creating the directory if needed) the store at `directory`.
+  static Result<EventStore> Open(const std::string& directory);
+
+  /// Writes (or replaces) the relation stored under `name`.
+  Status Put(const std::string& name, const EventRelation& relation);
+
+  /// Reads the relation stored under `name`.
+  Result<EventRelation> Get(const std::string& name) const;
+
+  /// Reads only events of `name` with from_ts <= T <= to_ts.
+  Result<EventRelation> Scan(const std::string& name, Timestamp from_ts,
+                             Timestamp to_ts) const;
+
+  /// True if a relation named `name` exists.
+  bool Contains(const std::string& name) const;
+
+  /// Names of all stored relations, sorted.
+  Result<std::vector<std::string>> List() const;
+
+  /// Removes the relation `name`. NotFound if it does not exist.
+  Status Delete(const std::string& name);
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  explicit EventStore(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  Result<std::string> PathFor(const std::string& name) const;
+
+  std::string directory_;
+};
+
+}  // namespace ses::storage
+
+#endif  // SES_STORAGE_EVENT_STORE_H_

@@ -1,0 +1,75 @@
+#include "storage/page.h"
+
+#include "common/crc32c.h"
+
+namespace ses::storage {
+
+namespace {
+constexpr size_t kPageHeaderSize = 8;  // record_count + payload_len
+constexpr size_t kPageTrailerSize = 4;
+constexpr size_t kPayloadCapacity =
+    kPageSize - kPageHeaderSize - kPageTrailerSize;
+}  // namespace
+
+PageBuilder::PageBuilder() { payload_.reserve(kPayloadCapacity); }
+
+bool PageBuilder::AddRecord(std::string_view record) {
+  std::string prefixed;
+  PutVarint64(&prefixed, record.size());
+  prefixed.append(record.data(), record.size());
+  if (payload_.size() + prefixed.size() > kPayloadCapacity) return false;
+  payload_ += prefixed;
+  ++record_count_;
+  return true;
+}
+
+std::string PageBuilder::Finish() {
+  std::string page;
+  page.reserve(kPageSize);
+  PutFixed32(&page, static_cast<uint32_t>(record_count_));
+  PutFixed32(&page, static_cast<uint32_t>(payload_.size()));
+  page += payload_;
+  page.resize(kPageSize - kPageTrailerSize, '\0');
+  uint32_t crc = crc32c::Value(page.data(), page.size());
+  PutFixed32(&page, crc32c::Mask(crc));
+  payload_.clear();
+  record_count_ = 0;
+  return page;
+}
+
+Result<std::vector<std::string_view>> PageParser::Parse(
+    std::string_view page) {
+  if (page.size() != kPageSize) {
+    return Status::Corruption("page has wrong size");
+  }
+  uint32_t stored = crc32c::Unmask(
+      GetFixed32(page.data() + kPageSize - kPageTrailerSize));
+  uint32_t actual = crc32c::Value(page.data(), kPageSize - kPageTrailerSize);
+  if (stored != actual) {
+    return Status::Corruption("page checksum mismatch");
+  }
+  uint32_t record_count = GetFixed32(page.data());
+  uint32_t payload_len = GetFixed32(page.data() + 4);
+  if (payload_len > kPayloadCapacity) {
+    return Status::Corruption("page payload length out of bounds");
+  }
+  const char* cur = page.data() + kPageHeaderSize;
+  const char* limit = cur + payload_len;
+  std::vector<std::string_view> records;
+  records.reserve(record_count);
+  while (cur < limit) {
+    uint64_t len = 0;
+    cur = GetVarint64(cur, limit, &len);
+    if (cur == nullptr || static_cast<uint64_t>(limit - cur) < len) {
+      return Status::Corruption("truncated record in page");
+    }
+    records.emplace_back(cur, len);
+    cur += len;
+  }
+  if (records.size() != record_count) {
+    return Status::Corruption("page record count mismatch");
+  }
+  return records;
+}
+
+}  // namespace ses::storage

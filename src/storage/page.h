@@ -1,0 +1,53 @@
+#ifndef SES_STORAGE_PAGE_H_
+#define SES_STORAGE_PAGE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table_format.h"
+
+namespace ses::storage {
+
+/// Builds one fixed-size data page.
+///
+/// Page layout (kPageSize bytes total):
+///   record_count (fixed32)
+///   payload_len  (fixed32)
+///   payload      (length-prefixed records, concatenated)
+///   zero padding
+///   masked CRC-32C over bytes [0, kPageSize-4) (last 4 bytes)
+class PageBuilder {
+ public:
+  PageBuilder();
+
+  /// Appends one encoded record. Returns false (leaving the page
+  /// unchanged) when the record does not fit; the caller then finishes
+  /// this page and starts a new one. A record too large for an empty page
+  /// is a caller bug (events are tiny); AddRecord reports it via false as
+  /// well, which surfaces as an IoError in TableWriter.
+  bool AddRecord(std::string_view record);
+
+  int record_count() const { return record_count_; }
+  bool empty() const { return record_count_ == 0; }
+
+  /// Produces the page bytes (exactly kPageSize) and resets the builder.
+  std::string Finish();
+
+ private:
+  std::string payload_;
+  int record_count_ = 0;
+};
+
+/// Parses and verifies one page.
+class PageParser {
+ public:
+  /// Verifies size and checksum, and splits the payload into records.
+  /// Returns Corruption on any mismatch.
+  static Result<std::vector<std::string_view>> Parse(std::string_view page);
+};
+
+}  // namespace ses::storage
+
+#endif  // SES_STORAGE_PAGE_H_

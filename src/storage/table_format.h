@@ -1,0 +1,87 @@
+#ifndef SES_STORAGE_TABLE_FORMAT_H_
+#define SES_STORAGE_TABLE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "event/schema.h"
+
+namespace ses::storage {
+
+/// On-disk table format ("sestbl"). The paper stored the input events in an
+/// Oracle database accessed over OCI; this embedded format plays that role
+/// in the reproduction: a durable, checksummed, time-ordered event table
+/// with a sparse timestamp index for range scans.
+///
+/// File layout:
+///
+///   header   := magic(fixed32) version(fixed32) schema
+///               header_crc(fixed32, masked over schema bytes)
+///   schema   := num_attrs(varint) { name_len(varint) name type(varint) }*
+///   pages    := page*                       -- each exactly kPageSize bytes
+///   index    := num_pages(varint) { first_ts(zigzag varint)
+///                                   offset(varint) }*
+///   footer   := index_offset(fixed64) index_crc(fixed32, masked)
+///               num_events(fixed64) min_ts(fixed64) max_ts(fixed64)
+///               footer_crc(fixed32, masked over the preceding 36 bytes)
+///               footer_magic(fixed32)       -- fixed kFooterSize bytes
+///
+/// Every region is covered by a CRC-32C: header (schema), each page, the
+/// index block, and the footer fields, so any single corrupted byte is
+/// reported as Corruption rather than silently changing query results.
+///
+/// Page layout (see page.h): record count, payload length, length-prefixed
+/// records, and a masked CRC-32C trailer covering the whole page.
+///
+/// Record layout: id(zigzag varint) timestamp(zigzag varint) values per the
+/// schema (INT: zigzag varint, DOUBLE: fixed64 bit pattern, STRING: varint
+/// length + bytes).
+
+constexpr uint32_t kTableMagic = 0x53455442;   // "SETB"
+constexpr uint32_t kFooterMagic = 0x53455446;  // "SETF"
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kPageSize = 4096;
+constexpr size_t kFooterSize = 8 + 4 + 8 + 8 + 8 + 4 + 4;
+
+// --- Primitive encoding (little endian) ---
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+uint32_t GetFixed32(const char* p);
+uint64_t GetFixed64(const char* p);
+
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Decodes a varint at `p`; returns the position after it, or nullptr when
+/// the input is truncated or malformed.
+const char* GetVarint64(const char* p, const char* limit, uint64_t* v);
+
+constexpr uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// --- Schema encoding ---
+
+void EncodeSchema(const Schema& schema, std::string* dst);
+
+/// Decodes a schema from [p, limit); advances *p past it.
+Result<Schema> DecodeSchema(const char** p, const char* limit);
+
+// --- Event (record) encoding ---
+
+/// Appends the record encoding of `event` (which must match `schema`).
+void EncodeEvent(const Event& event, const Schema& schema, std::string* dst);
+
+/// Decodes one record from [p, limit); advances *p past it.
+Result<Event> DecodeEvent(const char** p, const char* limit,
+                          const Schema& schema);
+
+}  // namespace ses::storage
+
+#endif  // SES_STORAGE_TABLE_FORMAT_H_

@@ -1,0 +1,59 @@
+#ifndef SES_STORAGE_TABLE_READER_H_
+#define SES_STORAGE_TABLE_READER_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/relation.h"
+#include "storage/table_format.h"
+
+namespace ses::storage {
+
+/// Reads an event table written by TableWriter. Pages are fetched with
+/// positioned reads and verified against their checksums; the sparse
+/// timestamp index narrows range scans to the relevant pages.
+class TableReader {
+ public:
+  /// Opens `path`, validates magic/version/footer, and loads schema and
+  /// index. Returns Corruption for damaged files.
+  static Result<TableReader> Open(const std::string& path);
+
+  TableReader(TableReader&&) = default;
+  TableReader& operator=(TableReader&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_events() const { return num_events_; }
+  Timestamp min_timestamp() const { return min_ts_; }
+  Timestamp max_timestamp() const { return max_ts_; }
+  int num_pages() const { return static_cast<int>(index_.size()); }
+
+  /// All events, in time order.
+  Result<EventRelation> ReadAll() const;
+
+  /// Events with from_ts <= T <= to_ts, in time order. Uses the sparse
+  /// index to skip pages that cannot contain the range.
+  Result<EventRelation> Scan(Timestamp from_ts, Timestamp to_ts) const;
+
+ private:
+  TableReader() = default;
+
+  Result<std::string> ReadPage(size_t page_number) const;
+
+  std::string path_;
+  mutable std::unique_ptr<std::ifstream> file_;
+  Schema schema_;
+  std::vector<std::pair<Timestamp, uint64_t>> index_;  // (first_ts, offset)
+  int64_t num_events_ = 0;
+  Timestamp min_ts_ = 0;
+  Timestamp max_ts_ = 0;
+};
+
+/// Convenience: reads a whole table from `path`.
+Result<EventRelation> ReadTable(const std::string& path);
+
+}  // namespace ses::storage
+
+#endif  // SES_STORAGE_TABLE_READER_H_

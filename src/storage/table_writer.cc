@@ -1,0 +1,120 @@
+#include "storage/table_writer.h"
+
+#include "common/crc32c.h"
+#include "common/strings.h"
+
+namespace ses::storage {
+
+TableWriter::TableWriter(std::unique_ptr<std::ofstream> file, Schema schema)
+    : file_(std::move(file)), schema_(std::move(schema)) {}
+
+Result<TableWriter> TableWriter::Open(const std::string& path, Schema schema) {
+  auto file = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::trunc);
+  if (!*file) {
+    return Status::IoError("cannot open table for writing: " + path);
+  }
+  std::string header;
+  PutFixed32(&header, kTableMagic);
+  PutFixed32(&header, kFormatVersion);
+  std::string schema_bytes;
+  EncodeSchema(schema, &schema_bytes);
+  header += schema_bytes;
+  PutFixed32(&header, crc32c::Mask(crc32c::Value(schema_bytes.data(),
+                                                 schema_bytes.size())));
+  file->write(header.data(), static_cast<std::streamsize>(header.size()));
+  if (!*file) return Status::IoError("header write failed: " + path);
+  TableWriter writer(std::move(file), std::move(schema));
+  writer.next_page_offset_ = header.size();
+  return writer;
+}
+
+Status TableWriter::Append(const Event& event) {
+  if (finished_) return Status::FailedPrecondition("writer already finished");
+  if (event.num_values() != schema_.num_attributes()) {
+    return Status::InvalidArgument("event arity does not match table schema");
+  }
+  for (int i = 0; i < event.num_values(); ++i) {
+    if (event.value(i).type() != schema_.attribute(i).type) {
+      return Status::InvalidArgument(strings::Format(
+          "attribute '%s' type mismatch", schema_.attribute(i).name.c_str()));
+    }
+  }
+  if (num_events_ > 0 && event.timestamp() < last_ts_) {
+    return Status::FailedPrecondition(
+        "events must be appended in non-decreasing timestamp order");
+  }
+
+  std::string record;
+  EncodeEvent(event, schema_, &record);
+  if (!page_.AddRecord(record)) {
+    SES_RETURN_IF_ERROR(FlushPage());
+    if (!page_.AddRecord(record)) {
+      return Status::IoError("event record larger than a page");
+    }
+  }
+  if (!page_has_first_ts_) {
+    page_first_ts_ = event.timestamp();
+    page_has_first_ts_ = true;
+  }
+  if (num_events_ == 0) min_ts_ = event.timestamp();
+  max_ts_ = event.timestamp();
+  last_ts_ = event.timestamp();
+  ++num_events_;
+  return Status::OK();
+}
+
+Status TableWriter::FlushPage() {
+  if (page_.empty()) return Status::OK();
+  index_.emplace_back(page_first_ts_, next_page_offset_);
+  std::string bytes = page_.Finish();
+  file_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!*file_) return Status::IoError("page write failed");
+  next_page_offset_ += bytes.size();
+  page_has_first_ts_ = false;
+  return Status::OK();
+}
+
+Status TableWriter::Finish() {
+  if (finished_) return Status::FailedPrecondition("writer already finished");
+  SES_RETURN_IF_ERROR(FlushPage());
+  finished_ = true;
+
+  std::string index_block;
+  PutVarint64(&index_block, index_.size());
+  for (const auto& [first_ts, offset] : index_) {
+    PutVarint64(&index_block, ZigZagEncode(first_ts));
+    PutVarint64(&index_block, offset);
+  }
+  uint64_t index_offset = next_page_offset_;
+  file_->write(index_block.data(),
+               static_cast<std::streamsize>(index_block.size()));
+
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed32(&footer,
+             crc32c::Mask(crc32c::Value(index_block.data(),
+                                        index_block.size())));
+  PutFixed64(&footer, static_cast<uint64_t>(num_events_));
+  PutFixed64(&footer, static_cast<uint64_t>(min_ts_));
+  PutFixed64(&footer, static_cast<uint64_t>(max_ts_));
+  PutFixed32(&footer,
+             crc32c::Mask(crc32c::Value(footer.data(), footer.size())));
+  PutFixed32(&footer, kFooterMagic);
+  file_->write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  file_->flush();
+  if (!*file_) return Status::IoError("footer write failed");
+  file_->close();
+  return Status::OK();
+}
+
+Status WriteTable(const EventRelation& relation, const std::string& path) {
+  SES_ASSIGN_OR_RETURN(TableWriter writer,
+                       TableWriter::Open(path, relation.schema()));
+  for (const Event& event : relation) {
+    SES_RETURN_IF_ERROR(writer.Append(event));
+  }
+  return writer.Finish();
+}
+
+}  // namespace ses::storage

@@ -1,0 +1,62 @@
+#ifndef SES_STORAGE_TABLE_WRITER_H_
+#define SES_STORAGE_TABLE_WRITER_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/relation.h"
+#include "storage/page.h"
+#include "storage/table_format.h"
+
+namespace ses::storage {
+
+/// Writes an event table file (see table_format.h for the layout). Events
+/// must be appended in non-decreasing timestamp order. Typical use:
+///
+///   SES_ASSIGN_OR_RETURN(TableWriter w, TableWriter::Open(path, schema));
+///   for (const Event& e : relation) SES_RETURN_IF_ERROR(w.Append(e));
+///   SES_RETURN_IF_ERROR(w.Finish());
+class TableWriter {
+ public:
+  static Result<TableWriter> Open(const std::string& path, Schema schema);
+
+  TableWriter(TableWriter&&) = default;
+  TableWriter& operator=(TableWriter&&) = default;
+
+  /// Appends one event (validated against the schema and time order).
+  Status Append(const Event& event);
+
+  /// Flushes the last page, writes index and footer, and closes the file.
+  /// The file is not readable before Finish() succeeds.
+  Status Finish();
+
+  int64_t num_events() const { return num_events_; }
+
+ private:
+  TableWriter(std::unique_ptr<std::ofstream> file, Schema schema);
+
+  Status FlushPage();
+
+  std::unique_ptr<std::ofstream> file_;
+  Schema schema_;
+  PageBuilder page_;
+  uint64_t next_page_offset_ = 0;
+  bool page_has_first_ts_ = false;
+  Timestamp page_first_ts_ = 0;
+  std::vector<std::pair<Timestamp, uint64_t>> index_;  // (first_ts, offset)
+  int64_t num_events_ = 0;
+  Timestamp last_ts_ = 0;
+  Timestamp min_ts_ = 0;
+  Timestamp max_ts_ = 0;
+  bool finished_ = false;
+};
+
+/// Convenience: writes a whole relation to `path`.
+Status WriteTable(const EventRelation& relation, const std::string& path);
+
+}  // namespace ses::storage
+
+#endif  // SES_STORAGE_TABLE_WRITER_H_

@@ -1,0 +1,115 @@
+#include "workload/chemotherapy.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/paper_fixture.h"
+
+namespace ses::workload {
+
+namespace {
+
+struct PendingEvent {
+  Timestamp timestamp;
+  int64_t patient;
+  std::string type;
+  double value;
+  std::string unit;
+};
+
+}  // namespace
+
+EventRelation GenerateChemotherapy(const ChemotherapyOptions& options) {
+  Random random(options.seed);
+  std::vector<PendingEvent> pending;
+
+  for (int patient = 1; patient <= options.num_patients; ++patient) {
+    Timestamp patient_start =
+        options.stagger > 0
+            ? static_cast<Timestamp>(
+                  random.Uniform(static_cast<uint64_t>(options.stagger)))
+            : 0;
+    for (int cycle = 0; cycle < options.cycles_per_patient; ++cycle) {
+      Timestamp cycle_start =
+          patient_start + static_cast<Timestamp>(cycle) * options.cycle_gap;
+
+      // Administrations spread over the first ~4 days of the cycle in
+      // random hour slots — the order of C, D, P, V, R, L varies from
+      // cycle to cycle, which is exactly the permutation variability SES
+      // patterns exist for.
+      auto administration_time = [&]() {
+        return cycle_start + duration::Hours(
+                                 static_cast<int64_t>(random.Uniform(96)));
+      };
+      pending.push_back({administration_time(), patient, "C",
+                         1000 + 25.0 * static_cast<double>(random.Uniform(33)),
+                         "mg"});
+      pending.push_back({administration_time(), patient, "D",
+                         60 + static_cast<double>(random.Uniform(41)),
+                         "mgl"});
+      for (int i = 0; i < options.prednisone_per_cycle; ++i) {
+        pending.push_back({administration_time(), patient, "P",
+                           80 + 0.5 * static_cast<double>(random.Uniform(81)),
+                           "mg"});
+      }
+      pending.push_back({administration_time(), patient, "V",
+                         1 + 0.1 * static_cast<double>(random.Uniform(30)),
+                         "mg"});
+      pending.push_back({administration_time(), patient, "R",
+                         300 + static_cast<double>(random.Uniform(100)),
+                         "mg"});
+      pending.push_back({administration_time(), patient, "L",
+                         10 + static_cast<double>(random.Uniform(20)),
+                         "mg"});
+
+      // Lab measurements pervade the whole cycle.
+      for (int i = 0; i < options.lab_measurements_per_cycle; ++i) {
+        Timestamp t =
+            cycle_start +
+            static_cast<Timestamp>(random.Uniform(
+                static_cast<uint64_t>(std::max<Duration>(options.cycle_gap,
+                                                         1))));
+        pending.push_back({t, patient, "X",
+                           static_cast<double>(random.Uniform(1000)) / 10.0,
+                           "misc"});
+      }
+
+      // Blood counts on the days after the administrations.
+      for (int i = 0; i < options.blood_counts_per_cycle; ++i) {
+        Timestamp t = cycle_start + duration::Days(5 + 2 * i) +
+                      duration::Hours(
+                          static_cast<int64_t>(random.Uniform(12)));
+        pending.push_back({t, patient, "B",
+                           static_cast<double>(random.Uniform(5)),
+                           "WHO-Tox"});
+      }
+    }
+  }
+
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingEvent& a, const PendingEvent& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  // Enforce the strict total order required by the matching semantics and
+  // keep consecutive events at least a minute apart (negligible distortion
+  // against hour-scale spacing, and it leaves room for the tick-adjacent
+  // copies ReplicateDataset inserts to build D2..D5).
+  constexpr Duration kMinSpacing = 60;
+  for (size_t i = 1; i < pending.size(); ++i) {
+    if (pending[i].timestamp < pending[i - 1].timestamp + kMinSpacing) {
+      pending[i].timestamp = pending[i - 1].timestamp + kMinSpacing;
+    }
+  }
+
+  EventRelation relation(ChemotherapySchema());
+  for (const PendingEvent& e : pending) {
+    relation.AppendUnchecked(e.timestamp,
+                             {Value(e.patient), Value(e.type), Value(e.value),
+                              Value(e.unit)});
+  }
+  return relation;
+}
+
+}  // namespace ses::workload

@@ -1,0 +1,78 @@
+#include "workload/paper_fixture.h"
+
+#include "common/logging.h"
+#include "query/parser.h"
+
+namespace ses::workload {
+
+Schema ChemotherapySchema() {
+  Result<Schema> schema = Schema::Create({{"ID", ValueType::kInt64},
+                                          {"L", ValueType::kString},
+                                          {"V", ValueType::kDouble},
+                                          {"U", ValueType::kString}});
+  SES_CHECK(schema.ok());
+  return *schema;
+}
+
+namespace {
+
+/// Timestamp for "<hour> am <day> Jul" with origin July 1, 00:00.
+constexpr Timestamp JulyTime(int day, int hour) {
+  return (static_cast<Timestamp>(day - 1) * 24 + hour) * 3600;
+}
+
+}  // namespace
+
+EventRelation PaperEventRelation() {
+  EventRelation relation(ChemotherapySchema());
+  struct Row {
+    int64_t id;
+    const char* type;
+    double value;
+    const char* unit;
+    int day;
+    int hour;
+  };
+  // Figure 1, events e1..e14.
+  const Row kRows[] = {
+      {1, "C", 1672.5, "mg", 3, 9},     // e1
+      {1, "B", 0, "WHO-Tox", 3, 10},    // e2
+      {1, "D", 84, "mgl", 3, 11},       // e3
+      {1, "P", 111.5, "mg", 4, 9},      // e4
+      {2, "B", 0, "WHO-Tox", 5, 9},     // e5
+      {2, "P", 88, "mg", 5, 10},        // e6
+      {2, "D", 84, "mgl", 5, 11},       // e7
+      {2, "C", 1320, "mg", 6, 9},       // e8
+      {1, "P", 111.5, "mg", 6, 10},     // e9
+      {2, "P", 88, "mg", 6, 11},        // e10
+      {2, "P", 88, "mg", 7, 9},         // e11
+      {1, "B", 1, "WHO-Tox", 12, 9},    // e12
+      {2, "B", 1, "WHO-Tox", 13, 9},    // e13
+      {2, "B", 0, "WHO-Tox", 14, 9},    // e14
+  };
+  for (const Row& row : kRows) {
+    relation.AppendUnchecked(
+        JulyTime(row.day, row.hour),
+        {Value(row.id), Value(std::string(row.type)), Value(row.value),
+         Value(std::string(row.unit))});
+  }
+  SES_CHECK(relation.ValidateTotalOrder().ok());
+  return relation;
+}
+
+Result<Pattern> PaperQ1Pattern() {
+  return ParsePattern(R"(
+    PATTERN {c, p+, d} -> {b}
+    WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+      AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+    WITHIN 264h
+  )",
+                      ChemotherapySchema());
+}
+
+Result<Pattern> PaperFigure3Pattern() {
+  return ParsePattern("PATTERN {b} WHERE b.L = 'B' WITHIN 264h",
+                      ChemotherapySchema());
+}
+
+}  // namespace ses::workload

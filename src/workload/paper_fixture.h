@@ -1,0 +1,30 @@
+#ifndef SES_WORKLOAD_PAPER_FIXTURE_H_
+#define SES_WORKLOAD_PAPER_FIXTURE_H_
+
+#include "common/result.h"
+#include "event/relation.h"
+#include "query/pattern.h"
+
+namespace ses::workload {
+
+/// The chemotherapy schema of the paper's running example (Figure 1):
+/// patient ID, event type L, value V with measurement unit U, plus the
+/// implicit timestamp T.
+Schema ChemotherapySchema();
+
+/// The 14 events of Figure 1 (e1..e14). Timestamps are seconds with the
+/// origin at July 1, 00:00 — e.g. e1 ("9am 3 Jul") is (2*24+9)*3600.
+EventRelation PaperEventRelation();
+
+/// Query Q1 of the running example:
+/// P = (⟨{c, p+, d}, {b}⟩, Θ, 264h) with
+/// Θ = {c.L='C', d.L='D', p+.L='P', b.L='B',
+///      c.ID=p+.ID, c.ID=d.ID, d.ID=b.ID}.
+Result<Pattern> PaperQ1Pattern();
+
+/// The single-set pattern of Figure 3, P = (⟨{b}⟩, {b.L='B'}, 264h).
+Result<Pattern> PaperFigure3Pattern();
+
+}  // namespace ses::workload
+
+#endif  // SES_WORKLOAD_PAPER_FIXTURE_H_

@@ -1,0 +1,23 @@
+#ifndef SES_WORKLOAD_REPLICATE_H_
+#define SES_WORKLOAD_REPLICATE_H_
+
+#include "common/result.h"
+#include "event/relation.h"
+
+namespace ses::workload {
+
+/// Builds the paper's derived data sets D2..D5 (§5.1): a relation that
+/// "contains each event k times". The k copies are placed at consecutive
+/// timestamps t, t+1, ..., t+k-1 ticks so the result still has strictly
+/// increasing timestamps; because the source events are hours apart and k
+/// is small, this multiplies the window size W by k while keeping the
+/// content distribution fixed, exactly as in the paper.
+///
+/// Fails if consecutive source events are closer than k ticks (the copies
+/// would collide).
+Result<EventRelation> ReplicateDataset(const EventRelation& relation,
+                                       int factor);
+
+}  // namespace ses::workload
+
+#endif  // SES_WORKLOAD_REPLICATE_H_

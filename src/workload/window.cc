@@ -1,0 +1,23 @@
+#include "workload/window.h"
+
+#include <algorithm>
+
+namespace ses::workload {
+
+int64_t ComputeWindowSize(const EventRelation& relation, Duration window) {
+  int64_t max_count = 0;
+  size_t begin = 0;
+  // Two pointers: for each window end j, shrink the front until the window
+  // [t_j - window, t_j] covers the range.
+  for (size_t end = 0; end < relation.size(); ++end) {
+    Timestamp t_end = relation.event(end).timestamp();
+    while (relation.event(begin).timestamp() < t_end - window) {
+      ++begin;
+    }
+    max_count =
+        std::max(max_count, static_cast<int64_t>(end - begin + 1));
+  }
+  return max_count;
+}
+
+}  // namespace ses::workload

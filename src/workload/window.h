@@ -1,0 +1,17 @@
+#ifndef SES_WORKLOAD_WINDOW_H_
+#define SES_WORKLOAD_WINDOW_H_
+
+#include "common/time.h"
+#include "event/relation.h"
+
+namespace ses::workload {
+
+/// Window size W (Definition 5): the maximal number of events of
+/// `relation` within a time window of width `window` sliding over the
+/// relation event-by-event. The paper's Experiments 2 and 3 vary W via the
+/// data sets D1 (W=1322) through D5 (W=6610).
+int64_t ComputeWindowSize(const EventRelation& relation, Duration window);
+
+}  // namespace ses::workload
+
+#endif  // SES_WORKLOAD_WINDOW_H_

@@ -1,0 +1,309 @@
+// Tests of the SES automaton construction (§4.2): state sets, transition
+// structure, condition placement, and the concatenation constraints. The
+// expectations replicate Figures 3, 4, and 5 of the paper.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.h"
+#include "core/automaton_builder.h"
+#include "query/parser.h"
+#include "workload/paper_fixture.h"
+
+namespace ses {
+namespace {
+
+using ::ses::workload::ChemotherapySchema;
+using ::ses::workload::PaperFigure3Pattern;
+using ::ses::workload::PaperQ1Pattern;
+
+/// Mask of the named variables.
+VariableMask MaskOf(const Pattern& pattern,
+                    const std::vector<std::string>& names) {
+  VariableMask mask = 0;
+  for (const std::string& name : names) {
+    Result<VariableId> v = pattern.VariableByName(name);
+    EXPECT_TRUE(v.ok()) << name;
+    mask = bits::Set(mask, *v);
+  }
+  return mask;
+}
+
+/// The unique transition binding `var` out of the state with `from_mask`;
+/// loops included. Fails the test if absent or ambiguous.
+const Transition* FindTransition(const SesAutomaton& automaton,
+                                 VariableMask from_mask,
+                                 const std::string& var) {
+  Result<StateId> from = automaton.StateByMask(from_mask);
+  if (!from.ok()) {
+    ADD_FAILURE() << "no state with requested mask";
+    return nullptr;
+  }
+  Result<VariableId> v = automaton.pattern().VariableByName(var);
+  if (!v.ok()) {
+    ADD_FAILURE() << "no variable " << var;
+    return nullptr;
+  }
+  const Transition* found = nullptr;
+  for (const Transition& t : automaton.outgoing(*from)) {
+    if (t.variable == *v) {
+      if (found != nullptr) {
+        ADD_FAILURE() << "duplicate transition for " << var;
+        return nullptr;
+      }
+      found = &t;
+    }
+  }
+  return found;
+}
+
+/// Pretty set of the transition's conditions, for easy comparison.
+std::set<std::string> ConditionSet(const SesAutomaton& automaton,
+                                   const Transition& t) {
+  std::set<std::string> out;
+  for (const Condition& c : t.conditions) {
+    out.insert(automaton.pattern().ConditionToString(c));
+  }
+  return out;
+}
+
+TEST(AutomatonConstruction, Figure3SingleSingletonSet) {
+  // P = (⟨{b}⟩, {b.L='B'}, 264h): two states ∅ and {b}, one transition.
+  Result<Pattern> pattern = PaperFigure3Pattern();
+  ASSERT_TRUE(pattern.ok()) << pattern.status().ToString();
+  SesAutomaton automaton = AutomatonBuilder::Build(*pattern);
+  EXPECT_EQ(automaton.num_states(), 2);
+  EXPECT_EQ(automaton.num_transitions(), 1);
+  EXPECT_EQ(automaton.state_mask(automaton.start_state()), 0u);
+  EXPECT_EQ(automaton.state_mask(automaton.accepting_state()), 1u);
+  const Transition* t = FindTransition(automaton, 0, "b");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(ConditionSet(automaton, *t),
+            std::set<std::string>({"b.L = 'B'"}));
+  EXPECT_FALSE(t->is_loop());
+}
+
+/// The event set pattern V1 = {c, p+, d} considered in isolation with its
+/// conditions — automaton N1 of Figure 4(a).
+Result<Pattern> Figure4aPattern() {
+  return ParsePattern(R"(
+    PATTERN {c, p+, d}
+    WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P'
+      AND c.ID = p.ID AND c.ID = d.ID
+    WITHIN 264h
+  )",
+                      ChemotherapySchema());
+}
+
+TEST(AutomatonConstruction, Figure4aStates) {
+  Result<Pattern> pattern = Figure4aPattern();
+  ASSERT_TRUE(pattern.ok()) << pattern.status().ToString();
+  SesAutomaton automaton = AutomatonBuilder::Build(*pattern);
+  // Q1 = P({c, p+, d}): 8 states.
+  EXPECT_EQ(automaton.num_states(), 8);
+  for (const std::vector<std::string>& subset :
+       std::vector<std::vector<std::string>>{{},
+                                             {"c"},
+                                             {"p"},
+                                             {"d"},
+                                             {"c", "p"},
+                                             {"c", "d"},
+                                             {"d", "p"},
+                                             {"c", "d", "p"}}) {
+    EXPECT_TRUE(automaton.StateByMask(MaskOf(*pattern, subset)).ok());
+  }
+  EXPECT_EQ(automaton.state_mask(automaton.accepting_state()),
+            MaskOf(*pattern, {"c", "d", "p"}));
+}
+
+TEST(AutomatonConstruction, Figure4aTransitionConditions) {
+  Result<Pattern> pattern = Figure4aPattern();
+  ASSERT_TRUE(pattern.ok());
+  SesAutomaton automaton = AutomatonBuilder::Build(*pattern);
+  // 3 (from ∅) + 2 (from c) + 2+1loop (from p+) + 2 (from d) + 1+1loop
+  // (from cp+) + 1 (from cd) + 1+1loop (from dp+) + 1 loop (at cdp+) = 16.
+  EXPECT_EQ(automaton.num_transitions(), 16);
+
+  auto conditions = [&](VariableMask from, const std::string& var) {
+    const Transition* t = FindTransition(automaton, from, var);
+    EXPECT_NE(t, nullptr);
+    return t == nullptr ? std::set<std::string>{}
+                        : ConditionSet(automaton, *t);
+  };
+  using Set = std::set<std::string>;
+  VariableMask none = 0;
+  VariableMask c = MaskOf(*pattern, {"c"});
+  VariableMask p = MaskOf(*pattern, {"p"});
+  VariableMask d = MaskOf(*pattern, {"d"});
+
+  // Θ1..Θ3 (from the start state, constants only).
+  EXPECT_EQ(conditions(none, "c"), Set({"c.L = 'C'"}));
+  EXPECT_EQ(conditions(none, "d"), Set({"d.L = 'D'"}));
+  EXPECT_EQ(conditions(none, "p"), Set({"p+.L = 'P'"}));
+  // Θ4, Θ5 (from {c}).
+  EXPECT_EQ(conditions(c, "d"), Set({"d.L = 'D'", "c.ID = d.ID"}));
+  EXPECT_EQ(conditions(c, "p"), Set({"p+.L = 'P'", "c.ID = p+.ID"}));
+  // Θ6, and the p+ transition from {d} carries only its constant
+  // condition (c is not yet bound).
+  EXPECT_EQ(conditions(d, "c"), Set({"c.L = 'C'", "c.ID = d.ID"}));
+  EXPECT_EQ(conditions(d, "p"), Set({"p+.L = 'P'"}));
+  // From {p+}: Θ8, and binding d — per the construction rule of §4.2.1
+  // the condition c.ID = d.ID is NOT attached (c is unbound); the printed
+  // Θ9 of Figure 4(a) lists it, which contradicts the rule — we follow
+  // the rule (the condition is enforced later, when c binds, via Θ14).
+  EXPECT_EQ(conditions(p, "c"), Set({"c.L = 'C'", "c.ID = p+.ID"}));
+  EXPECT_EQ(conditions(p, "d"), Set({"d.L = 'D'"}));
+  // Loop at {p+} (Θ7-style).
+  const Transition* loop = FindTransition(automaton, p, "p");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_TRUE(loop->is_loop());
+  EXPECT_EQ(ConditionSet(automaton, *loop), Set({"p+.L = 'P'"}));
+  // Θ11 from {c,d}, Θ12 from {c,p+}, Θ14 from {d,p+}.
+  EXPECT_EQ(conditions(c | d, "p"), Set({"p+.L = 'P'", "c.ID = p+.ID"}));
+  EXPECT_EQ(conditions(c | p, "d"), Set({"d.L = 'D'", "c.ID = d.ID"}));
+  EXPECT_EQ(conditions(d | p, "c"),
+            Set({"c.L = 'C'", "c.ID = d.ID", "c.ID = p+.ID"}));
+  // Loops at {c,p+} (Θ13), {d,p+} (Θ15), {c,d,p+} (Θ16).
+  const Transition* loop_cp = FindTransition(automaton, c | p, "p");
+  ASSERT_NE(loop_cp, nullptr);
+  EXPECT_EQ(ConditionSet(automaton, *loop_cp),
+            Set({"p+.L = 'P'", "c.ID = p+.ID"}));
+  const Transition* loop_dp = FindTransition(automaton, d | p, "p");
+  ASSERT_NE(loop_dp, nullptr);
+  EXPECT_EQ(ConditionSet(automaton, *loop_dp), Set({"p+.L = 'P'"}));
+  const Transition* loop_cdp = FindTransition(automaton, c | d | p, "p");
+  ASSERT_NE(loop_cdp, nullptr);
+  EXPECT_EQ(ConditionSet(automaton, *loop_cdp),
+            Set({"p+.L = 'P'", "c.ID = p+.ID"}));
+}
+
+TEST(AutomatonConstruction, Figure5ConcatenatedAutomaton) {
+  Result<Pattern> pattern = PaperQ1Pattern();
+  ASSERT_TRUE(pattern.ok());
+  SesAutomaton automaton = AutomatonBuilder::Build(*pattern);
+  // Example 7: Q = {∅, c, d, p+, cd, cp+, dp+, cdp+, cdp+b}.
+  EXPECT_EQ(automaton.num_states(), 9);
+  // 16 transitions of N1 plus the b transition (Θ'17).
+  EXPECT_EQ(automaton.num_transitions(), 17);
+  EXPECT_EQ(automaton.state_mask(automaton.accepting_state()),
+            MaskOf(*pattern, {"c", "d", "p", "b"}));
+
+  // Θ'17 extends Θ17 = {b.L='B', d.ID=b.ID} with the time constraints
+  // c.T < b.T, d.T < b.T, p+.T < b.T (§4.2.2).
+  const Transition* t =
+      FindTransition(automaton, MaskOf(*pattern, {"c", "d", "p"}), "b");
+  ASSERT_NE(t, nullptr);
+  EXPECT_FALSE(t->is_loop());
+  EXPECT_EQ(ConditionSet(automaton, *t),
+            std::set<std::string>({"b.L = 'B'", "d.ID = b.ID", "c.T < b.T",
+                                   "d.T < b.T", "p+.T < b.T"}));
+
+  // The merged state cdp+ keeps its V1 group loop (Θ16).
+  const Transition* loop =
+      FindTransition(automaton, MaskOf(*pattern, {"c", "d", "p"}), "p");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_TRUE(loop->is_loop());
+
+  // The accepting state has no outgoing transitions (b is a singleton).
+  EXPECT_TRUE(automaton.outgoing(automaton.accepting_state()).empty());
+}
+
+TEST(AutomatonConstruction, StateCountIsSumOfPowersets) {
+  // ⟨{a,b}, {x,y,z}, {w}⟩: 2^2 + (2^3 - 1) + (2^1 - 1) = 12 states.
+  Result<Pattern> pattern = ParsePattern(R"(
+    PATTERN {a, b} -> {x, y, z} -> {w}
+    WHERE a.L = 'A' AND b.L = 'B' AND x.L = 'X' AND y.L = 'Y'
+      AND z.L = 'Z' AND w.L = 'W'
+    WITHIN 100h
+  )",
+                                         ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok()) << pattern.status().ToString();
+  SesAutomaton automaton = AutomatonBuilder::Build(*pattern);
+  EXPECT_EQ(automaton.num_states(), 4 + 7 + 1);
+  // Transitions: set1: 2 states with 2, 2 with 1 -> 2*2 + 2*1 = 4... per
+  // subset S of a set of size n there are n-|S| forward transitions, so
+  // sum = n * 2^(n-1): set1: 2*2=4, set2: 3*4=12, set3: 1*1=1. Total 17.
+  EXPECT_EQ(automaton.num_transitions(), 4 + 12 + 1);
+}
+
+TEST(AutomatonConstruction, GroupLoopsExistAtEveryStateContainingTheGroup) {
+  Result<Pattern> pattern = ParsePattern(R"(
+    PATTERN {a+, b+} WHERE a.L = 'A' AND b.L = 'B' WITHIN 100h
+  )",
+                                         ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  SesAutomaton automaton = AutomatonBuilder::Build(*pattern);
+  // States ∅, a, b, ab; loops: a@a, b@b, a@ab, b@ab = 4 loops + 4 forward.
+  EXPECT_EQ(automaton.num_states(), 4);
+  int loops = 0;
+  int forward = 0;
+  for (StateId q = 0; q < automaton.num_states(); ++q) {
+    for (const Transition& t : automaton.outgoing(q)) {
+      if (t.is_loop()) {
+        ++loops;
+      } else {
+        ++forward;
+      }
+    }
+  }
+  EXPECT_EQ(loops, 4);
+  EXPECT_EQ(forward, 4);
+}
+
+TEST(AutomatonConstruction, InterSetConstraintsOnlyOnFirstTransitionOfASet) {
+  Result<Pattern> pattern = ParsePattern(R"(
+    PATTERN {a} -> {x, y}
+    WHERE a.L = 'A' AND x.L = 'X' AND y.L = 'Y'
+    WITHIN 100h
+  )",
+                                         ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  SesAutomaton automaton = AutomatonBuilder::Build(*pattern);
+  VariableMask a = MaskOf(*pattern, {"a"});
+  VariableMask x = MaskOf(*pattern, {"x"});
+  // From {a} (start of set 2): both x and y transitions carry a.T < v.T.
+  const Transition* tx = FindTransition(automaton, a, "x");
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(ConditionSet(automaton, *tx),
+            std::set<std::string>({"x.L = 'X'", "a.T < x.T"}));
+  // From {a, x}: y binds second within set 2 — no ordering constraint
+  // against a is added there (the paper adds them only to transitions
+  // leaving the start state of the concatenated automaton).
+  const Transition* ty = FindTransition(automaton, a | x, "y");
+  ASSERT_NE(ty, nullptr);
+  EXPECT_EQ(ConditionSet(automaton, *ty),
+            std::set<std::string>({"y.L = 'Y'"}));
+}
+
+TEST(AutomatonConstruction, DotAndStringRenderings) {
+  Result<Pattern> pattern = PaperQ1Pattern();
+  ASSERT_TRUE(pattern.ok());
+  SesAutomaton automaton = AutomatonBuilder::Build(*pattern);
+  std::string dot = automaton.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  std::string str = automaton.ToString();
+  EXPECT_NE(str.find("9 states"), std::string::npos);
+  EXPECT_NE(str.find("[accepting]"), std::string::npos);
+}
+
+TEST(AutomatonConstruction, SelfReferentialConditionAttachesToOwnTransitions) {
+  // p+.V = p+.V is instantiated per binding (decomposition semantics);
+  // it must appear on every transition binding p.
+  Result<Pattern> pattern = ParsePattern(R"(
+    PATTERN {p+} WHERE p.L = 'P' AND p.V >= 10 AND p.V = p.V WITHIN 10h
+  )",
+                                         ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  SesAutomaton automaton = AutomatonBuilder::Build(*pattern);
+  const Transition* start = FindTransition(automaton, 0, "p");
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(ConditionSet(automaton, *start),
+            std::set<std::string>(
+                {"p+.L = 'P'", "p+.V >= 10", "p+.V = p+.V"}));
+}
+
+}  // namespace
+}  // namespace ses

@@ -1,0 +1,186 @@
+// Tests for the brute force baseline (§5.2) and its relationship to the
+// SES automaton: ordering enumeration, sequential pattern construction,
+// instance-count comparison (Table 1's structure), and result containment.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/brute_force.h"
+#include "baseline/permutations.h"
+#include "core/matcher.h"
+#include "query/parser.h"
+#include "workload/generic_generator.h"
+#include "workload/paper_fixture.h"
+
+namespace ses::baseline {
+namespace {
+
+using ::ses::workload::ChemotherapySchema;
+
+Pattern MustParse(const std::string& text) {
+  Result<Pattern> pattern = ParsePattern(text, ChemotherapySchema());
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  return *pattern;
+}
+
+TEST(Permutations, EnumeratesProductOfSetPermutations) {
+  // ⟨{c, p, d}, {b}⟩ without group variables: 3!·1! = 6 orderings —
+  // Example 11 / Figure 10(b).
+  Pattern p = MustParse(
+      "PATTERN {c, p, d} -> {b} WHERE c.L = 'C' AND p.L = 'P' AND "
+      "d.L = 'D' AND b.L = 'B' WITHIN 264h");
+  Result<std::vector<std::vector<VariableId>>> orderings =
+      EnumerateOrderings(p);
+  ASSERT_TRUE(orderings.ok());
+  EXPECT_EQ(orderings->size(), 6u);
+  EXPECT_EQ(NumOrderings(p), 6u);
+  // Each ordering is a permutation of all 4 variables with b last.
+  VariableId b = *p.VariableByName("b");
+  std::set<std::vector<VariableId>> unique;
+  for (const auto& ordering : *orderings) {
+    EXPECT_EQ(ordering.size(), 4u);
+    EXPECT_EQ(ordering.back(), b);
+    unique.insert(ordering);
+  }
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(Permutations, MultipleSetsMultiply) {
+  Pattern p = MustParse("PATTERN {a, b} -> {x, y, z} WITHIN 1h");
+  EXPECT_EQ(NumOrderings(p), 2u * 6u);
+  Result<std::vector<std::vector<VariableId>>> orderings =
+      EnumerateOrderings(p);
+  ASSERT_TRUE(orderings.ok());
+  EXPECT_EQ(orderings->size(), 12u);
+  // Set order is respected: variables of set 1 always precede set 2's.
+  for (const auto& ordering : *orderings) {
+    EXPECT_EQ(p.variable(ordering[0]).set_index, 0);
+    EXPECT_EQ(p.variable(ordering[1]).set_index, 0);
+    EXPECT_EQ(p.variable(ordering[2]).set_index, 1);
+  }
+}
+
+TEST(Permutations, GroupVariablesUnsupported) {
+  Pattern p = MustParse("PATTERN {a+, b} WITHIN 1h");
+  EXPECT_EQ(EnumerateOrderings(p).status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(BruteForceMatcher::Create(p).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(Permutations, SequentialPatternKeepsConditionsAndWindow) {
+  Pattern p = MustParse(
+      "PATTERN {c, d} WHERE c.L = 'C' AND d.L = 'D' AND c.ID = d.ID "
+      "WITHIN 264h");
+  Result<std::vector<std::vector<VariableId>>> orderings =
+      EnumerateOrderings(p);
+  ASSERT_TRUE(orderings.ok());
+  for (const auto& ordering : *orderings) {
+    Result<Pattern> sequential = MakeSequentialPattern(p, ordering);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    EXPECT_EQ(sequential->num_sets(), 2);
+    EXPECT_EQ(sequential->event_set(0).size(), 1u);
+    EXPECT_EQ(sequential->conditions().size(), 3u);
+    EXPECT_EQ(sequential->window(), p.window());
+  }
+}
+
+TEST(BruteForce, FindsTheSequenceMatches) {
+  Pattern p = MustParse(
+      "PATTERN {a, b} WHERE a.L = 'A' AND b.L = 'B' WITHIN 10h");
+  EventRelation relation(ChemotherapySchema());
+  relation.AppendUnchecked(duration::Hours(1),
+                           {Value(int64_t{1}), Value(std::string("B")),
+                            Value(0.0), Value(std::string("u"))});
+  relation.AppendUnchecked(duration::Hours(2),
+                           {Value(int64_t{1}), Value(std::string("A")),
+                            Value(0.0), Value(std::string("u"))});
+  Result<std::vector<Match>> matches = BruteForceMatchRelation(p, relation);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);  // b/1 then a/2 via the ⟨b,a⟩ automaton
+}
+
+TEST(BruteForce, SesMatchesAreASubsetOfBruteForceUnion) {
+  // Mixed stream with two mutually exclusive variables plus noise.
+  Pattern p = MustParse(
+      "PATTERN {c, d} -> {b} WHERE c.L = 'C' AND d.L = 'D' AND b.L = 'B' "
+      "AND c.ID = d.ID AND c.ID = b.ID WITHIN 6h");
+  workload::StreamOptions options;
+  options.num_events = 400;
+  options.num_partitions = 3;
+  options.type_weights = {{"C", 1}, {"D", 1}, {"B", 1}, {"X", 2}};
+  options.min_gap = duration::Minutes(5);
+  options.max_gap = duration::Minutes(30);
+  options.seed = 17;
+  EventRelation relation = workload::GenerateStream(options);
+
+  Result<std::vector<Match>> ses_matches = MatchRelation(p, relation);
+  Result<std::vector<Match>> bf_matches = BruteForceMatchRelation(p, relation);
+  ASSERT_TRUE(ses_matches.ok());
+  ASSERT_TRUE(bf_matches.ok());
+
+  std::set<std::vector<std::pair<VariableId, EventId>>> bf_keys;
+  for (const Match& m : *bf_matches) bf_keys.insert(m.SubstitutionKey());
+  for (const Match& m : *ses_matches) {
+    EXPECT_TRUE(bf_keys.count(m.SubstitutionKey()) > 0)
+        << "SES match missing from brute force union: " << m.ToString(p);
+  }
+}
+
+TEST(BruteForce, InstanceRatioGrowsLikeFactorialForExclusivePatterns) {
+  // Table 1: for pairwise mutually exclusive variables the ratio
+  // |Ω|BF / |Ω|SES approaches (|V1|-1)!. With |V1| = 3 the BF bank creates
+  // (|V1|-1)! = 2 instances per start event where SES creates one.
+  Pattern p = MustParse(
+      "PATTERN {c, d, p} -> {b} WHERE c.L = 'C' AND d.L = 'D' AND "
+      "p.L = 'P' AND b.L = 'B' WITHIN 12h");
+  workload::StreamOptions options;
+  options.num_events = 600;
+  options.num_partitions = 1;
+  options.type_weights = {{"C", 1}, {"D", 1}, {"P", 1}, {"B", 1}};
+  options.min_gap = duration::Minutes(10);
+  options.max_gap = duration::Minutes(20);
+  options.seed = 5;
+  EventRelation relation = workload::GenerateStream(options);
+
+  ExecutorStats ses_stats;
+  ASSERT_TRUE(MatchRelation(p, relation, MatcherOptions{}, &ses_stats).ok());
+  BruteForceStats bf_stats;
+  ASSERT_TRUE(
+      BruteForceMatchRelation(p, relation, MatcherOptions{}, &bf_stats).ok());
+
+  EXPECT_EQ(bf_stats.num_automata, 6);
+  EXPECT_GT(ses_stats.max_simultaneous_instances, 0);
+  EXPECT_GT(bf_stats.max_simultaneous_instances,
+            ses_stats.max_simultaneous_instances);
+  double ratio = static_cast<double>(bf_stats.max_simultaneous_instances) /
+                 static_cast<double>(ses_stats.max_simultaneous_instances);
+  // The asymptotic ratio is (|V1|-1)! = 2; allow generous slack for edge
+  // effects on a finite stream.
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(BruteForce, AggregatesStatsAcrossAutomata) {
+  Pattern p = MustParse(
+      "PATTERN {a, b} WHERE a.L = 'A' AND b.L = 'B' WITHIN 10h");
+  Result<BruteForceMatcher> matcher = BruteForceMatcher::Create(p);
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_EQ(matcher->num_automata(), 2);
+  EventRelation relation(ChemotherapySchema());
+  relation.AppendUnchecked(duration::Hours(1),
+                           {Value(int64_t{1}), Value(std::string("A")),
+                            Value(0.0), Value(std::string("u"))});
+  std::vector<Match> out;
+  ASSERT_TRUE(matcher->Push(relation.event(0), &out).ok());
+  EXPECT_EQ(matcher->stats().events_seen, 1);
+  // Only the ⟨a,b⟩ automaton keeps an instance; the ⟨b,a⟩ one killed its
+  // fresh start instance.
+  EXPECT_EQ(matcher->stats().max_simultaneous_instances, 1);
+  matcher->Flush(&out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace ses::baseline

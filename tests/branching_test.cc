@@ -1,0 +1,135 @@
+// Tests replicating the branching illustrations of Figures 7-9 (§4.4):
+// how many instances traverse the automaton for the three complexity
+// cases, measured on minimal streams.
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "query/parser.h"
+#include "workload/paper_fixture.h"
+
+namespace ses {
+namespace {
+
+using ::ses::workload::ChemotherapySchema;
+
+EventRelation Repeat(const std::string& type, int count) {
+  EventRelation relation(ChemotherapySchema());
+  for (int i = 0; i < count; ++i) {
+    relation.AppendUnchecked(duration::Hours(i + 1),
+                             {Value(int64_t{1}), Value(type), Value(0.0),
+                              Value(std::string("u"))});
+  }
+  return relation;
+}
+
+TEST(Branching, Figure7Case1OneInstanceTraversesThePaths) {
+  // Case 1 (Figure 7): pairwise mutually exclusive variables — a single
+  // instance walks one path; no branching ever happens. Feed exactly one
+  // event per variable.
+  Result<Pattern> p = ParsePattern(
+      "PATTERN {a, b, x} WHERE a.L = 'A' AND b.L = 'B' AND x.L = 'C' "
+      "WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(p.ok());
+  EventRelation relation(ChemotherapySchema());
+  relation.AppendUnchecked(duration::Hours(1),
+                           {Value(int64_t{1}), Value(std::string("A")),
+                            Value(0.0), Value(std::string("u"))});
+  relation.AppendUnchecked(duration::Hours(2),
+                           {Value(int64_t{1}), Value(std::string("B")),
+                            Value(0.0), Value(std::string("u"))});
+  relation.AppendUnchecked(duration::Hours(3),
+                           {Value(int64_t{1}), Value(std::string("C")),
+                            Value(0.0), Value(std::string("u"))});
+  ExecutorStats stats;
+  Result<std::vector<Match>> matches =
+      MatchRelation(*p, relation, MatcherOptions{}, &stats);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);
+  // The run started at e1 never branches (Figure 7's single path), but
+  // Algorithm 1 starts a fresh instance at every event, so the suffix
+  // runs {b/e2} and {x/e3} coexist with it: at most 3 instances, never
+  // the 6 of the non-exclusive case.
+  EXPECT_EQ(stats.max_simultaneous_instances, 3);
+  // 1 + 2 + 3 transitions fired across the three runs, one per event
+  // each — no instance ever fires two transitions on one event.
+  EXPECT_EQ(stats.transitions_fired, 6);
+  EXPECT_EQ(stats.instances_created, stats.transitions_fired);
+}
+
+TEST(Branching, Figure8Case2FactorialBranching) {
+  // Case 2 (Figure 8): |V1| = 3 variables all matching the same type.
+  // After events e1, e2, e3 (all of type A) the run started at e1 has
+  // branched into 3! = 6 complete instances — one per path/permutation —
+  // and the runs started at e2 and e3 contribute their partial trees.
+  Result<Pattern> p = ParsePattern(
+      "PATTERN {a, b, x} WHERE a.L = 'A' AND b.L = 'A' AND x.L = 'A' "
+      "WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(p.ok());
+  ExecutorStats stats;
+  Result<std::vector<Match>> matches =
+      MatchRelation(*p, Repeat("A", 3), MatcherOptions{}, &stats);
+  ASSERT_TRUE(matches.ok());
+  // Only the run started at e1 completes: 6 permutation matches.
+  EXPECT_EQ(matches->size(), 6u);
+  // Instances after e3: run(e1) 6 complete; run(e2) binds e2 then
+  // branches on e3 into 3*2 = 6 two-variable instances; run(e3) 3
+  // one-variable instances. Total 15.
+  EXPECT_EQ(stats.max_simultaneous_instances, 15);
+}
+
+TEST(Branching, Figure9Case3GroupVariableMultipliesBranches) {
+  // Case 3 (Figure 9): one group variable among |V1| = 3. The loop at
+  // states containing y+ lets each additional same-type event multiply
+  // the branch count, giving the W-dependent growth of Theorem 3. We only
+  // assert the qualitative shape: instances grow strictly faster than the
+  // singleton case on the same stream.
+  Result<Pattern> singleton = ParsePattern(
+      "PATTERN {a, b, x} WHERE a.L = 'A' AND b.L = 'A' AND x.L = 'A' "
+      "WITHIN 10h",
+      ChemotherapySchema());
+  Result<Pattern> grouped = ParsePattern(
+      "PATTERN {a, b, x+} WHERE a.L = 'A' AND b.L = 'A' AND x.L = 'A' "
+      "WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(singleton.ok());
+  ASSERT_TRUE(grouped.ok());
+  for (int n : {4, 6, 8}) {
+    ExecutorStats singleton_stats;
+    ExecutorStats grouped_stats;
+    ASSERT_TRUE(MatchRelation(*singleton, Repeat("A", n), MatcherOptions{},
+                              &singleton_stats)
+                    .ok());
+    ASSERT_TRUE(MatchRelation(*grouped, Repeat("A", n), MatcherOptions{},
+                              &grouped_stats)
+                    .ok());
+    EXPECT_GT(grouped_stats.max_simultaneous_instances,
+              singleton_stats.max_simultaneous_instances)
+        << "n=" << n;
+  }
+}
+
+TEST(Branching, BranchCountsFollowOutDegree) {
+  // The number of new instances created by one event equals the number of
+  // firing transitions summed over instances (Algorithm 2). For the case-2
+  // pattern each A event fires every outgoing transition of every
+  // instance whose state is not complete.
+  Result<Pattern> p = ParsePattern(
+      "PATTERN {a, b} WHERE a.L = 'A' AND b.L = 'A' WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(p.ok());
+  Matcher matcher(*p);
+  std::vector<Match> out;
+  EventRelation stream = Repeat("A", 2);
+  // e1: fresh instance branches into {a/1} and {b/1}.
+  ASSERT_TRUE(matcher.Push(stream.event(0), &out).ok());
+  EXPECT_EQ(matcher.num_active_instances(), 2u);
+  // e2: {a/1} -> {a/1,b/2}, {b/1} -> {b/1,a/2}, fresh -> {a/2}, {b/2}.
+  ASSERT_TRUE(matcher.Push(stream.event(1), &out).ok());
+  EXPECT_EQ(matcher.num_active_instances(), 4u);
+}
+
+}  // namespace
+}  // namespace ses

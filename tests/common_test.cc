@@ -1,0 +1,276 @@
+// Unit tests for the common substrate: Status/Result, strings, time,
+// random, bits, CRC-32C.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.h"
+#include "common/crc32c.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/time.h"
+
+namespace ses {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Corruption("x"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  SES_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kOutOfRange);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SES_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(Result, ValueAndStatus) {
+  Result<int> ok = Half(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = Half(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, AssignOrReturnMacroChains) {
+  Result<int> r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = strings::Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  auto parts = strings::Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(strings::Join(std::vector<std::string>{"a", "b", "c"}, ", "),
+            "a, b, c");
+  EXPECT_EQ(strings::Join(std::vector<std::string>{}, ","), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(strings::Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(strings::Trim(""), "");
+  EXPECT_EQ(strings::Trim(" \t "), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(strings::StartsWith("pattern", "pat"));
+  EXPECT_FALSE(strings::StartsWith("pat", "pattern"));
+  EXPECT_TRUE(strings::EndsWith("events.csv", ".csv"));
+  EXPECT_FALSE(strings::EndsWith("csv", "events.csv"));
+}
+
+TEST(Strings, CaseConversionAndComparison) {
+  EXPECT_EQ(strings::ToLower("WiThIn"), "within");
+  EXPECT_EQ(strings::ToUpper("where"), "WHERE");
+  EXPECT_TRUE(strings::EqualsIgnoreCase("PATTERN", "pattern"));
+  EXPECT_FALSE(strings::EqualsIgnoreCase("PATTERN", "PATTERNS"));
+}
+
+TEST(Strings, ParseInt64) {
+  EXPECT_EQ(*strings::ParseInt64("264"), 264);
+  EXPECT_EQ(*strings::ParseInt64("-17"), -17);
+  EXPECT_FALSE(strings::ParseInt64("").ok());
+  EXPECT_FALSE(strings::ParseInt64("12x").ok());
+  EXPECT_FALSE(strings::ParseInt64("99999999999999999999").ok());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*strings::ParseDouble("1672.5"), 1672.5);
+  EXPECT_DOUBLE_EQ(*strings::ParseDouble("-2e3"), -2000.0);
+  EXPECT_FALSE(strings::ParseDouble("abc").ok());
+  EXPECT_FALSE(strings::ParseDouble("1.5.2").ok());
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(strings::Format("%d events in %s", 14, "window"),
+            "14 events in window");
+  EXPECT_EQ(strings::Format("%s", ""), "");
+}
+
+TEST(Time, DurationHelpers) {
+  EXPECT_EQ(duration::Seconds(5), 5);
+  EXPECT_EQ(duration::Minutes(2), 120);
+  EXPECT_EQ(duration::Hours(264), 950400);
+  EXPECT_EQ(duration::Days(11), duration::Hours(264));
+}
+
+TEST(Time, FormatTimestamp) {
+  EXPECT_EQ(FormatTimestamp(0), "0+00:00:00");
+  EXPECT_EQ(FormatTimestamp(duration::Days(2) + duration::Hours(9)),
+            "2+09:00:00");
+  EXPECT_EQ(FormatTimestamp(-3600), "-0+01:00:00");
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(FormatDuration(duration::Hours(264)), "11d");
+  EXPECT_EQ(FormatDuration(duration::Hours(5)), "5h");
+  EXPECT_EQ(FormatDuration(90), "90s");
+  EXPECT_EQ(FormatDuration(120), "2m");
+}
+
+TEST(Random, DeterministicForSeed) {
+  Random a(42), b(42), c(7);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  // Different seeds diverge (overwhelmingly likely).
+  bool differs = false;
+  for (int i = 0; i < 4; ++i) {
+    if (a.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Random, UniformRespectsBound) {
+  Random r(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(7), 7u);
+  }
+}
+
+TEST(Random, UniformIntCoversRange) {
+  Random r(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Random, UniformDoubleInUnitInterval) {
+  Random r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Random, BernoulliExtremes) {
+  Random r(4);
+  EXPECT_FALSE(r.Bernoulli(0.0));
+  EXPECT_TRUE(r.Bernoulli(1.0));
+}
+
+TEST(Random, ShufflePreservesElements) {
+  Random r(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  std::vector<int> original = v;
+  r.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Bits, BasicOperations) {
+  uint64_t m = 0;
+  m = bits::Set(m, 0);
+  m = bits::Set(m, 5);
+  EXPECT_TRUE(bits::Test(m, 0));
+  EXPECT_TRUE(bits::Test(m, 5));
+  EXPECT_FALSE(bits::Test(m, 1));
+  EXPECT_EQ(bits::Popcount(m), 2);
+  m = bits::Clear(m, 0);
+  EXPECT_FALSE(bits::Test(m, 0));
+  EXPECT_EQ(bits::LowestBit(m), 5);
+}
+
+TEST(Bits, ForEachBitVisitsAscending) {
+  std::vector<int> visited;
+  bits::ForEachBit((1ULL << 3) | (1ULL << 7) | (1ULL << 62),
+                   [&](int i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<int>{3, 7, 62}));
+}
+
+TEST(Bits, IsSubset) {
+  EXPECT_TRUE(bits::IsSubset(0b0101, 0b1101));
+  EXPECT_FALSE(bits::IsSubset(0b0110, 0b1101));
+  EXPECT_TRUE(bits::IsSubset(0, 0));
+}
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 test vector: CRC-32C of 32 zero bytes.
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(crc32c::Value(zeros, sizeof(zeros)), 0x8a9136aau);
+  // "123456789" -> 0xe3069283.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+}
+
+TEST(Crc32c, ExtendMatchesOneShot) {
+  const char* data = "sequenced event set pattern matching";
+  size_t n = 36;
+  uint32_t one_shot = crc32c::Value(data, n);
+  uint32_t extended = crc32c::Extend(crc32c::Value(data, 10), data + 10,
+                                     n - 10);
+  EXPECT_EQ(one_shot, extended);
+}
+
+TEST(Crc32c, MaskRoundTrip) {
+  uint32_t crc = crc32c::Value("abc", 3);
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+}
+
+}  // namespace
+}  // namespace ses

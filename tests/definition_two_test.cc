@@ -1,0 +1,199 @@
+// Tests for the enumerative Definition 2 evaluator and its relationship to
+// the automaton (Algorithm 1). These tests pin down the semantic findings
+// recorded in DESIGN.md:
+//  1. the literal (global-scope) condition 4 is over-restrictive — it
+//     rejects even the paper's intended matches on the running example;
+//  2. with the same-start repair, Definition 2 coincides with the
+//     automaton on the running example (three matches);
+//  3. Definition 2 admits matches the automaton loses to forced branching
+//     (condition-chain poisoning), i.e. the divergence goes both ways.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/definition_two.h"
+#include "core/matcher.h"
+#include "query/parser.h"
+#include "workload/paper_fixture.h"
+
+namespace ses::baseline {
+namespace {
+
+using ::ses::workload::ChemotherapySchema;
+using ::ses::workload::PaperEventRelation;
+using ::ses::workload::PaperQ1Pattern;
+
+std::vector<std::vector<EventId>> SortedIdSets(
+    const std::vector<Match>& matches) {
+  std::vector<std::vector<EventId>> sets;
+  for (const Match& m : matches) {
+    std::vector<EventId> ids = m.event_ids();
+    std::sort(ids.begin(), ids.end());
+    sets.push_back(std::move(ids));
+  }
+  std::sort(sets.begin(), sets.end());
+  return sets;
+}
+
+TEST(DefinitionTwo, GlobalScopeRejectsEvenTheIntendedMatches) {
+  // Patient 1's intended match {e1,e3,e4,e9,e12} contains the pair
+  // (p+/e4, p+/e9) which brackets e6 — and e6 is bound to p+ in patient
+  // 2's match, so a γ' ∈ Γ with p+/e6 exists and the literal condition 4
+  // rejects patient 1's match. Symmetrically for patient 2 (e9 between e8
+  // and e10). The literal definition therefore yields no matches at all on
+  // the paper's own running example.
+  Result<Pattern> pattern = PaperQ1Pattern();
+  ASSERT_TRUE(pattern.ok());
+  DefinitionTwoOptions options;
+  options.condition4_scope = Condition4Scope::kGlobal;
+  Result<std::vector<Match>> matches =
+      DefinitionTwoMatch(*pattern, PaperEventRelation(), options);
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST(DefinitionTwo, SameStartScopeEqualsTheAutomatonOnTheRunningExample) {
+  Result<Pattern> pattern = PaperQ1Pattern();
+  ASSERT_TRUE(pattern.ok());
+  DefinitionTwoOptions options;
+  options.condition4_scope = Condition4Scope::kSameStart;
+  Result<std::vector<Match>> def2 =
+      DefinitionTwoMatch(*pattern, PaperEventRelation(), options);
+  ASSERT_TRUE(def2.ok()) << def2.status().ToString();
+  Result<std::vector<Match>> automaton =
+      MatchRelation(*pattern, PaperEventRelation());
+  ASSERT_TRUE(automaton.ok());
+  EXPECT_TRUE(SameMatchSet(*def2, *automaton));
+  EXPECT_EQ(SortedIdSets(*def2),
+            (std::vector<std::vector<EventId>>{{1, 3, 4, 9, 12},
+                                               {6, 7, 8, 10, 11, 13},
+                                               {7, 8, 10, 11, 13}}));
+}
+
+TEST(DefinitionTwo, AdmitsTheMatchTheAutomatonLosesToPoisoning) {
+  // The condition-chain poisoning scenario (see
+  // Executor.ChainedConditionsAllowCrossPartitionPoisoning): the automaton
+  // finds no match because its instance is forced onto the foreign X
+  // event; Definition 2 — under either scope — accepts {a/1, b/4, x/3}
+  // because no FULL substitution binds x to the foreign event e2 (there is
+  // no matching b for partition 2), so no alternative binding exists.
+  EventRelation relation(ChemotherapySchema());
+  auto add = [&relation](const std::string& type, int64_t hours, int64_t id) {
+    relation.AppendUnchecked(duration::Hours(hours),
+                             {Value(id), Value(type), Value(0.0),
+                              Value(std::string("u"))});
+  };
+  add("A", 1, 1);
+  add("X", 2, 2);
+  add("X", 3, 1);
+  add("B", 4, 1);
+  Result<Pattern> chained = ParsePattern(
+      "PATTERN {a, b, x} WHERE a.L = 'A' AND b.L = 'B' AND x.L = 'X' "
+      "AND a.ID = b.ID AND b.ID = x.ID WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(chained.ok());
+
+  Result<std::vector<Match>> automaton = MatchRelation(*chained, relation);
+  ASSERT_TRUE(automaton.ok());
+  EXPECT_TRUE(automaton->empty());
+
+  for (Condition4Scope scope :
+       {Condition4Scope::kGlobal, Condition4Scope::kSameStart}) {
+    DefinitionTwoOptions options;
+    options.condition4_scope = scope;
+    Result<std::vector<Match>> def2 =
+        DefinitionTwoMatch(*chained, relation, options);
+    ASSERT_TRUE(def2.ok());
+    ASSERT_EQ(def2->size(), 1u);
+    EXPECT_EQ(SortedIdSets(*def2)[0], std::vector<EventId>({1, 3, 4}));
+  }
+}
+
+TEST(DefinitionTwo, Condition4PrefersEarlierEvents) {
+  // A, B, B: {a/1, b/3} is rejected because b/2 is usable and lies between
+  // (skip-till-next-match); {a/1, b/2} survives.
+  EventRelation relation(ChemotherapySchema());
+  auto add = [&relation](const std::string& type, int64_t hours) {
+    relation.AppendUnchecked(duration::Hours(hours),
+                             {Value(int64_t{1}), Value(type), Value(0.0),
+                              Value(std::string("u"))});
+  };
+  add("A", 1);
+  add("B", 2);
+  add("B", 3);
+  Result<Pattern> pattern = ParsePattern(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  Result<std::vector<Match>> def2 = DefinitionTwoMatch(*pattern, relation);
+  ASSERT_TRUE(def2.ok());
+  ASSERT_EQ(def2->size(), 1u);
+  EXPECT_EQ(SortedIdSets(*def2)[0], std::vector<EventId>({1, 2}));
+}
+
+TEST(DefinitionTwo, Condition5EnforcesMaximality) {
+  // A, A, B with a group variable a+: {a/1, b/3} is a proper subset of
+  // {a/1, a/2, b/3} with the same start — condition 5 removes it.
+  EventRelation relation(ChemotherapySchema());
+  auto add = [&relation](const std::string& type, int64_t hours) {
+    relation.AppendUnchecked(duration::Hours(hours),
+                             {Value(int64_t{1}), Value(type), Value(0.0),
+                              Value(std::string("u"))});
+  };
+  add("A", 1);
+  add("A", 2);
+  add("B", 3);
+  Result<Pattern> pattern = ParsePattern(
+      "PATTERN {a+} -> {b} WHERE a.L = 'A' AND b.L = 'B' WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  Result<std::vector<Match>> def2 = DefinitionTwoMatch(*pattern, relation);
+  ASSERT_TRUE(def2.ok());
+  std::vector<std::vector<EventId>> sets = SortedIdSets(*def2);
+  // {1,2,3} (maximal, start e1) and {2,3} (start e2) — but NOT {1,3}.
+  EXPECT_EQ(sets, (std::vector<std::vector<EventId>>{{1, 2, 3}, {2, 3}}));
+}
+
+TEST(DefinitionTwo, WindowAndOrderAreEnforcedDuringEnumeration) {
+  EventRelation relation(ChemotherapySchema());
+  auto add = [&relation](const std::string& type, int64_t hours) {
+    relation.AppendUnchecked(duration::Hours(hours),
+                             {Value(int64_t{1}), Value(type), Value(0.0),
+                              Value(std::string("u"))});
+  };
+  add("B", 1);   // B before A: order violation for ⟨{a},{b}⟩
+  add("A", 2);
+  add("B", 20);  // outside the 10h window from A
+  Result<Pattern> pattern = ParsePattern(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  Result<std::vector<Match>> def2 = DefinitionTwoMatch(*pattern, relation);
+  ASSERT_TRUE(def2.ok());
+  EXPECT_TRUE(def2->empty());
+}
+
+TEST(DefinitionTwo, CandidateCapIsReported) {
+  // An unconstrained pattern over a modest stream explodes; the evaluator
+  // must fail cleanly instead of running forever.
+  EventRelation relation(ChemotherapySchema());
+  for (int i = 0; i < 24; ++i) {
+    relation.AppendUnchecked(duration::Hours(i + 1),
+                             {Value(int64_t{1}), Value(std::string("A")),
+                              Value(0.0), Value(std::string("u"))});
+  }
+  Result<Pattern> pattern = ParsePattern(
+      "PATTERN {a+, b+} WHERE a.L = 'A' AND b.L = 'A' WITHIN 100h",
+      ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  DefinitionTwoOptions options;
+  options.max_candidates = 1000;
+  Result<std::vector<Match>> def2 =
+      DefinitionTwoMatch(*pattern, relation, options);
+  EXPECT_FALSE(def2.ok());
+  EXPECT_EQ(def2.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace ses::baseline

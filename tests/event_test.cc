@@ -1,0 +1,206 @@
+// Unit tests for the event model: Value, Schema, Event, EventRelation, CSV.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "event/csv.h"
+#include "event/event.h"
+#include "event/relation.h"
+#include "event/schema.h"
+#include "event/value.h"
+
+namespace ses {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  Value i(int64_t{42});
+  Value d(3.5);
+  Value s(std::string("C"));
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.int64(), 42);
+  EXPECT_DOUBLE_EQ(d.as_double(), 3.5);
+  EXPECT_EQ(s.string(), "C");
+  EXPECT_DOUBLE_EQ(i.AsNumber(), 42.0);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value("WHO-Tox").ToString(), "WHO-Tox");
+}
+
+TEST(Value, EqualityAcrossNumericTypes) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_NE(Value(int64_t{2}), Value(2.5));
+  EXPECT_EQ(Value("x"), Value(std::string("x")));
+  EXPECT_NE(Value("2"), Value(int64_t{2}));  // string vs number
+}
+
+TEST(Value, CompareNumbers) {
+  EXPECT_LT(Compare(Value(int64_t{1}), Value(int64_t{2})), 0);
+  EXPECT_GT(Compare(Value(2.5), Value(int64_t{2})), 0);
+  EXPECT_EQ(Compare(Value(int64_t{2}), Value(2.0)), 0);
+}
+
+TEST(Value, CompareStrings) {
+  EXPECT_LT(Compare(Value("B"), Value("C")), 0);
+  EXPECT_EQ(Compare(Value("P"), Value("P")), 0);
+}
+
+TEST(Value, TypesComparable) {
+  EXPECT_TRUE(TypesComparable(ValueType::kInt64, ValueType::kDouble));
+  EXPECT_TRUE(TypesComparable(ValueType::kString, ValueType::kString));
+  EXPECT_FALSE(TypesComparable(ValueType::kInt64, ValueType::kString));
+}
+
+TEST(Value, TypeNames) {
+  EXPECT_EQ(ValueTypeToString(ValueType::kInt64), "INT");
+  EXPECT_EQ(*ValueTypeFromString("double"), ValueType::kDouble);
+  EXPECT_EQ(*ValueTypeFromString("VARCHAR"), ValueType::kString);
+  EXPECT_FALSE(ValueTypeFromString("blob").ok());
+}
+
+Schema TestSchema() {
+  return *Schema::Create({{"ID", ValueType::kInt64},
+                          {"L", ValueType::kString},
+                          {"V", ValueType::kDouble}});
+}
+
+TEST(Schema, CreateValidatesNames) {
+  EXPECT_FALSE(Schema::Create({{"", ValueType::kInt64}}).ok());
+  EXPECT_FALSE(Schema::Create({{"T", ValueType::kInt64}}).ok());
+  EXPECT_FALSE(Schema::Create({{"A", ValueType::kInt64},
+                               {"A", ValueType::kString}})
+                   .ok());
+  EXPECT_TRUE(Schema::Create({}).ok());  // attribute-less events are legal
+}
+
+TEST(Schema, Lookup) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.num_attributes(), 3);
+  EXPECT_EQ(*schema.IndexOf("L"), 1);
+  EXPECT_FALSE(schema.IndexOf("missing").ok());
+  EXPECT_TRUE(schema.Contains("V"));
+  EXPECT_EQ(schema.ToString(), "(ID INT, L STRING, V DOUBLE)");
+}
+
+TEST(Schema, Equality) {
+  EXPECT_EQ(TestSchema(), TestSchema());
+  Schema other = *Schema::Create({{"ID", ValueType::kInt64}});
+  EXPECT_NE(TestSchema(), other);
+}
+
+TEST(Event, AccessorsAndToString) {
+  Event e(3, duration::Days(2) + duration::Hours(11),
+          {Value(int64_t{1}), Value("B"), Value(84.0)});
+  EXPECT_EQ(e.id(), 3);
+  EXPECT_EQ(e.timestamp(), duration::Days(2) + duration::Hours(11));
+  EXPECT_EQ(e.num_values(), 3);
+  EXPECT_EQ(e.value(1).string(), "B");
+  EXPECT_EQ(e.ToString(), "e3@2+11:00:00{1, B, 84}");
+}
+
+TEST(EventRelation, AppendValidatesArityTypeAndOrder) {
+  EventRelation r(TestSchema());
+  EXPECT_TRUE(
+      r.Append(Event(kInvalidEventId, 10,
+                     {Value(int64_t{1}), Value("A"), Value(1.0)}))
+          .ok());
+  // Wrong arity.
+  EXPECT_EQ(r.Append(Event(kInvalidEventId, 11, {Value(int64_t{1})}))
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Wrong type.
+  EXPECT_EQ(r.Append(Event(kInvalidEventId, 11,
+                           {Value("x"), Value("A"), Value(1.0)}))
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Time going backwards.
+  EXPECT_EQ(r.Append(Event(kInvalidEventId, 9,
+                           {Value(int64_t{1}), Value("A"), Value(1.0)}))
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(EventRelation, AssignsSequentialIds) {
+  EventRelation r(TestSchema());
+  r.AppendUnchecked(1, {Value(int64_t{1}), Value("A"), Value(1.0)});
+  r.AppendUnchecked(2, {Value(int64_t{1}), Value("B"), Value(2.0)});
+  EXPECT_EQ(r.event(0).id(), 1);
+  EXPECT_EQ(r.event(1).id(), 2);
+  EXPECT_EQ(r.min_timestamp(), 1);
+  EXPECT_EQ(r.max_timestamp(), 2);
+}
+
+TEST(EventRelation, ValidateTotalOrderRejectsTies) {
+  EventRelation r(TestSchema());
+  r.AppendUnchecked(5, {Value(int64_t{1}), Value("A"), Value(1.0)});
+  r.AppendUnchecked(5, {Value(int64_t{1}), Value("B"), Value(2.0)});
+  EXPECT_EQ(r.ValidateTotalOrder().code(), StatusCode::kFailedPrecondition);
+}
+
+EventRelation CsvFixture() {
+  EventRelation r(TestSchema());
+  r.AppendUnchecked(9, {Value(int64_t{1}), Value("C"), Value(1672.5)});
+  r.AppendUnchecked(10, {Value(int64_t{2}), Value("quoted, \"field\""),
+                         Value(-0.5)});
+  r.AppendUnchecked(11, {Value(int64_t{3}), Value("line\nbreak"),
+                         Value(0.0)});
+  return r;
+}
+
+TEST(Csv, RoundTripPreservesEverything) {
+  EventRelation original = CsvFixture();
+  std::string csv = WriteCsvString(original);
+  Result<EventRelation> parsed = ReadCsvString(csv, original.schema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed->event(i).timestamp(), original.event(i).timestamp());
+    for (int a = 0; a < original.schema().num_attributes(); ++a) {
+      EXPECT_EQ(parsed->event(i).value(a), original.event(i).value(a))
+          << "row " << i << " attr " << a;
+    }
+  }
+}
+
+TEST(Csv, HeaderIsValidated) {
+  Schema schema = TestSchema();
+  EXPECT_FALSE(ReadCsvString("", schema).ok());
+  EXPECT_FALSE(ReadCsvString("X,ID,L,V\n", schema).ok());
+  EXPECT_FALSE(ReadCsvString("T,ID,L\n", schema).ok());      // missing column
+  EXPECT_FALSE(ReadCsvString("T,ID,V,L\n", schema).ok());    // wrong order
+  EXPECT_TRUE(ReadCsvString("T,ID,L,V\n", schema).ok());     // empty relation
+}
+
+TEST(Csv, RejectsMalformedRows) {
+  Schema schema = TestSchema();
+  // Too few fields.
+  EXPECT_FALSE(ReadCsvString("T,ID,L,V\n1,2,A\n", schema).ok());
+  // Non-numeric timestamp.
+  EXPECT_FALSE(ReadCsvString("T,ID,L,V\nxx,2,A,1.0\n", schema).ok());
+  // Non-numeric int attribute.
+  EXPECT_FALSE(ReadCsvString("T,ID,L,V\n1,two,A,1.0\n", schema).ok());
+  // Unterminated quote.
+  EXPECT_FALSE(ReadCsvString("T,ID,L,V\n1,2,\"A,1.0\n", schema).ok());
+}
+
+TEST(Csv, FileRoundTrip) {
+  EventRelation original = CsvFixture();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "ses_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  Result<EventRelation> parsed = ReadCsvFile(path, original.schema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), original.size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsvFile(path, original.schema()).ok());
+}
+
+}  // namespace
+}  // namespace ses

@@ -1,0 +1,107 @@
+// Unit tests for the metrics substrate and the event pre-filter.
+
+#include <gtest/gtest.h>
+
+#include "core/filter.h"
+#include "metrics/metrics.h"
+#include "query/parser.h"
+#include "workload/paper_fixture.h"
+
+namespace ses {
+namespace {
+
+using ::ses::workload::ChemotherapySchema;
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 6);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Metrics, MaxGaugeTracksMaximum) {
+  MaxGauge g;
+  g.Observe(5);
+  g.Observe(12);
+  g.Observe(3);
+  EXPECT_EQ(g.current(), 3);
+  EXPECT_EQ(g.max(), 12);
+  g.Reset();
+  EXPECT_EQ(g.max(), 0);
+}
+
+TEST(Metrics, StopwatchMeasuresElapsedTime) {
+  Stopwatch watch;
+  // Can't assert wall time robustly; only monotonicity and non-negativity.
+  double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(watch.ElapsedSeconds(), first);
+  EXPECT_GE(watch.ElapsedNanos(), 0);
+  watch.Restart();
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(Metrics, RegistryNamesAndDump) {
+  MetricRegistry registry;
+  registry.counter("events").Increment(3);
+  registry.gauge("instances").Observe(7);
+  EXPECT_EQ(registry.counter("events").value(), 3);
+  EXPECT_EQ(registry.gauge("instances").max(), 7);
+  std::string dump = registry.ToString();
+  EXPECT_NE(dump.find("events = 3"), std::string::npos);
+  EXPECT_NE(dump.find("instances = 7 (max 7)"), std::string::npos);
+  registry.Reset();
+  EXPECT_EQ(registry.counter("events").value(), 0);
+}
+
+Event MakeEvent(const std::string& type) {
+  return Event(1, 1,
+               {Value(int64_t{1}), Value(type), Value(0.0),
+                Value(std::string("u"))});
+}
+
+TEST(EventPreFilter, PassesOnlyRelevantEvents) {
+  Result<Pattern> pattern = ParsePattern(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  EventPreFilter filter(*pattern);
+  EXPECT_TRUE(filter.active());
+  EXPECT_TRUE(filter.ShouldProcess(MakeEvent("A")));
+  EXPECT_TRUE(filter.ShouldProcess(MakeEvent("B")));
+  EXPECT_FALSE(filter.ShouldProcess(MakeEvent("X")));
+}
+
+TEST(EventPreFilter, InactiveWhenAVariableIsUnconstrained) {
+  Result<Pattern> pattern = ParsePattern(
+      "PATTERN {a} -> {y} WHERE a.L = 'A' AND a.V = y.V WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  EventPreFilter filter(*pattern);
+  EXPECT_FALSE(filter.active());
+  // Everything passes through.
+  EXPECT_TRUE(filter.ShouldProcess(MakeEvent("Z")));
+}
+
+TEST(EventPreFilter, DisjunctionAcrossVariables) {
+  // An event satisfying ANY constant condition passes, even one of a
+  // different variable's — the filter is a disjunction (§4.5).
+  Result<Pattern> pattern = ParsePattern(
+      "PATTERN {a, b} WHERE a.L = 'A' AND a.V >= 100 AND b.L = 'B' "
+      "WITHIN 10h",
+      ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  EventPreFilter filter(*pattern);
+  ASSERT_TRUE(filter.active());
+  // Type A but V < 100: still passes via a.L = 'A'.
+  EXPECT_TRUE(filter.ShouldProcess(MakeEvent("A")));
+  EXPECT_FALSE(filter.ShouldProcess(MakeEvent("C")));
+}
+
+}  // namespace
+}  // namespace ses

@@ -1,0 +1,163 @@
+// Tests for offset comparisons (v.A φ v'.A' + C) — the gap-constraint
+// extension. Covers parsing/normalization, evaluation (integer-exact and
+// double), matching behaviour, round trips, and validation.
+
+#include <gtest/gtest.h>
+
+#include "baseline/reference_matcher.h"
+#include "core/matcher.h"
+#include "query/parser.h"
+#include "query/unparse.h"
+#include "workload/paper_fixture.h"
+
+namespace ses {
+namespace {
+
+using ::ses::workload::ChemotherapySchema;
+
+Pattern MustParse(const std::string& text) {
+  Result<Pattern> pattern = ParsePattern(text, ChemotherapySchema());
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  return *pattern;
+}
+
+EventRelation MakeStream(
+    const std::vector<std::pair<std::string, int64_t>>& spec) {
+  EventRelation relation(ChemotherapySchema());
+  for (const auto& [type, hours] : spec) {
+    relation.AppendUnchecked(duration::Hours(hours),
+                             {Value(int64_t{1}), Value(type), Value(0.0),
+                              Value(std::string("u"))});
+  }
+  return relation;
+}
+
+TEST(OffsetConditions, ParseAndRender) {
+  Pattern p = MustParse(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' "
+      "AND b.T <= a.T + 7200 WITHIN 10h");
+  ASSERT_EQ(p.conditions().size(), 3u);
+  const Condition& c = p.conditions()[2];
+  EXPECT_TRUE(c.has_offset());
+  EXPECT_EQ(c.rhs_offset().int64(), 7200);
+  EXPECT_EQ(p.ConditionToString(c), "b.T <= a.T + 7200");
+}
+
+TEST(OffsetConditions, MinusRendersAndParses) {
+  Pattern p = MustParse(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' "
+      "AND b.T >= a.T - 100 WITHIN 10h");
+  const Condition& c = p.conditions()[2];
+  EXPECT_EQ(c.rhs_offset().int64(), -100);
+  EXPECT_EQ(p.ConditionToString(c), "b.T >= a.T - 100");
+}
+
+TEST(OffsetConditions, LeftSideOffsetIsNormalized) {
+  // a.T + 100 < b.T  ⇔  a.T < b.T - 100.
+  Pattern p = MustParse(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' "
+      "AND a.T + 100 < b.T WITHIN 10h");
+  const Condition& c = p.conditions()[2];
+  EXPECT_EQ(c.lhs().variable, 0);
+  EXPECT_EQ(c.rhs_offset().int64(), -100);
+}
+
+TEST(OffsetConditions, OffsetAgainstConstantFolds) {
+  // a.V + 1 >= 10  ⇔  a.V >= 9.
+  Pattern p = MustParse(
+      "PATTERN {a} WHERE a.L = 'A' AND a.V + 1 >= 10 WITHIN 10h");
+  const Condition& c = p.conditions()[1];
+  ASSERT_TRUE(c.is_constant_condition());
+  EXPECT_DOUBLE_EQ(c.constant().AsNumber(), 9.0);
+}
+
+TEST(OffsetConditions, GapConstraintLimitsMatches) {
+  // b at most 2 hours after a.
+  Pattern p = MustParse(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' "
+      "AND b.T <= a.T + 7200 WITHIN 10h");
+  // B 2h after A: within the gap.
+  {
+    Result<std::vector<Match>> matches =
+        MatchRelation(p, MakeStream({{"A", 1}, {"B", 3}}));
+    ASSERT_TRUE(matches.ok());
+    EXPECT_EQ(matches->size(), 1u);
+  }
+  // B 3h after A: outside the gap (but inside the window) — no match.
+  {
+    Result<std::vector<Match>> matches =
+        MatchRelation(p, MakeStream({{"A", 1}, {"B", 4}}));
+    ASSERT_TRUE(matches.ok());
+    EXPECT_TRUE(matches->empty());
+  }
+}
+
+TEST(OffsetConditions, ReferenceMatcherAgrees) {
+  Pattern p = MustParse(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' "
+      "AND b.T <= a.T + 7200 WITHIN 10h");
+  EventRelation stream = MakeStream(
+      {{"A", 1}, {"B", 2}, {"A", 5}, {"B", 9}, {"A", 10}, {"B", 12}});
+  Result<std::vector<Match>> automaton = MatchRelation(p, stream);
+  Result<std::vector<Match>> reference = baseline::ReferenceMatch(p, stream);
+  ASSERT_TRUE(automaton.ok());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_TRUE(SameMatchSet(*automaton, *reference));
+}
+
+TEST(OffsetConditions, DoubleOffsetsWork) {
+  Pattern p = MustParse(
+      "PATTERN {a, x} WHERE a.L = 'A' AND x.L = 'X' AND x.V >= a.V + 0.5 "
+      "WITHIN 10h");
+  EventRelation relation(ChemotherapySchema());
+  auto add = [&relation](const std::string& type, int64_t hours, double v) {
+    relation.AppendUnchecked(duration::Hours(hours),
+                             {Value(int64_t{1}), Value(type), Value(v),
+                              Value(std::string("u"))});
+  };
+  add("A", 1, 1.0);
+  add("X", 2, 1.4);  // < 1.5: fails
+  add("X", 3, 1.5);  // >= 1.5: binds
+  Result<std::vector<Match>> matches = MatchRelation(p, relation);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  std::vector<EventId> ids = (*matches)[0].event_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, std::vector<EventId>({1, 3}));
+}
+
+TEST(OffsetConditions, UnparseRoundTrip) {
+  Pattern p = MustParse(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' "
+      "AND b.T <= a.T + 7200 AND b.V >= a.V - 1.5 WITHIN 10h");
+  std::string text = UnparsePattern(p);
+  EXPECT_NE(text.find("+ 7200"), std::string::npos);
+  EXPECT_NE(text.find("- 1.5"), std::string::npos);
+  Result<Pattern> reparsed = ParsePattern(text, p.schema());
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_EQ(UnparsePattern(*reparsed), text);
+}
+
+TEST(OffsetConditions, ValidationRejectsStrings) {
+  // String attribute with an offset.
+  EXPECT_FALSE(ParsePattern(
+                   "PATTERN {a, x} WHERE a.L = x.L + 1 WITHIN 10h",
+                   ChemotherapySchema())
+                   .ok());
+  // String literal folded with an offset.
+  EXPECT_FALSE(ParsePattern(
+                   "PATTERN {a} WHERE a.V + 1 = 'x' WITHIN 10h",
+                   ChemotherapySchema())
+                   .ok());
+}
+
+TEST(OffsetConditions, AttachedNegativeLiteralOffset) {
+  // "b.T -100" (no spaces around the minus) must parse as an offset too.
+  Pattern p = MustParse(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' "
+      "AND b.T >= a.T -100 WITHIN 10h");
+  EXPECT_EQ(p.conditions()[2].rhs_offset().int64(), -100);
+}
+
+}  // namespace
+}  // namespace ses

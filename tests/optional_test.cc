@@ -1,0 +1,265 @@
+// Tests for optional (zero-or-one) event variables — the "broader class of
+// SES patterns" extension (see DESIGN.md). Covers automaton structure,
+// matching semantics, greediness, set skipping, the DSL, and parity with
+// the reference matcher and the Definition 2 evaluator.
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "baseline/definition_two.h"
+#include "baseline/reference_matcher.h"
+#include "common/random.h"
+#include "core/automaton_builder.h"
+#include "core/matcher.h"
+#include "query/parser.h"
+#include "query/unparse.h"
+#include "workload/generic_generator.h"
+#include "workload/paper_fixture.h"
+
+namespace ses {
+namespace {
+
+using ::ses::workload::ChemotherapySchema;
+
+Pattern MustParse(const std::string& text) {
+  Result<Pattern> pattern = ParsePattern(text, ChemotherapySchema());
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  return *pattern;
+}
+
+EventRelation MakeStream(
+    const std::vector<std::pair<std::string, int64_t>>& spec) {
+  EventRelation relation(ChemotherapySchema());
+  for (const auto& [type, hours] : spec) {
+    relation.AppendUnchecked(duration::Hours(hours),
+                             {Value(int64_t{1}), Value(type), Value(0.0),
+                              Value(std::string("u"))});
+  }
+  return relation;
+}
+
+std::vector<std::vector<EventId>> IdSets(const std::vector<Match>& matches) {
+  std::vector<std::vector<EventId>> sets;
+  for (const Match& m : matches) {
+    std::vector<EventId> ids = m.event_ids();
+    std::sort(ids.begin(), ids.end());
+    sets.push_back(std::move(ids));
+  }
+  std::sort(sets.begin(), sets.end());
+  return sets;
+}
+
+TEST(OptionalVariables, DslAndValidation) {
+  Pattern p = MustParse(
+      "PATTERN {a, o?} -> {b} WHERE a.L = 'A' AND o.L = 'O' AND b.L = 'B' "
+      "WITHIN 10h");
+  VariableId o = *p.VariableByName("o");
+  EXPECT_TRUE(p.variable(o).is_optional);
+  EXPECT_FALSE(p.variable(o).is_group);
+  EXPECT_TRUE(p.HasOptionalVariables());
+  EXPECT_EQ(p.variable(o).ToString(), "o?");
+  EXPECT_EQ(p.required_mask(0), 0b01u);
+  EXPECT_EQ(p.required_all_mask(), 0b101u);
+
+  // All-optional patterns are rejected (they would match nothing at all).
+  EXPECT_FALSE(
+      ParsePattern("PATTERN {o?} WITHIN 10h", ChemotherapySchema()).ok());
+  // A variable cannot be group and optional at once: "o+?" does not lex
+  // as one variable; the direct construction is rejected too.
+  std::vector<EventVariable> vars = {{"a", false, false, 0},
+                                     {"o", true, true, 0}};
+  EXPECT_FALSE(Pattern::Create(vars, {{0, 1}}, {}, 10, ChemotherapySchema())
+                   .ok());
+}
+
+TEST(OptionalVariables, UnparseRoundTrip) {
+  Pattern p = MustParse(
+      "PATTERN {a, o?} -> {b} WHERE a.L = 'A' AND o.L = 'O' AND b.L = 'B' "
+      "WITHIN 10h");
+  std::string text = UnparsePattern(p);
+  EXPECT_NE(text.find("o?"), std::string::npos);
+  Result<Pattern> reparsed = ParsePattern(text, p.schema());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->variable(*reparsed->VariableByName("o")).is_optional);
+}
+
+TEST(OptionalVariables, AutomatonStructure) {
+  // ⟨{a, o?}, {b}⟩: states ∅, a, o, ao, ab, aob — the b-transition exists
+  // from BOTH a and ao; states ab and aob are both accepting.
+  Pattern p = MustParse(
+      "PATTERN {a, o?} -> {b} WHERE a.L = 'A' AND o.L = 'O' AND b.L = 'B' "
+      "WITHIN 10h");
+  SesAutomaton automaton = AutomatonBuilder::Build(p);
+  EXPECT_EQ(automaton.num_states(), 6);
+  EXPECT_EQ(automaton.num_accepting_states(), 2);
+  // From state "a" (mask 0b001) there are transitions for o and for b.
+  Result<StateId> a_state = automaton.StateByMask(0b001);
+  ASSERT_TRUE(a_state.ok());
+  EXPECT_EQ(automaton.outgoing(*a_state).size(), 2u);
+  // From "ao" only b.
+  Result<StateId> ao_state = automaton.StateByMask(0b011);
+  ASSERT_TRUE(ao_state.ok());
+  EXPECT_EQ(automaton.outgoing(*ao_state).size(), 1u);
+  // "ab" has no outgoing: once set 2 started, the optional of set 1 is
+  // out of reach.
+  Result<StateId> ab_state = automaton.StateByMask(0b101);
+  ASSERT_TRUE(ab_state.ok());
+  EXPECT_TRUE(automaton.IsAccepting(*ab_state));
+  EXPECT_TRUE(automaton.outgoing(*ab_state).empty());
+}
+
+TEST(OptionalVariables, MatchesWithAndWithoutTheOptionalEvent) {
+  Pattern p = MustParse(
+      "PATTERN {a, o?} -> {b} WHERE a.L = 'A' AND o.L = 'O' AND b.L = 'B' "
+      "WITHIN 10h");
+  // With the optional event present it MUST be taken (greediness).
+  {
+    Result<std::vector<Match>> matches =
+        MatchRelation(p, MakeStream({{"A", 1}, {"O", 2}, {"B", 3}}));
+    ASSERT_TRUE(matches.ok());
+    ASSERT_EQ(matches->size(), 1u);
+    EXPECT_EQ(IdSets(*matches)[0], std::vector<EventId>({1, 2, 3}));
+  }
+  // Without it the match still completes.
+  {
+    Result<std::vector<Match>> matches =
+        MatchRelation(p, MakeStream({{"A", 1}, {"B", 3}}));
+    ASSERT_TRUE(matches.ok());
+    ASSERT_EQ(matches->size(), 1u);
+    EXPECT_EQ(IdSets(*matches)[0], std::vector<EventId>({1, 2}));
+  }
+  // The optional event arriving after b must NOT bind (set order).
+  {
+    Result<std::vector<Match>> matches =
+        MatchRelation(p, MakeStream({{"A", 1}, {"B", 3}, {"O", 4}}));
+    ASSERT_TRUE(matches.ok());
+    ASSERT_EQ(matches->size(), 1u);
+    EXPECT_EQ(IdSets(*matches)[0], std::vector<EventId>({1, 2}));
+  }
+}
+
+TEST(OptionalVariables, RequiredVariableStillRequired) {
+  Pattern p = MustParse(
+      "PATTERN {a, o?} -> {b} WHERE a.L = 'A' AND o.L = 'O' AND b.L = 'B' "
+      "WITHIN 10h");
+  // Only the optional (and b): no match without a.
+  Result<std::vector<Match>> matches =
+      MatchRelation(p, MakeStream({{"O", 1}, {"B", 2}}));
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST(OptionalVariables, FullyOptionalSetCanBeSkipped) {
+  Pattern p = MustParse(
+      "PATTERN {a} -> {o?} -> {b} WHERE a.L = 'A' AND o.L = 'O' AND "
+      "b.L = 'B' WITHIN 10h");
+  // Skipped middle set.
+  {
+    Result<std::vector<Match>> matches =
+        MatchRelation(p, MakeStream({{"A", 1}, {"B", 2}}));
+    ASSERT_TRUE(matches.ok());
+    ASSERT_EQ(matches->size(), 1u);
+  }
+  // Taken middle set, with the ordering constraints intact: O before a
+  // does not bind.
+  {
+    Result<std::vector<Match>> matches = MatchRelation(
+        p, MakeStream({{"O", 1}, {"A", 2}, {"O", 3}, {"B", 4}}));
+    ASSERT_TRUE(matches.ok());
+    ASSERT_EQ(matches->size(), 1u);
+    EXPECT_EQ(IdSets(*matches)[0], std::vector<EventId>({2, 3, 4}));
+  }
+}
+
+TEST(OptionalVariables, OptionalInLastSetEmitsGreedily) {
+  Pattern p = MustParse(
+      "PATTERN {a} -> {b, o?} WHERE a.L = 'A' AND b.L = 'B' AND o.L = 'O' "
+      "WITHIN 10h");
+  Result<std::vector<Match>> matches =
+      MatchRelation(p, MakeStream({{"A", 1}, {"B", 2}, {"O", 3}}));
+  ASSERT_TRUE(matches.ok());
+  // Only the maximal match {a, b, o}: after O fires, the shorter
+  // instance is replaced by the branched one (mandatory take).
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ(IdSets(*matches)[0], std::vector<EventId>({1, 2, 3}));
+}
+
+TEST(OptionalVariables, ConditionsOnOptionalApplyOnlyWhenBound) {
+  Pattern p = MustParse(
+      "PATTERN {a, o?} -> {b} WHERE a.L = 'A' AND o.L = 'O' AND b.L = 'B' "
+      "AND o.ID = a.ID WITHIN 10h");
+  EventRelation relation(ChemotherapySchema());
+  auto add = [&relation](const std::string& type, int64_t hours, int64_t id) {
+    relation.AppendUnchecked(duration::Hours(hours),
+                             {Value(id), Value(type), Value(0.0),
+                              Value(std::string("u"))});
+  };
+  add("A", 1, 1);
+  add("O", 2, 2);  // wrong partition: does not bind, run continues
+  add("B", 3, 1);
+  Result<std::vector<Match>> matches = MatchRelation(p, relation);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ(IdSets(*matches)[0], std::vector<EventId>({1, 3}));
+}
+
+TEST(OptionalVariables, ReferenceMatcherAndDefinitionTwoAgree) {
+  Pattern p = MustParse(
+      "PATTERN {a, o?} -> {b} WHERE a.L = 'A' AND o.L = 'O' AND b.L = 'B' "
+      "WITHIN 10h");
+  for (auto spec : std::vector<std::vector<std::pair<std::string, int64_t>>>{
+           {{"A", 1}, {"O", 2}, {"B", 3}},
+           {{"A", 1}, {"B", 3}},
+           {{"O", 1}, {"A", 2}, {"B", 3}},
+           {{"A", 1}, {"O", 2}, {"O", 3}, {"B", 4}},
+       }) {
+    EventRelation stream = MakeStream(spec);
+    Result<std::vector<Match>> automaton = MatchRelation(p, stream);
+    Result<std::vector<Match>> reference =
+        baseline::ReferenceMatch(p, stream);
+    ASSERT_TRUE(automaton.ok());
+    ASSERT_TRUE(reference.ok());
+    EXPECT_TRUE(SameMatchSet(*automaton, *reference));
+    for (const Match& m : *automaton) {
+      EXPECT_TRUE(baseline::CheckMatchInvariants(p, m).ok());
+    }
+    Result<std::vector<Match>> def2 = baseline::DefinitionTwoMatch(p, stream);
+    ASSERT_TRUE(def2.ok());
+    EXPECT_TRUE(SameMatchSet(*automaton, *def2))
+        << "def2 found " << def2->size() << ", automaton "
+        << automaton->size();
+  }
+}
+
+TEST(OptionalVariables, BruteForceRefusesOptionalPatterns) {
+  Pattern p = MustParse(
+      "PATTERN {a, o?} WHERE a.L = 'A' AND o.L = 'O' WITHIN 10h");
+  EXPECT_EQ(baseline::BruteForceMatcher::Create(p).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(OptionalVariables, RandomizedAgreementWithReference) {
+  // Random streams over a fixed optional-rich pattern.
+  Pattern p = MustParse(
+      "PATTERN {a, o?} -> {x?, b} WHERE a.L = 'A' AND o.L = 'C' AND "
+      "x.L = 'C' AND b.L = 'B' WITHIN 4h");
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::StreamOptions options;
+    options.num_events = 60;
+    options.num_partitions = 2;
+    options.type_weights = {{"A", 1}, {"B", 1}, {"C", 1}, {"X", 1}};
+    options.min_gap = duration::Minutes(5);
+    options.max_gap = duration::Minutes(30);
+    options.seed = seed;
+    EventRelation stream = workload::GenerateStream(options);
+    Result<std::vector<Match>> automaton = MatchRelation(p, stream);
+    Result<std::vector<Match>> reference =
+        baseline::ReferenceMatch(p, stream);
+    ASSERT_TRUE(automaton.ok());
+    ASSERT_TRUE(reference.ok());
+    EXPECT_TRUE(SameMatchSet(*automaton, *reference)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ses

@@ -1,0 +1,242 @@
+// Tests for the pattern DSL: lexer tokens and the recursive-descent parser,
+// including error reporting.
+
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "workload/paper_fixture.h"
+
+namespace ses {
+namespace {
+
+using ::ses::workload::ChemotherapySchema;
+
+std::vector<TokenKind> Kinds(const std::string& input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  if (tokens.ok()) {
+    for (const Token& t : *tokens) kinds.push_back(t.kind);
+  }
+  return kinds;
+}
+
+TEST(Lexer, TokenizesPunctuationAndOperators) {
+  EXPECT_EQ(Kinds("{ } , . + -> ; = == != <> < <= > >="),
+            (std::vector<TokenKind>{
+                TokenKind::kLeftBrace, TokenKind::kRightBrace,
+                TokenKind::kComma, TokenKind::kDot, TokenKind::kPlus,
+                TokenKind::kArrow, TokenKind::kSemicolon, TokenKind::kEq,
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kNe,
+                TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                TokenKind::kGe, TokenKind::kEnd}));
+}
+
+TEST(Lexer, TokenizesLiteralsAndIdentifiers) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("abc 264 3.5 -7 'str' \"dq\" 264h");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // 8 tokens + end
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "abc");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kFloat);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[3].text, "-7");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[4].text, "str");
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[5].text, "dq");
+  // "264h" lexes as integer then identifier (the duration-unit form).
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[7].text, "h");
+}
+
+TEST(Lexer, QuoteEscapingAndComments) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("'it''s' -- comment to end of line\nnext");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+  EXPECT_EQ((*tokens)[1].text, "next");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  Result<std::vector<Token>> tokens = Tokenize("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].column, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(Lexer, StandaloneMinusIsAToken) {
+  // "- x" lexes as kMinus + identifier (offset syntax); "-7" stays a
+  // negative literal.
+  Result<std::vector<Token>> tokens = Tokenize("- x -7");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kMinus);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[2].text, "-7");
+}
+
+TEST(Lexer, ScientificNotation) {
+  Result<std::vector<Token>> tokens = Tokenize("1e3 2.5E-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kFloat);
+  EXPECT_EQ((*tokens)[0].text, "1e3");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kFloat);
+  EXPECT_EQ((*tokens)[1].text, "2.5E-2");
+}
+
+// --- Parser ---
+
+TEST(Parser, ParsesTheRunningExample) {
+  Result<Pattern> p = ParsePattern(R"(
+    PATTERN {c, p+, d} -> {b}
+    WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+      AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+    WITHIN 264h
+  )",
+                                   ChemotherapySchema());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->num_sets(), 2);
+  EXPECT_EQ(p->window(), duration::Hours(264));
+  EXPECT_EQ(p->conditions().size(), 7u);
+}
+
+TEST(Parser, SemicolonSeparatorAndNoWhere) {
+  Result<Pattern> p = ParsePattern("PATTERN {a} ; {b} WITHIN 60s",
+                                   ChemotherapySchema());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->num_sets(), 2);
+  EXPECT_EQ(p->window(), 60);
+  EXPECT_TRUE(p->conditions().empty());
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive) {
+  Result<Pattern> p = ParsePattern(
+      "pattern {a} where a.L = 'A' within 2m", ChemotherapySchema());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->window(), 120);
+}
+
+TEST(Parser, DurationUnits) {
+  EXPECT_EQ(
+      ParsePattern("PATTERN {a} WITHIN 90", ChemotherapySchema())->window(),
+      90);
+  EXPECT_EQ(
+      ParsePattern("PATTERN {a} WITHIN 90s", ChemotherapySchema())->window(),
+      90);
+  EXPECT_EQ(
+      ParsePattern("PATTERN {a} WITHIN 5m", ChemotherapySchema())->window(),
+      300);
+  EXPECT_EQ(
+      ParsePattern("PATTERN {a} WITHIN 2h", ChemotherapySchema())->window(),
+      7200);
+  EXPECT_EQ(
+      ParsePattern("PATTERN {a} WITHIN 11d", ChemotherapySchema())->window(),
+      duration::Hours(264));
+  EXPECT_FALSE(
+      ParsePattern("PATTERN {a} WITHIN 5y", ChemotherapySchema()).ok());
+}
+
+TEST(Parser, MirrorsConstantOnLeft) {
+  Result<Pattern> p = ParsePattern(
+      "PATTERN {a} WHERE 10 < a.V WITHIN 60s", ChemotherapySchema());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->conditions().size(), 1u);
+  const Condition& c = p->conditions()[0];
+  EXPECT_TRUE(c.is_constant_condition());
+  EXPECT_EQ(c.op(), ComparisonOp::kGt);  // a.V > 10
+  EXPECT_EQ(p->ConditionToString(c), "a.V > 10");
+}
+
+TEST(Parser, CoercesIntegerLiteralForDoubleAttribute) {
+  Result<Pattern> p = ParsePattern(
+      "PATTERN {a} WHERE a.V = 10 WITHIN 60s", ChemotherapySchema());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->conditions()[0].constant().is_double());
+}
+
+TEST(Parser, TimestampAttribute) {
+  Result<Pattern> p = ParsePattern(
+      "PATTERN {a} -> {b} WHERE a.T < 100 AND b.T >= 50 WITHIN 60s",
+      ChemotherapySchema());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->conditions()[0].lhs().is_timestamp());
+}
+
+TEST(Parser, GroupVariableSuffix) {
+  Result<Pattern> p =
+      ParsePattern("PATTERN {a+, b} WITHIN 60s", ChemotherapySchema());
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->variable(*p->VariableByName("a")).is_group);
+  EXPECT_FALSE(p->variable(*p->VariableByName("b")).is_group);
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  Result<Pattern> p =
+      ParsePattern("PATTERN {a WITHIN 60s", ChemotherapySchema());
+  ASSERT_FALSE(p.ok());
+  // "1:12: ..." — the parser points at the offending token.
+  EXPECT_NE(p.status().message().find("1:"), std::string::npos);
+}
+
+TEST(Parser, RejectsMalformedQueries) {
+  Schema s = ChemotherapySchema();
+  EXPECT_FALSE(ParsePattern("", s).ok());
+  EXPECT_FALSE(ParsePattern("PATTERN", s).ok());
+  EXPECT_FALSE(ParsePattern("PATTERN {}", s).ok());
+  EXPECT_FALSE(ParsePattern("PATTERN {a}", s).ok());  // missing WITHIN
+  EXPECT_FALSE(ParsePattern("PATTERN {a} WITHIN", s).ok());
+  EXPECT_FALSE(ParsePattern("PATTERN {a} WITHIN 60s trailing", s).ok());
+  EXPECT_FALSE(ParsePattern("PATTERN {a,} WITHIN 60s", s).ok());
+  EXPECT_FALSE(ParsePattern("PATTERN {a} WHERE WITHIN 60s", s).ok());
+  EXPECT_FALSE(ParsePattern("PATTERN {a} WHERE a.L WITHIN 60s", s).ok());
+  EXPECT_FALSE(ParsePattern("PATTERN {a} WHERE a.L = AND WITHIN 60s", s).ok());
+  // Both sides constant.
+  EXPECT_FALSE(ParsePattern("PATTERN {a} WHERE 1 = 1 WITHIN 60s", s).ok());
+  // Unknown variable / attribute.
+  EXPECT_FALSE(
+      ParsePattern("PATTERN {a} WHERE z.L = 'A' WITHIN 60s", s).ok());
+  EXPECT_FALSE(
+      ParsePattern("PATTERN {a} WHERE a.NOPE = 'A' WITHIN 60s", s).ok());
+  // Duplicate variable.
+  EXPECT_FALSE(ParsePattern("PATTERN {a} -> {a} WITHIN 60s", s).ok());
+  // Type mismatch.
+  EXPECT_FALSE(
+      ParsePattern("PATTERN {a} WHERE a.ID = 'x' WITHIN 60s", s).ok());
+}
+
+TEST(Parser, VariableConditionBetweenSets) {
+  Result<Pattern> p = ParsePattern(
+      "PATTERN {a} -> {b} WHERE a.ID = b.ID AND a.V <= b.V WITHIN 60s",
+      ChemotherapySchema());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->conditions().size(), 2u);
+  EXPECT_FALSE(p->conditions()[0].is_constant_condition());
+}
+
+TEST(Parser, ManySetsAndVariables) {
+  Result<Pattern> p = ParsePattern(
+      "PATTERN {a, b, c1} -> {d+} -> {e, f} -> {g} WITHIN 1d",
+      ChemotherapySchema());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->num_sets(), 4);
+  EXPECT_EQ(p->num_variables(), 7);
+  EXPECT_TRUE(p->variable(*p->VariableByName("d")).is_group);
+}
+
+}  // namespace
+}  // namespace ses

@@ -1,0 +1,109 @@
+// Tests for the execution observer / TextTracer, replicating the
+// execution steps of Figure 6 of the paper for the instance that produces
+// patient 1's match.
+
+#include <gtest/gtest.h>
+
+#include "core/matcher.h"
+#include "core/trace.h"
+#include "workload/paper_fixture.h"
+
+namespace ses {
+namespace {
+
+using ::ses::workload::PaperEventRelation;
+using ::ses::workload::PaperQ1Pattern;
+
+/// Runs Q1 on the Figure 1 relation with a TextTracer attached.
+std::string TraceRunningExample(bool prefilter) {
+  Result<Pattern> pattern = PaperQ1Pattern();
+  EXPECT_TRUE(pattern.ok());
+  MatcherOptions options;
+  options.enable_prefilter = prefilter;
+  Matcher matcher(*pattern, options);
+  TextTracer tracer(&matcher.automaton());
+  matcher.set_observer(&tracer);
+  std::vector<Match> matches;
+  for (const Event& e : PaperEventRelation()) {
+    EXPECT_TRUE(matcher.Push(e, &matches).ok());
+  }
+  matcher.Flush(&matches);
+  return tracer.trace();
+}
+
+TEST(Trace, ReproducesFigure6Steps) {
+  std::string trace = TraceRunningExample(/*prefilter=*/true);
+  // Figure 6(b): reading e1 starts a match — the fresh instance takes the
+  // c-transition.
+  EXPECT_NE(trace.find("((), {}) --c--> (c, {c/e1})"), std::string::npos)
+      << trace;
+  // Figure 6(c): e2 is ignored by the instance in state {c}.
+  EXPECT_NE(trace.find("read e2\n  (c, {c/e1}) ignored"), std::string::npos);
+  // Figure 6(d): e3 matches d.
+  EXPECT_NE(trace.find("(c, {c/e1}) --d--> (cd, {c/e1, d/e3})"),
+            std::string::npos);
+  // Figure 6(e): e4 moves the instance to state {c,d,p+}.
+  EXPECT_NE(
+      trace.find("(cd, {c/e1, d/e3}) --p+--> (cp+d, {c/e1, d/e3, p+/e4})"),
+      std::string::npos);
+  // Figure 6(g): e9 fires the loop (repetition matched).
+  EXPECT_NE(trace.find("(cp+d, {c/e1, d/e3, p+/e4}) --p+--> (cp+d, {c/e1, "
+                       "d/e3, p+/e4, p+/e9})"),
+            std::string::npos);
+  // Figure 6(h): e12 reaches the accepting state.
+  EXPECT_NE(trace.find("--b--> (cp+db, {c/e1, d/e3, p+/e4, p+/e9, b/e12})"),
+            std::string::npos);
+  // The match is reported (at flush).
+  EXPECT_NE(trace.find("match {c/e1, d/e3, p+/e4, p+/e9, b/e12}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("expired [accepting]"), std::string::npos);
+}
+
+TEST(Trace, FilteredEventsAreMarked) {
+  // All Figure 1 events satisfy some constant condition of Q1, so none is
+  // filtered; a pattern mentioning only blood counts filters the rest.
+  Result<Pattern> pattern = workload::PaperFigure3Pattern();
+  ASSERT_TRUE(pattern.ok());
+  Matcher matcher(*pattern);
+  TextTracer tracer(&matcher.automaton());
+  matcher.set_observer(&tracer);
+  std::vector<Match> matches;
+  for (const Event& e : PaperEventRelation()) {
+    ASSERT_TRUE(matcher.Push(e, &matches).ok());
+  }
+  matcher.Flush(&matches);
+  EXPECT_NE(tracer.trace().find("read e1 [filtered]"), std::string::npos);
+  EXPECT_NE(tracer.trace().find("read e2\n"), std::string::npos);
+}
+
+TEST(Trace, ObserverCanBeRemoved) {
+  Result<Pattern> pattern = PaperQ1Pattern();
+  ASSERT_TRUE(pattern.ok());
+  Matcher matcher(*pattern);
+  TextTracer tracer(&matcher.automaton());
+  matcher.set_observer(&tracer);
+  std::vector<Match> matches;
+  EventRelation events = PaperEventRelation();
+  ASSERT_TRUE(matcher.Push(events.event(0), &matches).ok());
+  size_t traced = tracer.trace().size();
+  EXPECT_GT(traced, 0u);
+  matcher.set_observer(nullptr);
+  ASSERT_TRUE(matcher.Push(events.event(1), &matches).ok());
+  EXPECT_EQ(tracer.trace().size(), traced);
+}
+
+TEST(Trace, ClearResetsTheBuffer) {
+  Result<Pattern> pattern = PaperQ1Pattern();
+  ASSERT_TRUE(pattern.ok());
+  Matcher matcher(*pattern);
+  TextTracer tracer(&matcher.automaton());
+  matcher.set_observer(&tracer);
+  std::vector<Match> matches;
+  ASSERT_TRUE(matcher.Push(PaperEventRelation().event(0), &matches).ok());
+  EXPECT_FALSE(tracer.trace().empty());
+  tracer.Clear();
+  EXPECT_TRUE(tracer.trace().empty());
+}
+
+}  // namespace
+}  // namespace ses
