@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment1_instances.dir/experiment1_instances.cc.o"
+  "CMakeFiles/experiment1_instances.dir/experiment1_instances.cc.o.d"
+  "experiment1_instances"
+  "experiment1_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment1_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment2_window.dir/experiment2_window.cc.o"
+  "CMakeFiles/experiment2_window.dir/experiment2_window.cc.o.d"
+  "experiment2_window"
+  "experiment2_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment2_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment3_filter.dir/experiment3_filter.cc.o"
+  "CMakeFiles/experiment3_filter.dir/experiment3_filter.cc.o.d"
+  "experiment3_filter"
+  "experiment3_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment3_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

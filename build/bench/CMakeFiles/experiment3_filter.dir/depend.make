@@ -1,0 +1,2 @@
+# Empty dependencies file for experiment3_filter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_build.dir/micro_build.cc.o"
+  "CMakeFiles/micro_build.dir/micro_build.cc.o.d"
+  "micro_build"
+  "micro_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

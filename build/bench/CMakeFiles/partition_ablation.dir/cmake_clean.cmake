@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_ablation.dir/partition_ablation.cc.o"
+  "CMakeFiles/partition_ablation.dir/partition_ablation.cc.o.d"
+  "partition_ablation"
+  "partition_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_bounds.dir/theorem_bounds.cc.o"
+  "CMakeFiles/theorem_bounds.dir/theorem_bounds.cc.o.d"
+  "theorem_bounds"
+  "theorem_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

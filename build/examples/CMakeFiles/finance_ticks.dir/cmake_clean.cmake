@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_ticks.dir/finance_ticks.cpp.o"
+  "CMakeFiles/finance_ticks.dir/finance_ticks.cpp.o.d"
+  "finance_ticks"
+  "finance_ticks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_ticks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for finance_ticks.
+# This may be replaced when dependencies are built.

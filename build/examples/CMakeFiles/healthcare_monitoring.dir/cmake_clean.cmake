@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_monitoring.dir/healthcare_monitoring.cpp.o"
+  "CMakeFiles/healthcare_monitoring.dir/healthcare_monitoring.cpp.o.d"
+  "healthcare_monitoring"
+  "healthcare_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

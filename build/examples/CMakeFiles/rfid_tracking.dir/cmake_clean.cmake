@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_tracking.dir/rfid_tracking.cpp.o"
+  "CMakeFiles/rfid_tracking.dir/rfid_tracking.cpp.o.d"
+  "rfid_tracking"
+  "rfid_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rfid_tracking.
+# This may be replaced when dependencies are built.

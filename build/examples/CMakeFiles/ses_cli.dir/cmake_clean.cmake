@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_cli.dir/ses_cli.cpp.o"
+  "CMakeFiles/ses_cli.dir/ses_cli.cpp.o.d"
+  "ses_cli"
+  "ses_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

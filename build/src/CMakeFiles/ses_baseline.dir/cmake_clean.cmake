@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_baseline.dir/baseline/brute_force.cc.o"
+  "CMakeFiles/ses_baseline.dir/baseline/brute_force.cc.o.d"
+  "CMakeFiles/ses_baseline.dir/baseline/definition_two.cc.o"
+  "CMakeFiles/ses_baseline.dir/baseline/definition_two.cc.o.d"
+  "CMakeFiles/ses_baseline.dir/baseline/permutations.cc.o"
+  "CMakeFiles/ses_baseline.dir/baseline/permutations.cc.o.d"
+  "CMakeFiles/ses_baseline.dir/baseline/reference_matcher.cc.o"
+  "CMakeFiles/ses_baseline.dir/baseline/reference_matcher.cc.o.d"
+  "libses_baseline.a"
+  "libses_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_common.dir/common/crc32c.cc.o"
+  "CMakeFiles/ses_common.dir/common/crc32c.cc.o.d"
+  "CMakeFiles/ses_common.dir/common/logging.cc.o"
+  "CMakeFiles/ses_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ses_common.dir/common/random.cc.o"
+  "CMakeFiles/ses_common.dir/common/random.cc.o.d"
+  "CMakeFiles/ses_common.dir/common/status.cc.o"
+  "CMakeFiles/ses_common.dir/common/status.cc.o.d"
+  "CMakeFiles/ses_common.dir/common/strings.cc.o"
+  "CMakeFiles/ses_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/ses_common.dir/common/time.cc.o"
+  "CMakeFiles/ses_common.dir/common/time.cc.o.d"
+  "libses_common.a"
+  "libses_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

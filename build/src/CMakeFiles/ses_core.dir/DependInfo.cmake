@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/automaton.cc" "src/CMakeFiles/ses_core.dir/core/automaton.cc.o" "gcc" "src/CMakeFiles/ses_core.dir/core/automaton.cc.o.d"
+  "/root/repo/src/core/automaton_builder.cc" "src/CMakeFiles/ses_core.dir/core/automaton_builder.cc.o" "gcc" "src/CMakeFiles/ses_core.dir/core/automaton_builder.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/CMakeFiles/ses_core.dir/core/executor.cc.o" "gcc" "src/CMakeFiles/ses_core.dir/core/executor.cc.o.d"
+  "/root/repo/src/core/filter.cc" "src/CMakeFiles/ses_core.dir/core/filter.cc.o" "gcc" "src/CMakeFiles/ses_core.dir/core/filter.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/CMakeFiles/ses_core.dir/core/instance.cc.o" "gcc" "src/CMakeFiles/ses_core.dir/core/instance.cc.o.d"
+  "/root/repo/src/core/match.cc" "src/CMakeFiles/ses_core.dir/core/match.cc.o" "gcc" "src/CMakeFiles/ses_core.dir/core/match.cc.o.d"
+  "/root/repo/src/core/matcher.cc" "src/CMakeFiles/ses_core.dir/core/matcher.cc.o" "gcc" "src/CMakeFiles/ses_core.dir/core/matcher.cc.o.d"
+  "/root/repo/src/core/partitioned.cc" "src/CMakeFiles/ses_core.dir/core/partitioned.cc.o" "gcc" "src/CMakeFiles/ses_core.dir/core/partitioned.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/CMakeFiles/ses_core.dir/core/trace.cc.o" "gcc" "src/CMakeFiles/ses_core.dir/core/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ses_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ses_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ses_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ses_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

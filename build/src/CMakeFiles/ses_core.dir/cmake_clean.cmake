@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_core.dir/core/automaton.cc.o"
+  "CMakeFiles/ses_core.dir/core/automaton.cc.o.d"
+  "CMakeFiles/ses_core.dir/core/automaton_builder.cc.o"
+  "CMakeFiles/ses_core.dir/core/automaton_builder.cc.o.d"
+  "CMakeFiles/ses_core.dir/core/executor.cc.o"
+  "CMakeFiles/ses_core.dir/core/executor.cc.o.d"
+  "CMakeFiles/ses_core.dir/core/filter.cc.o"
+  "CMakeFiles/ses_core.dir/core/filter.cc.o.d"
+  "CMakeFiles/ses_core.dir/core/instance.cc.o"
+  "CMakeFiles/ses_core.dir/core/instance.cc.o.d"
+  "CMakeFiles/ses_core.dir/core/match.cc.o"
+  "CMakeFiles/ses_core.dir/core/match.cc.o.d"
+  "CMakeFiles/ses_core.dir/core/matcher.cc.o"
+  "CMakeFiles/ses_core.dir/core/matcher.cc.o.d"
+  "CMakeFiles/ses_core.dir/core/partitioned.cc.o"
+  "CMakeFiles/ses_core.dir/core/partitioned.cc.o.d"
+  "CMakeFiles/ses_core.dir/core/trace.cc.o"
+  "CMakeFiles/ses_core.dir/core/trace.cc.o.d"
+  "libses_core.a"
+  "libses_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

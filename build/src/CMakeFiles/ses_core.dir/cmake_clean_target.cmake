@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libses_core.a"
+)

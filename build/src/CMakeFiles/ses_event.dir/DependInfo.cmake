@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/csv.cc" "src/CMakeFiles/ses_event.dir/event/csv.cc.o" "gcc" "src/CMakeFiles/ses_event.dir/event/csv.cc.o.d"
+  "/root/repo/src/event/event.cc" "src/CMakeFiles/ses_event.dir/event/event.cc.o" "gcc" "src/CMakeFiles/ses_event.dir/event/event.cc.o.d"
+  "/root/repo/src/event/relation.cc" "src/CMakeFiles/ses_event.dir/event/relation.cc.o" "gcc" "src/CMakeFiles/ses_event.dir/event/relation.cc.o.d"
+  "/root/repo/src/event/schema.cc" "src/CMakeFiles/ses_event.dir/event/schema.cc.o" "gcc" "src/CMakeFiles/ses_event.dir/event/schema.cc.o.d"
+  "/root/repo/src/event/value.cc" "src/CMakeFiles/ses_event.dir/event/value.cc.o" "gcc" "src/CMakeFiles/ses_event.dir/event/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ses_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_event.dir/event/csv.cc.o"
+  "CMakeFiles/ses_event.dir/event/csv.cc.o.d"
+  "CMakeFiles/ses_event.dir/event/event.cc.o"
+  "CMakeFiles/ses_event.dir/event/event.cc.o.d"
+  "CMakeFiles/ses_event.dir/event/relation.cc.o"
+  "CMakeFiles/ses_event.dir/event/relation.cc.o.d"
+  "CMakeFiles/ses_event.dir/event/schema.cc.o"
+  "CMakeFiles/ses_event.dir/event/schema.cc.o.d"
+  "CMakeFiles/ses_event.dir/event/value.cc.o"
+  "CMakeFiles/ses_event.dir/event/value.cc.o.d"
+  "libses_event.a"
+  "libses_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_metrics.dir/metrics/metrics.cc.o"
+  "CMakeFiles/ses_metrics.dir/metrics/metrics.cc.o.d"
+  "libses_metrics.a"
+  "libses_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

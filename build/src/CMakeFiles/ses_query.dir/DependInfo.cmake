@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/condition.cc" "src/CMakeFiles/ses_query.dir/query/condition.cc.o" "gcc" "src/CMakeFiles/ses_query.dir/query/condition.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/ses_query.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/ses_query.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/ses_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/ses_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/pattern.cc" "src/CMakeFiles/ses_query.dir/query/pattern.cc.o" "gcc" "src/CMakeFiles/ses_query.dir/query/pattern.cc.o.d"
+  "/root/repo/src/query/pattern_builder.cc" "src/CMakeFiles/ses_query.dir/query/pattern_builder.cc.o" "gcc" "src/CMakeFiles/ses_query.dir/query/pattern_builder.cc.o.d"
+  "/root/repo/src/query/unparse.cc" "src/CMakeFiles/ses_query.dir/query/unparse.cc.o" "gcc" "src/CMakeFiles/ses_query.dir/query/unparse.cc.o.d"
+  "/root/repo/src/query/variable.cc" "src/CMakeFiles/ses_query.dir/query/variable.cc.o" "gcc" "src/CMakeFiles/ses_query.dir/query/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ses_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ses_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

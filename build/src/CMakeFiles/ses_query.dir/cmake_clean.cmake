@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_query.dir/query/condition.cc.o"
+  "CMakeFiles/ses_query.dir/query/condition.cc.o.d"
+  "CMakeFiles/ses_query.dir/query/lexer.cc.o"
+  "CMakeFiles/ses_query.dir/query/lexer.cc.o.d"
+  "CMakeFiles/ses_query.dir/query/parser.cc.o"
+  "CMakeFiles/ses_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/ses_query.dir/query/pattern.cc.o"
+  "CMakeFiles/ses_query.dir/query/pattern.cc.o.d"
+  "CMakeFiles/ses_query.dir/query/pattern_builder.cc.o"
+  "CMakeFiles/ses_query.dir/query/pattern_builder.cc.o.d"
+  "CMakeFiles/ses_query.dir/query/unparse.cc.o"
+  "CMakeFiles/ses_query.dir/query/unparse.cc.o.d"
+  "CMakeFiles/ses_query.dir/query/variable.cc.o"
+  "CMakeFiles/ses_query.dir/query/variable.cc.o.d"
+  "libses_query.a"
+  "libses_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

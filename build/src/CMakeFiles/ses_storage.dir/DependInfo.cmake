@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/event_store.cc" "src/CMakeFiles/ses_storage.dir/storage/event_store.cc.o" "gcc" "src/CMakeFiles/ses_storage.dir/storage/event_store.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/ses_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/ses_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/table_format.cc" "src/CMakeFiles/ses_storage.dir/storage/table_format.cc.o" "gcc" "src/CMakeFiles/ses_storage.dir/storage/table_format.cc.o.d"
+  "/root/repo/src/storage/table_reader.cc" "src/CMakeFiles/ses_storage.dir/storage/table_reader.cc.o" "gcc" "src/CMakeFiles/ses_storage.dir/storage/table_reader.cc.o.d"
+  "/root/repo/src/storage/table_writer.cc" "src/CMakeFiles/ses_storage.dir/storage/table_writer.cc.o" "gcc" "src/CMakeFiles/ses_storage.dir/storage/table_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ses_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ses_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_storage.dir/storage/event_store.cc.o"
+  "CMakeFiles/ses_storage.dir/storage/event_store.cc.o.d"
+  "CMakeFiles/ses_storage.dir/storage/page.cc.o"
+  "CMakeFiles/ses_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/ses_storage.dir/storage/table_format.cc.o"
+  "CMakeFiles/ses_storage.dir/storage/table_format.cc.o.d"
+  "CMakeFiles/ses_storage.dir/storage/table_reader.cc.o"
+  "CMakeFiles/ses_storage.dir/storage/table_reader.cc.o.d"
+  "CMakeFiles/ses_storage.dir/storage/table_writer.cc.o"
+  "CMakeFiles/ses_storage.dir/storage/table_writer.cc.o.d"
+  "libses_storage.a"
+  "libses_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

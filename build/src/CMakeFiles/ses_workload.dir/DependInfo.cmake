@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/chemotherapy.cc" "src/CMakeFiles/ses_workload.dir/workload/chemotherapy.cc.o" "gcc" "src/CMakeFiles/ses_workload.dir/workload/chemotherapy.cc.o.d"
+  "/root/repo/src/workload/generic_generator.cc" "src/CMakeFiles/ses_workload.dir/workload/generic_generator.cc.o" "gcc" "src/CMakeFiles/ses_workload.dir/workload/generic_generator.cc.o.d"
+  "/root/repo/src/workload/paper_fixture.cc" "src/CMakeFiles/ses_workload.dir/workload/paper_fixture.cc.o" "gcc" "src/CMakeFiles/ses_workload.dir/workload/paper_fixture.cc.o.d"
+  "/root/repo/src/workload/replicate.cc" "src/CMakeFiles/ses_workload.dir/workload/replicate.cc.o" "gcc" "src/CMakeFiles/ses_workload.dir/workload/replicate.cc.o.d"
+  "/root/repo/src/workload/window.cc" "src/CMakeFiles/ses_workload.dir/workload/window.cc.o" "gcc" "src/CMakeFiles/ses_workload.dir/workload/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ses_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ses_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ses_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

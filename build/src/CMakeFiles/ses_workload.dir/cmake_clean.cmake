@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ses_workload.dir/workload/chemotherapy.cc.o"
+  "CMakeFiles/ses_workload.dir/workload/chemotherapy.cc.o.d"
+  "CMakeFiles/ses_workload.dir/workload/generic_generator.cc.o"
+  "CMakeFiles/ses_workload.dir/workload/generic_generator.cc.o.d"
+  "CMakeFiles/ses_workload.dir/workload/paper_fixture.cc.o"
+  "CMakeFiles/ses_workload.dir/workload/paper_fixture.cc.o.d"
+  "CMakeFiles/ses_workload.dir/workload/replicate.cc.o"
+  "CMakeFiles/ses_workload.dir/workload/replicate.cc.o.d"
+  "CMakeFiles/ses_workload.dir/workload/window.cc.o"
+  "CMakeFiles/ses_workload.dir/workload/window.cc.o.d"
+  "libses_workload.a"
+  "libses_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ses_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

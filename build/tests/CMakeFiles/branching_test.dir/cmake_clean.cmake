@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branching_test.dir/branching_test.cc.o"
+  "CMakeFiles/branching_test.dir/branching_test.cc.o.d"
+  "branching_test"
+  "branching_test.pdb"
+  "branching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/definition_two_test.dir/definition_two_test.cc.o"
+  "CMakeFiles/definition_two_test.dir/definition_two_test.cc.o.d"
+  "definition_two_test"
+  "definition_two_test.pdb"
+  "definition_two_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/definition_two_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

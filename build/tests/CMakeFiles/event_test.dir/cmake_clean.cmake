@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_test.dir/event_test.cc.o"
+  "CMakeFiles/event_test.dir/event_test.cc.o.d"
+  "event_test"
+  "event_test.pdb"
+  "event_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

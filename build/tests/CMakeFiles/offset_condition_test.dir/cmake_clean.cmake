@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offset_condition_test.dir/offset_condition_test.cc.o"
+  "CMakeFiles/offset_condition_test.dir/offset_condition_test.cc.o.d"
+  "offset_condition_test"
+  "offset_condition_test.pdb"
+  "offset_condition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offset_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

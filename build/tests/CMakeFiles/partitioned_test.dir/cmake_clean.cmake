@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_test.dir/partitioned_test.cc.o"
+  "CMakeFiles/partitioned_test.dir/partitioned_test.cc.o.d"
+  "partitioned_test"
+  "partitioned_test.pdb"
+  "partitioned_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/running_example_test.dir/running_example_test.cc.o"
+  "CMakeFiles/running_example_test.dir/running_example_test.cc.o.d"
+  "running_example_test"
+  "running_example_test.pdb"
+  "running_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/running_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
