@@ -17,6 +17,7 @@
 // statistics.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -24,7 +25,9 @@
 
 #include "common/strings.h"
 #include "core/matcher.h"
+#include "core/partitioned.h"
 #include "event/csv.h"
+#include "exec/parallel_partitioned.h"
 #include "query/parser.h"
 #include "storage/table_reader.h"
 #include "workload/paper_fixture.h"
@@ -42,13 +45,16 @@ struct CliArgs {
   bool no_filter = false;
   bool stats = false;
   bool dot = false;
+  /// 0 = serial matcher; N >= 1 = parallel partitioned runtime with N
+  /// worker shards (requires a partitionable pattern).
+  int threads = 0;
 };
 
 void PrintUsage() {
   std::printf(
       "usage: ses_cli [--demo] [--schema \"NAME TYPE, ...\"] [--data FILE]\n"
       "               [--query TEXT | --query-file FILE]\n"
-      "               [--no-filter] [--stats] [--dot]\n"
+      "               [--no-filter] [--stats] [--dot] [--threads N]\n"
       "  --demo        run the paper's running example (Figure 1 + Q1)\n"
       "  --schema      attribute list for CSV input (TYPE: INT, DOUBLE,\n"
       "                STRING); .sestbl tables are self-describing\n"
@@ -58,7 +64,10 @@ void PrintUsage() {
       "  --no-filter   disable the event pre-filter (sec. 4.5)\n"
       "  --stats       print execution statistics\n"
       "  --format F    output format: text (default) or csv\n"
-      "  --dot         print the SES automaton as Graphviz dot and exit\n");
+      "  --dot         print the SES automaton as Graphviz dot and exit\n"
+      "  --threads N   match with the parallel partitioned runtime on N\n"
+      "                worker shards; the pattern must carry a complete\n"
+      "                equality graph on one attribute (partition key)\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -90,6 +99,12 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       SES_ASSIGN_OR_RETURN(args.format, need_value(i));
       if (args.format != "text" && args.format != "csv") {
         return Status::InvalidArgument("--format must be text or csv");
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
+      args.threads = std::atoi(value.c_str());
+      if (args.threads < 1) {
+        return Status::InvalidArgument("--threads needs a positive integer");
       }
     } else if (std::strcmp(argv[i], "--no-filter") == 0) {
       args.no_filter = true;
@@ -160,19 +175,45 @@ Status Run(const CliArgs& args) {
 
   MatcherOptions options;
   options.enable_prefilter = !args.no_filter;
-  Matcher matcher(pattern, options);
-
-  if (args.dot) {
-    std::printf("%s", matcher.automaton().ToDot().c_str());
-    return Status::OK();
-  }
 
   std::vector<Match> matches;
-  for (const Event& event : events) {
-    SES_RETURN_IF_ERROR(matcher.Push(event, &matches));
+  ExecutorStats serial_stats;
+  exec::ParallelStats parallel_stats;
+  if (args.threads >= 1) {
+    Result<int> attribute = FindPartitionAttribute(pattern);
+    if (!attribute.ok()) {
+      return Status::InvalidArgument(
+          "--threads requires a partitionable pattern: " +
+          attribute.status().ToString());
+    }
+    exec::ParallelOptions parallel_options;
+    parallel_options.num_shards = args.threads;
+    parallel_options.matcher = options;
+    SES_ASSIGN_OR_RETURN(exec::ParallelPartitionedMatcher matcher,
+                         exec::ParallelPartitionedMatcher::Create(
+                             pattern, *attribute, parallel_options));
+    if (args.dot) {
+      std::printf("%s", matcher.automaton().ToDot().c_str());
+      return Status::OK();
+    }
+    for (const Event& event : events) {
+      SES_RETURN_IF_ERROR(matcher.Push(event));
+    }
+    SES_RETURN_IF_ERROR(matcher.Flush(&matches));  // emits in sorted order
+    parallel_stats = matcher.stats();
+  } else {
+    Matcher matcher(pattern, options);
+    if (args.dot) {
+      std::printf("%s", matcher.automaton().ToDot().c_str());
+      return Status::OK();
+    }
+    for (const Event& event : events) {
+      SES_RETURN_IF_ERROR(matcher.Push(event, &matches));
+    }
+    matcher.Flush(&matches);
+    SortMatches(&matches);
+    serial_stats = matcher.stats();
   }
-  matcher.Flush(&matches);
-  SortMatches(&matches);
 
   if (args.format == "csv") {
     // One row per binding: match number, variable, event id, timestamp.
@@ -198,15 +239,26 @@ Status Run(const CliArgs& args) {
   }
 
   if (args.stats) {
-    const ExecutorStats& stats = matcher.stats();
-    std::printf(
-        "stats: filtered %lld/%lld events, max %lld instances, "
-        "%lld transitions evaluated, %lld conditions evaluated\n",
-        static_cast<long long>(stats.events_filtered),
-        static_cast<long long>(stats.events_seen),
-        static_cast<long long>(stats.max_simultaneous_instances),
-        static_cast<long long>(stats.transitions_evaluated),
-        static_cast<long long>(stats.conditions_evaluated));
+    if (args.threads >= 1) {
+      std::printf(
+          "stats: %lld events over %d shard(s), %lld partitions created, "
+          "%lld evicted, max queue depth %lld, merge %.4fs\n",
+          static_cast<long long>(parallel_stats.events_ingested),
+          args.threads,
+          static_cast<long long>(parallel_stats.partitions_created),
+          static_cast<long long>(parallel_stats.partitions_evicted),
+          static_cast<long long>(parallel_stats.max_queue_depth),
+          parallel_stats.merge_seconds);
+    } else {
+      std::printf(
+          "stats: filtered %lld/%lld events, max %lld instances, "
+          "%lld transitions evaluated, %lld conditions evaluated\n",
+          static_cast<long long>(serial_stats.events_filtered),
+          static_cast<long long>(serial_stats.events_seen),
+          static_cast<long long>(serial_stats.max_simultaneous_instances),
+          static_cast<long long>(serial_stats.transitions_evaluated),
+          static_cast<long long>(serial_stats.conditions_evaluated));
+    }
   }
   return Status::OK();
 }

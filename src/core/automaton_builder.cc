@@ -1,11 +1,15 @@
 #include "core/automaton_builder.h"
 
+#include <atomic>
+
 #include "common/bits.h"
 #include "common/logging.h"
 
 namespace ses {
 
 namespace {
+
+std::atomic<int64_t> g_builds_started{0};
 
 /// Collects Θδ for the transition binding `variable` out of a state whose
 /// bound variables are `bound_mask` (= prefix of preceding sets plus the
@@ -50,7 +54,12 @@ void AppendOrderingConstraints(VariableMask prefix_mask, VariableId variable,
 
 }  // namespace
 
+int64_t AutomatonBuilder::builds_started() {
+  return g_builds_started.load(std::memory_order_relaxed);
+}
+
 SesAutomaton AutomatonBuilder::Build(const Pattern& pattern) {
+  g_builds_started.fetch_add(1, std::memory_order_relaxed);
   SesAutomaton automaton;
   automaton.pattern_ = pattern;
 

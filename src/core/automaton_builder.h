@@ -1,6 +1,8 @@
 #ifndef SES_CORE_AUTOMATON_BUILDER_H_
 #define SES_CORE_AUTOMATON_BUILDER_H_
 
+#include <cstdint>
+
 #include "core/automaton.h"
 #include "query/pattern.h"
 
@@ -26,6 +28,12 @@ class AutomatonBuilder {
   /// Builds the automaton for `pattern`. `pattern` is copied into the
   /// automaton so the result is self-contained.
   static SesAutomaton Build(const Pattern& pattern);
+
+  /// Process-wide count of Build() invocations. The powerset construction
+  /// is exponential in the largest event-set size, so callers that fan out
+  /// over partitions or shards must compile once and share; tests assert
+  /// that by diffing this counter around matcher construction.
+  static int64_t builds_started();
 };
 
 }  // namespace ses

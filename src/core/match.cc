@@ -53,17 +53,43 @@ std::string Match::ToString(const Pattern& pattern) const {
   return out;
 }
 
+bool MatchOrderLess(const Match& a, const Match& b) {
+  if (a.start_time() != b.start_time()) {
+    return a.start_time() < b.start_time();
+  }
+  if (a.end_time() != b.end_time()) return a.end_time() < b.end_time();
+  return a.SubstitutionKey() < b.SubstitutionKey();
+}
+
 void SortMatches(std::vector<Match>* matches) {
-  std::sort(matches->begin(), matches->end(),
-            [](const Match& a, const Match& b) {
-              if (a.start_time() != b.start_time()) {
-                return a.start_time() < b.start_time();
-              }
-              if (a.end_time() != b.end_time()) {
-                return a.end_time() < b.end_time();
-              }
-              return a.SubstitutionKey() < b.SubstitutionKey();
+  // The substitution key allocates, so computing it inside the comparator
+  // costs O(n log n) allocations — painful when merging the match buffers
+  // of many shards. Precompute one key per match and sort a permutation.
+  struct Entry {
+    Timestamp start;
+    Timestamp end;
+    std::vector<std::pair<VariableId, EventId>> key;
+    size_t index;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(matches->size());
+  for (size_t i = 0; i < matches->size(); ++i) {
+    const Match& m = (*matches)[i];
+    entries.push_back(Entry{m.start_time(), m.end_time(),
+                            m.SubstitutionKey(), i});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              return a.key < b.key;
             });
+  std::vector<Match> sorted;
+  sorted.reserve(matches->size());
+  for (const Entry& entry : entries) {
+    sorted.push_back(std::move((*matches)[entry.index]));
+  }
+  *matches = std::move(sorted);
 }
 
 bool SameMatchSet(const std::vector<Match>& a, const std::vector<Match>& b) {

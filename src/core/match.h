@@ -51,6 +51,13 @@ class Match {
   Timestamp end_ = 0;
 };
 
+/// Canonical match order: (start time, end time, substitution key) — the
+/// order SortMatches produces. The substitution-key comparison allocates,
+/// so it only runs on (start, end) ties; with globally unique event
+/// timestamps those are rare, making this cheap enough for merging large
+/// pre-sorted runs (see exec/parallel_partitioned.h).
+bool MatchOrderLess(const Match& a, const Match& b);
+
 /// Sorts matches by (start time, end time, substitution key); used by tests
 /// and harnesses to compare result sets deterministically.
 void SortMatches(std::vector<Match>* matches);

@@ -5,9 +5,17 @@
 
 namespace ses {
 
+std::shared_ptr<const SesAutomaton> CompileAutomaton(const Pattern& pattern) {
+  return std::make_shared<const SesAutomaton>(
+      AutomatonBuilder::Build(pattern));
+}
+
 Matcher::Matcher(const Pattern& pattern, MatcherOptions options)
-    : automaton_(std::make_unique<SesAutomaton>(
-          AutomatonBuilder::Build(pattern))) {
+    : Matcher(CompileAutomaton(pattern), options) {}
+
+Matcher::Matcher(std::shared_ptr<const SesAutomaton> automaton,
+                 MatcherOptions options)
+    : automaton_(std::move(automaton)) {
   ExecutorOptions executor_options;
   executor_options.enable_prefilter = options.enable_prefilter;
   executor_options.shared_constant_evaluation =

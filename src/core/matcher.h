@@ -39,9 +39,21 @@ struct MatcherOptions {
 /// expires (or at Flush). Events must arrive in strictly increasing
 /// timestamp order (the paper assumes T defines a total order, §3.1);
 /// Push returns FailedPrecondition otherwise.
+/// Compiles `pattern` into an immutable, shareable automaton. The powerset
+/// construction is exponential in the largest event-set size, so callers
+/// that run many matchers over the same pattern (one per partition, one per
+/// shard) must compile once and hand the result to every Matcher.
+std::shared_ptr<const SesAutomaton> CompileAutomaton(const Pattern& pattern);
+
 class Matcher {
  public:
   explicit Matcher(const Pattern& pattern, MatcherOptions options = {});
+
+  /// Shares a pre-compiled automaton (see CompileAutomaton). The automaton
+  /// is immutable after construction, so any number of Matchers — including
+  /// matchers on different threads — may hold the same one.
+  explicit Matcher(std::shared_ptr<const SesAutomaton> automaton,
+                   MatcherOptions options = {});
 
   Matcher(Matcher&&) = default;
   Matcher& operator=(Matcher&&) = default;
@@ -69,7 +81,7 @@ class Matcher {
   }
 
  private:
-  std::unique_ptr<SesAutomaton> automaton_;
+  std::shared_ptr<const SesAutomaton> automaton_;
   std::unique_ptr<SesExecutor> executor_;
   bool has_watermark_ = false;
   Timestamp watermark_ = 0;

@@ -43,7 +43,7 @@ Result<PartitionedMatcher> PartitionedMatcher::Create(const Pattern& pattern,
     return Status::InvalidArgument(
         "DOUBLE attributes cannot be used as partition keys");
   }
-  return PartitionedMatcher(pattern, attribute, options);
+  return PartitionedMatcher(CompileAutomaton(pattern), attribute, options);
 }
 
 Status PartitionedMatcher::Push(const Event& event, std::vector<Match>* out) {
@@ -51,7 +51,7 @@ Status PartitionedMatcher::Push(const Event& event, std::vector<Match>* out) {
   const Value& key = event.value(attribute_);
   auto it = matchers_.find(key);
   if (it == matchers_.end()) {
-    it = matchers_.emplace(key, Matcher(pattern_, options_)).first;
+    it = matchers_.emplace(key, Matcher(automaton_, options_)).first;
     stats_.num_partitions = static_cast<int64_t>(matchers_.size());
   }
   Matcher& matcher = it->second;
@@ -75,6 +75,15 @@ void PartitionedMatcher::Flush(std::vector<Match>* out) {
   active_instances_ = 0;
   stats_.matches_emitted +=
       static_cast<int64_t>(out->size() - matches_before);
+}
+
+void PartitionedMatcher::Reset() {
+  // Dropping the per-key Matchers (rather than Reset()ing each) also
+  // releases their instance memory; partitions repopulate on contact. The
+  // shared automaton survives, so no recompilation happens.
+  matchers_.clear();
+  active_instances_ = 0;
+  stats_ = PartitionedStats{};
 }
 
 Result<std::vector<Match>> PartitionedMatchRelation(

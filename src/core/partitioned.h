@@ -67,10 +67,16 @@ class PartitionedMatcher {
   /// Flushes every partition.
   void Flush(std::vector<Match>* out);
 
+  /// Clears all partitions and statistics so the matcher can consume a new
+  /// relation (mirrors Matcher::Reset). The compiled automaton is kept.
+  void Reset();
+
   const PartitionedStats& stats() const { return stats_; }
   int64_t num_partitions() const {
     return static_cast<int64_t>(matchers_.size());
   }
+  const SesAutomaton& automaton() const { return *automaton_; }
+  const Pattern& pattern() const { return automaton_->pattern(); }
 
  private:
   struct ValueLess {
@@ -79,12 +85,15 @@ class PartitionedMatcher {
     }
   };
 
-  PartitionedMatcher(Pattern pattern, int attribute, MatcherOptions options)
-      : pattern_(std::move(pattern)),
+  PartitionedMatcher(std::shared_ptr<const SesAutomaton> automaton,
+                     int attribute, MatcherOptions options)
+      : automaton_(std::move(automaton)),
         attribute_(attribute),
         options_(options) {}
 
-  Pattern pattern_;
+  /// Compiled once in Create and shared by every partition's Matcher — the
+  /// powerset construction must NOT re-run per partition key.
+  std::shared_ptr<const SesAutomaton> automaton_;
   int attribute_;
   MatcherOptions options_;
   std::map<Value, Matcher, ValueLess> matchers_;

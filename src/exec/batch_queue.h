@@ -1,0 +1,79 @@
+#ifndef SES_EXEC_BATCH_QUEUE_H_
+#define SES_EXEC_BATCH_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/time.h"
+#include "event/event.h"
+
+namespace ses::exec {
+
+/// A unit of work handed from the ingest thread to a shard worker of the
+/// parallel partitioned runtime (see exec/parallel_partitioned.h).
+struct EventBatch {
+  enum class Kind {
+    kEvents,  // process `events`, then run the eviction sweep
+    kFlush,   // flush every partition, then acknowledge
+    kReset,   // drop all partitions, matches, and stats, then acknowledge
+    kStop,    // exit the worker loop
+  };
+
+  Kind kind = Kind::kEvents;
+  std::vector<Event> events;
+  /// Global high-water timestamp at enqueue time. Shards never see the full
+  /// stream, so the ingest thread forwards its watermark with every batch;
+  /// the receiving shard uses it to detect idle partitions.
+  Timestamp watermark = 0;
+};
+
+/// Bounded FIFO of EventBatches between the ingest thread and one shard
+/// worker (mutex + two condition variables). Push blocks while the queue is
+/// at capacity, bounding the memory held by a slow shard; Pop blocks while
+/// it is empty. The queue mutex also provides the happens-before edge that
+/// lets the ingest thread read worker-owned state after a barrier batch has
+/// been acknowledged.
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  void Push(EventBatch batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(batch));
+    not_empty_.notify_one();
+  }
+
+  EventBatch Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !queue_.empty(); });
+    EventBatch batch = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return batch;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<EventBatch> queue_;
+  size_t capacity_;
+};
+
+}  // namespace ses::exec
+
+#endif  // SES_EXEC_BATCH_QUEUE_H_

@@ -1,0 +1,400 @@
+#include "exec/parallel_partitioned.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+#include "exec/batch_queue.h"
+#include "metrics/metrics.h"
+
+namespace ses::exec {
+
+namespace {
+
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return Compare(a, b) < 0;
+  }
+};
+
+size_t HashKey(const Value& key) {
+  // DOUBLE keys are rejected at Create, so only the exact types remain.
+  if (key.is_int64()) return std::hash<int64_t>{}(key.int64());
+  return std::hash<std::string>{}(key.string());
+}
+
+}  // namespace
+
+struct ParallelPartitionedMatcher::Impl {
+  /// One resident partition: a per-key Matcher over the shared automaton
+  /// plus the timestamp of the key's newest event (drives eviction).
+  struct Partition {
+    Matcher matcher;
+    Timestamp last_seen = 0;
+  };
+
+  /// Worker-owned state is only touched by the shard's thread; the ingest
+  /// thread reads or mutates it exclusively between a barrier
+  /// acknowledgement (happens-before via `mu`) and the next queue Push
+  /// (happens-before via the queue mutex).
+  struct Shard {
+    explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+    BatchQueue queue;
+    std::thread worker;
+
+    // Worker-owned.
+    std::map<Value, Partition, ValueLess> partitions;
+    std::vector<Match> matches;
+    ShardStats stats;
+    Status status = Status::OK();
+
+    // Barrier acknowledgement for kFlush/kReset control batches.
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t acks = 0;
+  };
+
+  std::shared_ptr<const SesAutomaton> automaton;
+  int attribute = 0;
+  ParallelOptions options;
+  /// Eviction threshold after clamping to the pattern window; negative
+  /// disables eviction.
+  Duration effective_timeout = -1;
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::vector<Event>> pending;  // per-shard ingest buffers
+
+  bool has_watermark = false;
+  Timestamp watermark = 0;
+  int64_t barrier_epoch = 0;
+
+  int64_t events_ingested = 0;
+  int64_t batches_enqueued = 0;
+  int64_t max_queue_depth = 0;
+  ParallelStats last_stats;
+
+  ~Impl() {
+    if (shards.empty()) return;
+    for (auto& shard : shards) {
+      shard->queue.Push(EventBatch{EventBatch::Kind::kStop, {}, watermark});
+    }
+    for (auto& shard : shards) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+  }
+
+  void Start() {
+    for (auto& shard : shards) {
+      Shard* s = shard.get();
+      s->worker = std::thread([this, s] { WorkerLoop(*s); });
+    }
+  }
+
+  // ---- Worker side -------------------------------------------------------
+
+  void WorkerLoop(Shard& shard) {
+    while (true) {
+      EventBatch batch = shard.queue.Pop();
+      switch (batch.kind) {
+        case EventBatch::Kind::kEvents:
+          ProcessBatch(shard, batch);
+          break;
+        case EventBatch::Kind::kFlush:
+          FlushShard(shard);
+          Acknowledge(shard);
+          break;
+        case EventBatch::Kind::kReset:
+          shard.partitions.clear();
+          shard.matches.clear();
+          shard.stats = ShardStats{};
+          shard.status = Status::OK();
+          Acknowledge(shard);
+          break;
+        case EventBatch::Kind::kStop:
+          return;
+      }
+    }
+  }
+
+  void ProcessBatch(Shard& shard, EventBatch& batch) {
+    ++shard.stats.batches_processed;
+    size_t matches_before = shard.matches.size();
+    for (Event& event : batch.events) {
+      ++shard.stats.events_processed;
+      if (!shard.status.ok()) continue;  // drain after an error
+      const Value& key = event.value(static_cast<int>(attribute));
+      auto it = shard.partitions.find(key);
+      if (it == shard.partitions.end()) {
+        it = shard.partitions
+                 .emplace(key,
+                          Partition{Matcher(automaton, options.matcher), 0})
+                 .first;
+        ++shard.stats.partitions_created;
+        shard.stats.max_resident_partitions =
+            std::max(shard.stats.max_resident_partitions,
+                     static_cast<int64_t>(shard.partitions.size()));
+      }
+      Partition& partition = it->second;
+      partition.last_seen = event.timestamp();
+      Status status = partition.matcher.Push(event, &shard.matches);
+      if (!status.ok()) shard.status = std::move(status);
+    }
+    if (effective_timeout >= 0) {
+      EvictIdle(shard, batch.watermark);
+    }
+    shard.stats.matches_emitted +=
+        static_cast<int64_t>(shard.matches.size() - matches_before);
+  }
+
+  /// Flushes and reclaims partitions whose newest event is older than
+  /// `watermark − τe`. Every automaton instance of such a partition has
+  /// min_timestamp ≤ last_seen, and any future event of the key arrives at
+  /// t > watermark, so t − min_timestamp > τe ≥ window: the instance has
+  /// logically expired, and Flush emits exactly the matches the serial
+  /// matcher would emit at that expiry.
+  void EvictIdle(Shard& shard, Timestamp shard_watermark) {
+    for (auto it = shard.partitions.begin(); it != shard.partitions.end();) {
+      if (it->second.last_seen < shard_watermark - effective_timeout) {
+        it->second.matcher.Flush(&shard.matches);
+        it = shard.partitions.erase(it);
+        ++shard.stats.partitions_evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void FlushShard(Shard& shard) {
+    size_t matches_before = shard.matches.size();
+    for (auto& [key, partition] : shard.partitions) {
+      partition.matcher.Flush(&shard.matches);
+    }
+    shard.partitions.clear();
+    shard.stats.matches_emitted +=
+        static_cast<int64_t>(shard.matches.size() - matches_before);
+    // Pre-sort this shard's run while the other shards do the same, so the
+    // ingest thread's merge is a cheap k-way merge of sorted runs instead
+    // of a full sort of the union.
+    SortMatches(&shard.matches);
+  }
+
+  void Acknowledge(Shard& shard) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.acks;
+    shard.cv.notify_all();
+  }
+
+  // ---- Ingest side -------------------------------------------------------
+
+  Status Ingest(const Event& event) {
+    if (has_watermark && event.timestamp() <= watermark) {
+      return Status::FailedPrecondition(strings::Format(
+          "events must have strictly increasing timestamps "
+          "(got %lld after %lld)",
+          static_cast<long long>(event.timestamp()),
+          static_cast<long long>(watermark)));
+    }
+    has_watermark = true;
+    watermark = event.timestamp();
+    ++events_ingested;
+    size_t shard_index =
+        HashKey(event.value(static_cast<int>(attribute))) % shards.size();
+    std::vector<Event>& buffer = pending[shard_index];
+    buffer.push_back(event);
+    if (buffer.size() >= options.batch_size) {
+      FlushPending(shard_index);
+    }
+    return Status::OK();
+  }
+
+  void FlushPending(size_t shard_index) {
+    std::vector<Event>& buffer = pending[shard_index];
+    if (buffer.empty()) return;
+    EventBatch batch;
+    batch.kind = EventBatch::Kind::kEvents;
+    batch.events = std::move(buffer);
+    batch.watermark = watermark;
+    buffer = {};
+    Shard& shard = *shards[shard_index];
+    shard.queue.Push(std::move(batch));
+    ++batches_enqueued;
+    max_queue_depth = std::max(
+        max_queue_depth, static_cast<int64_t>(shard.queue.depth()));
+  }
+
+  /// Enqueues a control batch to every shard and waits until all of them
+  /// acknowledge it. Pending event buffers are flushed first so the control
+  /// batch observes the full stream.
+  void Barrier(EventBatch::Kind kind) {
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (kind == EventBatch::Kind::kFlush) {
+        FlushPending(i);
+      } else {
+        pending[i].clear();
+      }
+    }
+    ++barrier_epoch;
+    for (auto& shard : shards) {
+      shard->queue.Push(EventBatch{kind, {}, watermark});
+    }
+    for (auto& shard : shards) {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv.wait(lock, [&] { return shard->acks >= barrier_epoch; });
+    }
+  }
+
+  Status Flush(std::vector<Match>* out) {
+    Barrier(EventBatch::Kind::kFlush);
+
+    Stopwatch merge_watch;
+    Status first_error = Status::OK();
+    std::vector<std::vector<Match>> runs;
+    for (auto& shard : shards) {
+      if (first_error.ok() && !shard->status.ok()) {
+        first_error = shard->status;
+      }
+      if (!shard->matches.empty()) {
+        runs.push_back(std::move(shard->matches));
+      }
+      shard->matches = {};
+    }
+    // Deterministic merge: every run arrives pre-sorted in canonical
+    // MatchOrderLess order (the workers sort during the barrier, in
+    // parallel), so a merge tree yields the full canonical order — the
+    // emitted sequence is independent of shard count and worker
+    // scheduling, byte-identical to sorted serial output. Two distinct
+    // matches never compare equal across shards (partitions are disjoint),
+    // so the order is total on the actual data.
+    while (runs.size() > 1) {
+      std::vector<std::vector<Match>> next;
+      next.reserve(runs.size() / 2 + 1);
+      for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+        std::vector<Match> merged;
+        merged.reserve(runs[i].size() + runs[i + 1].size());
+        std::merge(std::make_move_iterator(runs[i].begin()),
+                   std::make_move_iterator(runs[i].end()),
+                   std::make_move_iterator(runs[i + 1].begin()),
+                   std::make_move_iterator(runs[i + 1].end()),
+                   std::back_inserter(merged), MatchOrderLess);
+        next.push_back(std::move(merged));
+      }
+      if (runs.size() % 2 == 1) next.push_back(std::move(runs.back()));
+      runs = std::move(next);
+    }
+    if (!runs.empty()) {
+      out->insert(out->end(), std::make_move_iterator(runs[0].begin()),
+                  std::make_move_iterator(runs[0].end()));
+    }
+
+    last_stats = ParallelStats{};
+    last_stats.events_ingested = events_ingested;
+    last_stats.batches_enqueued = batches_enqueued;
+    last_stats.max_queue_depth = max_queue_depth;
+    last_stats.merge_seconds = merge_watch.ElapsedSeconds();
+    for (auto& shard : shards) {
+      last_stats.partitions_created += shard->stats.partitions_created;
+      last_stats.partitions_evicted += shard->stats.partitions_evicted;
+      last_stats.matches_emitted += shard->stats.matches_emitted;
+      last_stats.shards.push_back(shard->stats);
+    }
+    return first_error;
+  }
+
+  void ResetAll() {
+    Barrier(EventBatch::Kind::kReset);
+    has_watermark = false;
+    watermark = 0;
+    events_ingested = 0;
+    batches_enqueued = 0;
+    max_queue_depth = 0;
+    last_stats = ParallelStats{};
+  }
+};
+
+Result<ParallelPartitionedMatcher> ParallelPartitionedMatcher::Create(
+    const Pattern& pattern, int attribute, ParallelOptions options) {
+  if (attribute < 0 || attribute >= pattern.schema().num_attributes()) {
+    return Status::InvalidArgument("partition attribute index out of range");
+  }
+  if (pattern.schema().attribute(attribute).type == ValueType::kDouble) {
+    return Status::InvalidArgument(
+        "DOUBLE attributes cannot be used as partition keys");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->automaton = CompileAutomaton(pattern);
+  impl->attribute = attribute;
+  options.num_shards = std::max(options.num_shards, 1);
+  options.batch_size = std::max<size_t>(options.batch_size, 1);
+  impl->options = options;
+  impl->effective_timeout =
+      options.idle_timeout < 0
+          ? -1
+          : std::max(options.idle_timeout, impl->automaton->window());
+  impl->shards.reserve(static_cast<size_t>(options.num_shards));
+  for (int i = 0; i < options.num_shards; ++i) {
+    impl->shards.push_back(
+        std::make_unique<Impl::Shard>(options.queue_capacity));
+  }
+  impl->pending.resize(impl->shards.size());
+  impl->Start();
+  return ParallelPartitionedMatcher(std::move(impl));
+}
+
+ParallelPartitionedMatcher::ParallelPartitionedMatcher(
+    std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+ParallelPartitionedMatcher::~ParallelPartitionedMatcher() = default;
+ParallelPartitionedMatcher::ParallelPartitionedMatcher(
+    ParallelPartitionedMatcher&&) noexcept = default;
+ParallelPartitionedMatcher& ParallelPartitionedMatcher::operator=(
+    ParallelPartitionedMatcher&&) noexcept = default;
+
+Status ParallelPartitionedMatcher::Push(const Event& event) {
+  return impl_->Ingest(event);
+}
+
+Status ParallelPartitionedMatcher::Flush(std::vector<Match>* out) {
+  return impl_->Flush(out);
+}
+
+void ParallelPartitionedMatcher::Reset() { impl_->ResetAll(); }
+
+const ParallelStats& ParallelPartitionedMatcher::stats() const {
+  return impl_->last_stats;
+}
+
+const SesAutomaton& ParallelPartitionedMatcher::automaton() const {
+  return *impl_->automaton;
+}
+
+int ParallelPartitionedMatcher::num_shards() const {
+  return static_cast<int>(impl_->shards.size());
+}
+
+Result<std::vector<Match>> ParallelPartitionedMatchRelation(
+    const Pattern& pattern, const EventRelation& relation, int attribute,
+    ParallelOptions options, ParallelStats* stats) {
+  SES_RETURN_IF_ERROR(relation.ValidateTotalOrder());
+  if (attribute < 0) {
+    SES_ASSIGN_OR_RETURN(attribute, FindPartitionAttribute(pattern));
+  }
+  SES_ASSIGN_OR_RETURN(
+      ParallelPartitionedMatcher matcher,
+      ParallelPartitionedMatcher::Create(pattern, attribute, options));
+  for (const Event& event : relation) {
+    SES_RETURN_IF_ERROR(matcher.Push(event));
+  }
+  std::vector<Match> matches;
+  SES_RETURN_IF_ERROR(matcher.Flush(&matches));
+  if (stats != nullptr) *stats = matcher.stats();
+  return matches;
+}
+
+}  // namespace ses::exec

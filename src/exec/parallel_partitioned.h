@@ -1,0 +1,139 @@
+#ifndef SES_EXEC_PARALLEL_PARTITIONED_H_
+#define SES_EXEC_PARALLEL_PARTITIONED_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/partitioned.h"
+
+namespace ses::exec {
+
+/// Parallel partitioned execution — the sharded runtime on top of
+/// core/partitioned.h.
+///
+/// The SES automaton is embarrassingly parallel across equality partitions:
+/// once a pattern carries a complete equality graph on one attribute
+/// (FindPartitionAttribute), events of different key values never interact.
+/// This runtime exploits that by hashing partition keys onto N worker
+/// shards. Each shard owns an event queue, its own map of per-key Matchers
+/// (all sharing ONE compiled automaton — the exponential powerset
+/// construction runs exactly once per pattern), and a private match buffer.
+/// The ingest thread batches events per shard to amortize queue locking.
+///
+/// Matches are reported at the Flush() barrier: every shard flushes its
+/// partitions, the ingest thread merges the per-shard buffers and sorts
+/// them with SortMatches, so the output is byte-identical to serial
+/// partitioned (and global) execution after the same normalization,
+/// independent of shard count and scheduling.
+///
+/// Partition eviction: streaming over high-cardinality keys (the "millions
+/// of users" regime) must not keep every partition resident forever. A
+/// partition whose newest event is older than `watermark − τe` is flushed
+/// (accepting instances emit their matches) and reclaimed. Because τe is
+/// clamped to at least the pattern window τ, every instance of an evicted
+/// partition has already logically expired — any future event of that key
+/// would arrive more than τ after the instance's earliest binding — so
+/// eviction preserves Definition 2 semantics exactly (see DESIGN.md §8).
+struct ParallelOptions {
+  /// Number of worker shards (threads). Clamped to at least 1.
+  int num_shards = 4;
+  /// Idle-partition eviction threshold τe, in ticks. Clamped up to the
+  /// pattern window so eviction never changes the match set; 0 means
+  /// "evict as soon as provably safe" (τe = window). Negative disables
+  /// eviction (partitions stay resident until Flush).
+  Duration idle_timeout = 0;
+  /// Events buffered per shard before the batch is enqueued.
+  size_t batch_size = 256;
+  /// Queue capacity per shard, in batches; bounds the memory a slow shard
+  /// can accumulate (the ingest thread blocks when a queue is full).
+  size_t queue_capacity = 64;
+  /// Options forwarded to every per-partition Matcher.
+  MatcherOptions matcher;
+};
+
+/// Counters owned by one shard worker. Only the worker writes them; the
+/// ingest thread reads them after the Flush/Reset acknowledgement barrier.
+struct ShardStats {
+  int64_t events_processed = 0;
+  int64_t batches_processed = 0;
+  int64_t partitions_created = 0;
+  int64_t partitions_evicted = 0;
+  int64_t max_resident_partitions = 0;
+  int64_t max_queue_depth = 0;
+  int64_t matches_emitted = 0;
+};
+
+/// Aggregated runtime statistics, snapshotted at Flush().
+struct ParallelStats {
+  int64_t events_ingested = 0;
+  int64_t batches_enqueued = 0;
+  int64_t partitions_created = 0;
+  int64_t partitions_evicted = 0;
+  int64_t max_queue_depth = 0;
+  int64_t matches_emitted = 0;
+  /// Wall-clock seconds spent merging and sorting shard outputs.
+  double merge_seconds = 0.0;
+  std::vector<ShardStats> shards;
+};
+
+/// The parallel analogue of PartitionedMatcher. Streaming contract:
+///
+///   SES_ASSIGN_OR_RETURN(auto matcher,
+///                        ParallelPartitionedMatcher::Create(p, attr, opts));
+///   for (const Event& e : incoming) SES_RETURN_IF_ERROR(matcher.Push(e));
+///   std::vector<Match> matches;
+///   SES_RETURN_IF_ERROR(matcher.Flush(&matches));   // barrier + merge
+///   matcher.Reset();                                // optional reuse
+///
+/// Push is asynchronous: matches surface only at Flush (the deterministic
+/// merge needs all shards quiesced). Push must see strictly increasing
+/// timestamps, exactly like Matcher::Push.
+class ParallelPartitionedMatcher {
+ public:
+  /// `attribute` must satisfy FindPartitionAttribute semantics for
+  /// `pattern` (same validation as PartitionedMatcher::Create). Compiles
+  /// the automaton once and starts the worker threads.
+  static Result<ParallelPartitionedMatcher> Create(const Pattern& pattern,
+                                                   int attribute,
+                                                   ParallelOptions options = {});
+
+  ~ParallelPartitionedMatcher();
+  ParallelPartitionedMatcher(ParallelPartitionedMatcher&&) noexcept;
+  ParallelPartitionedMatcher& operator=(ParallelPartitionedMatcher&&) noexcept;
+
+  /// Routes the event to its key's shard. Returns FailedPrecondition on
+  /// non-increasing timestamps and any error a shard has reported.
+  Status Push(const Event& event);
+
+  /// Barrier: drains every shard, flushes all partitions, merges the
+  /// per-shard match buffers deterministically (SortMatches order) into
+  /// `out`, and snapshots stats(). The matcher stays usable afterwards;
+  /// call Reset() before feeding a new relation.
+  Status Flush(std::vector<Match>* out);
+
+  /// Drops all shard state (partitions, buffered matches, statistics) and
+  /// the ingest watermark so the matcher can consume a new relation.
+  void Reset();
+
+  /// Statistics snapshotted at the last Flush(), plus ingest-side counters.
+  const ParallelStats& stats() const;
+
+  const SesAutomaton& automaton() const;
+  int num_shards() const;
+
+ private:
+  struct Impl;
+  explicit ParallelPartitionedMatcher(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Batch API, mirroring PartitionedMatchRelation. When `attribute` is
+/// negative it is auto-detected with FindPartitionAttribute.
+Result<std::vector<Match>> ParallelPartitionedMatchRelation(
+    const Pattern& pattern, const EventRelation& relation, int attribute = -1,
+    ParallelOptions options = {}, ParallelStats* stats = nullptr);
+
+}  // namespace ses::exec
+
+#endif  // SES_EXEC_PARALLEL_PARTITIONED_H_

@@ -1,6 +1,7 @@
 #ifndef SES_METRICS_METRICS_H_
 #define SES_METRICS_METRICS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -38,6 +39,45 @@ class MaxGauge {
  private:
   int64_t current_ = 0;
   int64_t max_ = 0;
+};
+
+/// A thread-safe monotonically increasing counter. Used where producer and
+/// consumer threads update the same statistic (e.g. the shard queue depth
+/// of the parallel partitioned runtime). Relaxed ordering: counters are
+/// statistics, not synchronization.
+class AtomicCounter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A thread-safe gauge that remembers its maximum (CAS max-update loop).
+class AtomicMaxGauge {
+ public:
+  void Observe(int64_t value) {
+    current_.store(value, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  int64_t current() const { return current_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> max_{0};
 };
 
 /// Wall-clock stopwatch with nanosecond resolution.

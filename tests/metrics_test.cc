@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "core/filter.h"
 #include "metrics/metrics.h"
 #include "query/parser.h"
@@ -31,6 +34,39 @@ TEST(Metrics, MaxGaugeTracksMaximum) {
   EXPECT_EQ(g.max(), 12);
   g.Reset();
   EXPECT_EQ(g.max(), 0);
+}
+
+TEST(Metrics, AtomicCounterAccumulatesAcrossThreads) {
+  AtomicCounter c;
+  c.Increment(2);
+  EXPECT_EQ(c.value(), 2);
+  c.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kIncrements);
+}
+
+TEST(Metrics, AtomicMaxGaugeKeepsMaximumAcrossThreads) {
+  AtomicMaxGauge g;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i <= 1000; ++i) g.Observe(t * 1000 + i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.max(), (kThreads - 1) * 1000 + 1000);
+  g.Reset();
+  EXPECT_EQ(g.max(), 0);
+  EXPECT_EQ(g.current(), 0);
 }
 
 TEST(Metrics, StopwatchMeasuresElapsedTime) {

@@ -1,0 +1,281 @@
+// Tests for the sharded parallel partitioned runtime (exec/): exact
+// equivalence with serial partitioned and global execution across shard
+// counts, deterministic merge order, window-based partition eviction, the
+// compile-once guarantee, Reset-based reuse, and the BatchQueue primitive.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/automaton_builder.h"
+#include "core/partitioned.h"
+#include "exec/batch_queue.h"
+#include "exec/parallel_partitioned.h"
+#include "query/parser.h"
+#include "workload/generic_generator.h"
+#include "workload/paper_fixture.h"
+
+namespace ses {
+namespace {
+
+using ::ses::exec::BatchQueue;
+using ::ses::exec::EventBatch;
+using ::ses::exec::ParallelOptions;
+using ::ses::exec::ParallelPartitionedMatchRelation;
+using ::ses::exec::ParallelPartitionedMatcher;
+using ::ses::exec::ParallelStats;
+using ::ses::workload::ChemotherapySchema;
+
+Pattern MustParse(const std::string& text) {
+  Result<Pattern> pattern = ParsePattern(text, ChemotherapySchema());
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  return *pattern;
+}
+
+Pattern CompletePattern(const char* window = "5h") {
+  return MustParse(
+      "PATTERN {a, b} -> {x} WHERE a.L = 'A' AND b.L = 'B' AND x.L = 'X' "
+      "AND a.ID = b.ID AND a.ID = x.ID AND b.ID = x.ID WITHIN " +
+      std::string(window));
+}
+
+EventRelation KeyedStream(uint64_t seed, int partitions, int64_t events) {
+  workload::StreamOptions options;
+  options.num_events = events;
+  options.num_partitions = partitions;
+  options.type_weights = {{"A", 1}, {"B", 1}, {"X", 1}, {"N", 1}};
+  options.min_gap = duration::Minutes(1);
+  options.max_gap = duration::Minutes(10);
+  options.seed = seed;
+  return workload::GenerateStream(options);
+}
+
+/// Order-normalized identity: the sorted sequence of substitution keys.
+std::vector<std::vector<std::pair<VariableId, EventId>>> NormalizedKeys(
+    std::vector<Match> matches) {
+  SortMatches(&matches);
+  std::vector<std::vector<std::pair<VariableId, EventId>>> keys;
+  keys.reserve(matches.size());
+  for (const Match& match : matches) keys.push_back(match.SubstitutionKey());
+  return keys;
+}
+
+TEST(ParallelPartitioned, EquivalentAcrossShardCountsOnHighCardinality) {
+  Pattern pattern = CompletePattern();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    // High-cardinality keyed stream: many more keys than shards.
+    EventRelation stream = KeyedStream(seed, 96, 1500);
+    Result<std::vector<Match>> global = MatchRelation(pattern, stream);
+    ASSERT_TRUE(global.ok());
+    Result<std::vector<Match>> serial =
+        PartitionedMatchRelation(pattern, stream);
+    ASSERT_TRUE(serial.ok());
+    auto expected = NormalizedKeys(*global);
+    EXPECT_EQ(NormalizedKeys(*serial), expected) << "seed " << seed;
+
+    for (int shards : {1, 2, 8}) {
+      ParallelOptions options;
+      options.num_shards = shards;
+      options.batch_size = 64;  // several batches per run
+      ParallelStats stats;
+      Result<std::vector<Match>> parallel = ParallelPartitionedMatchRelation(
+          pattern, stream, /*attribute=*/-1, options, &stats);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_EQ(NormalizedKeys(*parallel), expected)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_TRUE(SameMatchSet(*global, *parallel));
+      EXPECT_EQ(stats.events_ingested, static_cast<int64_t>(stream.size()));
+    }
+  }
+}
+
+TEST(ParallelPartitioned, MergeOrderIsDeterministicAndSorted) {
+  Pattern pattern = CompletePattern();
+  EventRelation stream = KeyedStream(/*seed=*/9, 64, 2000);
+  ParallelOptions options;
+  options.num_shards = 8;
+  options.batch_size = 32;
+  Result<std::vector<Match>> first =
+      ParallelPartitionedMatchRelation(pattern, stream, -1, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->empty());
+  // The emitted order must already be the canonical SortMatches order...
+  std::vector<Match> sorted = *first;
+  SortMatches(&sorted);
+  auto as_keys = [](const std::vector<Match>& matches) {
+    std::vector<std::vector<std::pair<VariableId, EventId>>> keys;
+    for (const Match& m : matches) keys.push_back(m.SubstitutionKey());
+    return keys;
+  };
+  EXPECT_EQ(as_keys(*first), as_keys(sorted));
+  // ...and identical run to run despite worker scheduling.
+  for (int run = 0; run < 3; ++run) {
+    Result<std::vector<Match>> again =
+        ParallelPartitionedMatchRelation(pattern, stream, -1, options);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(as_keys(*first), as_keys(*again)) << "run " << run;
+  }
+}
+
+TEST(ParallelPartitioned, AutomatonCompiledExactlyOnce) {
+  Pattern pattern = CompletePattern();
+  EventRelation stream = KeyedStream(/*seed=*/3, 128, 1200);
+  int64_t before = AutomatonBuilder::builds_started();
+  ParallelOptions options;
+  options.num_shards = 8;
+  ParallelStats stats;
+  Result<std::vector<Match>> matches =
+      ParallelPartitionedMatchRelation(pattern, stream, -1, options, &stats);
+  ASSERT_TRUE(matches.ok());
+  // Many partitions were touched, yet the exponential powerset
+  // construction ran exactly once.
+  EXPECT_GT(stats.partitions_created, 64);
+  EXPECT_EQ(AutomatonBuilder::builds_started() - before, 1);
+}
+
+EventRelation TwoKeyIdleStream() {
+  // Key 1 completes a match within the 5h window, then goes idle; key 2
+  // arrives much later, advancing the watermark far past key 1's horizon.
+  EventRelation relation(ChemotherapySchema());
+  auto add = [&relation](const std::string& type, int64_t hours, int64_t id) {
+    relation.AppendUnchecked(
+        duration::Hours(hours),
+        {Value(id), Value(type), Value(0.0), Value(std::string("u"))});
+  };
+  add("A", 1, 1);
+  add("B", 2, 1);
+  add("X", 3, 1);
+  add("A", 100, 2);
+  add("B", 101, 2);
+  add("X", 102, 2);
+  return relation;
+}
+
+TEST(ParallelPartitioned, IdlePartitionIsEvictedAndStillEmits) {
+  Pattern pattern = CompletePattern("5h");
+  EventRelation stream = TwoKeyIdleStream();
+  ParallelOptions options;
+  options.num_shards = 1;   // both keys share the worker: deterministic
+  options.batch_size = 1;   // eviction sweep after every event
+  options.idle_timeout = 0; // τe = window
+  ParallelStats stats;
+  Result<std::vector<Match>> matches =
+      ParallelPartitionedMatchRelation(pattern, stream, 0, options, &stats);
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  // Key 1's partition was idle for 97h > 5h when key 2's events arrived:
+  // it must have been reclaimed mid-stream, and its accepting instance
+  // must still have emitted its match at eviction time.
+  EXPECT_EQ(stats.partitions_evicted, 1);
+  EXPECT_EQ(stats.partitions_created, 2);
+  EXPECT_EQ(matches->size(), 2u);
+  EXPECT_EQ(NormalizedKeys(*matches),
+            NormalizedKeys(*MatchRelation(pattern, stream)));
+}
+
+TEST(ParallelPartitioned, NegativeTimeoutDisablesEviction) {
+  Pattern pattern = CompletePattern("5h");
+  EventRelation stream = TwoKeyIdleStream();
+  ParallelOptions options;
+  options.num_shards = 1;
+  options.batch_size = 1;
+  options.idle_timeout = -1;
+  ParallelStats stats;
+  Result<std::vector<Match>> matches =
+      ParallelPartitionedMatchRelation(pattern, stream, 0, options, &stats);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(stats.partitions_evicted, 0);
+  EXPECT_EQ(matches->size(), 2u);
+}
+
+TEST(ParallelPartitioned, EvictionNeverChangesTheMatchSet) {
+  // Property check: aggressive eviction (τe clamped to the window) over a
+  // bursty multi-key stream emits exactly the serial match set.
+  Pattern pattern = CompletePattern("2h");
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    EventRelation stream = KeyedStream(seed, 48, 1200);
+    Result<std::vector<Match>> global = MatchRelation(pattern, stream);
+    ASSERT_TRUE(global.ok());
+    ParallelOptions options;
+    options.num_shards = 4;
+    options.batch_size = 16;
+    options.idle_timeout = 0;
+    ParallelStats stats;
+    Result<std::vector<Match>> parallel = ParallelPartitionedMatchRelation(
+        pattern, stream, -1, options, &stats);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(NormalizedKeys(*parallel), NormalizedKeys(*global))
+        << "seed " << seed;
+    EXPECT_GT(stats.partitions_evicted, 0) << "seed " << seed;
+  }
+}
+
+TEST(ParallelPartitioned, ResetAllowsReuseOnASecondRelation) {
+  Pattern pattern = CompletePattern();
+  ParallelOptions options;
+  options.num_shards = 2;
+  options.batch_size = 8;
+  Result<ParallelPartitionedMatcher> matcher =
+      ParallelPartitionedMatcher::Create(pattern, /*attribute=*/0, options);
+  ASSERT_TRUE(matcher.ok());
+
+  EventRelation stream = KeyedStream(/*seed=*/5, 16, 400);
+  std::vector<Match> first;
+  for (const Event& e : stream) ASSERT_TRUE(matcher->Push(e).ok());
+  ASSERT_TRUE(matcher->Flush(&first).ok());
+  EXPECT_FALSE(first.empty());
+
+  // Without Reset, replaying the same relation violates the watermark.
+  EXPECT_EQ(matcher->Push(stream.event(0)).code(),
+            StatusCode::kFailedPrecondition);
+
+  matcher->Reset();
+  std::vector<Match> second;
+  for (const Event& e : stream) ASSERT_TRUE(matcher->Push(e).ok());
+  ASSERT_TRUE(matcher->Flush(&second).ok());
+  EXPECT_EQ(NormalizedKeys(first), NormalizedKeys(second));
+}
+
+TEST(ParallelPartitioned, CreateValidatesArguments) {
+  Pattern pattern = CompletePattern();
+  EXPECT_FALSE(ParallelPartitionedMatcher::Create(pattern, -1).ok());
+  EXPECT_FALSE(ParallelPartitionedMatcher::Create(pattern, 99).ok());
+  EXPECT_FALSE(ParallelPartitionedMatcher::Create(pattern, 2).ok());  // V
+  Result<ParallelPartitionedMatcher> ok =
+      ParallelPartitionedMatcher::Create(pattern, 0);
+  ASSERT_TRUE(ok.ok());
+  // num_shards is clamped to at least one worker.
+  ParallelOptions options;
+  options.num_shards = 0;
+  Result<ParallelPartitionedMatcher> clamped =
+      ParallelPartitionedMatcher::Create(pattern, 0, options);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->num_shards(), 1);
+}
+
+TEST(BatchQueue, FifoAndDepth) {
+  BatchQueue queue(/*capacity=*/4);
+  for (int i = 0; i < 3; ++i) {
+    EventBatch batch;
+    batch.watermark = i;
+    queue.Push(std::move(batch));
+  }
+  EXPECT_EQ(queue.depth(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(queue.Pop().watermark, i);
+  }
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(BatchQueue, BoundedPushBlocksUntilPop) {
+  BatchQueue queue(/*capacity=*/1);
+  queue.Push(EventBatch{EventBatch::Kind::kEvents, {}, 1});
+  std::thread producer(
+      [&queue] { queue.Push(EventBatch{EventBatch::Kind::kEvents, {}, 2}); });
+  EXPECT_EQ(queue.Pop().watermark, 1);
+  EXPECT_EQ(queue.Pop().watermark, 2);
+  producer.join();
+}
+
+}  // namespace
+}  // namespace ses

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "core/automaton_builder.h"
 #include "core/partitioned.h"
 #include "query/parser.h"
 #include "query/pattern_builder.h"
@@ -152,6 +153,61 @@ TEST(PartitionedMatcher, StreamingStatsTrackPartitionsAndInstances) {
   EXPECT_EQ(matcher->stats().events_seen, 4);
   EXPECT_EQ(matcher->stats().matches_emitted, 2);
   EXPECT_GE(matcher->stats().max_simultaneous_instances, 2);
+}
+
+TEST(PartitionedMatcher, SharesOneCompiledAutomatonAcrossPartitions) {
+  Pattern pattern = MustParse(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' AND a.ID = b.ID "
+      "WITHIN 10h");
+  int64_t before = AutomatonBuilder::builds_started();
+  Result<PartitionedMatcher> matcher =
+      PartitionedMatcher::Create(pattern, 0);
+  ASSERT_TRUE(matcher.ok());
+  EventRelation stream = PartitionedStream(/*seed=*/2, /*partitions=*/64,
+                                           /*events=*/400);
+  std::vector<Match> out;
+  for (const Event& e : stream) {
+    ASSERT_TRUE(matcher->Push(e, &out).ok());
+  }
+  matcher->Flush(&out);
+  EXPECT_GT(matcher->num_partitions(), 32);
+  // The exponential powerset construction ran once in Create, not once per
+  // partition key.
+  EXPECT_EQ(AutomatonBuilder::builds_started() - before, 1);
+}
+
+TEST(PartitionedMatcher, ResetAllowsReuseOnASecondRelation) {
+  Pattern pattern = MustParse(
+      "PATTERN {a} -> {b} WHERE a.L = 'A' AND b.L = 'B' AND a.ID = b.ID "
+      "WITHIN 10h");
+  Result<PartitionedMatcher> matcher =
+      PartitionedMatcher::Create(pattern, 0);
+  ASSERT_TRUE(matcher.ok());
+  EventRelation stream = PartitionedStream(/*seed=*/4, 5, 200);
+
+  std::vector<Match> first;
+  for (const Event& e : stream) {
+    ASSERT_TRUE(matcher->Push(e, &first).ok());
+  }
+  matcher->Flush(&first);
+
+  // Replaying without Reset trips the per-partition watermark.
+  std::vector<Match> ignored;
+  EXPECT_EQ(matcher->Push(stream.event(0), &ignored).code(),
+            StatusCode::kFailedPrecondition);
+
+  matcher->Reset();
+  EXPECT_EQ(matcher->num_partitions(), 0);
+  EXPECT_EQ(matcher->stats().events_seen, 0);
+
+  std::vector<Match> second;
+  for (const Event& e : stream) {
+    ASSERT_TRUE(matcher->Push(e, &second).ok());
+  }
+  matcher->Flush(&second);
+  EXPECT_TRUE(SameMatchSet(first, second));
+  EXPECT_EQ(matcher->stats().events_seen,
+            static_cast<int64_t>(stream.size()));
 }
 
 }  // namespace
