@@ -128,6 +128,109 @@ void ThreadSweep(int64_t num_events) {
   }
 }
 
+/// Batch-size sweep: the batched ingest path (PushBatch/RunRelation +
+/// BatchQueue::PushAll slabs) at a fixed shard count, sweeping events per
+/// batch. Small batches maximize queue synchronization per event; large
+/// batches amortize it but delay the workers' start. Output identity with
+/// the serial partitioned matcher is asserted at every point.
+void BatchSweep(int64_t num_events) {
+  Pattern pattern = HeavyCompletePattern();
+  std::printf(
+      "\nBatched ingest sweep (%lld events, 64-key stream, 4 shards)\n",
+      static_cast<long long>(num_events));
+  std::printf("%-12s %12s %12s %14s %10s\n", "batch", "time [s]",
+              "batches", "max q depth", "matches");
+
+  workload::StreamOptions options;
+  options.num_events = num_events;
+  options.num_partitions = 64;
+  options.type_weights = {{"C", 4}, {"B", 1}, {"N", 2}};
+  options.min_gap = duration::Minutes(1);
+  options.max_gap = duration::Minutes(5);
+  options.seed = 77;
+  EventRelation stream = workload::GenerateStream(options);
+
+  Result<std::vector<Match>> serial =
+      PartitionedMatchRelation(pattern, stream);
+  SES_CHECK(serial.ok());
+
+  for (size_t batch : {size_t{1}, size_t{16}, size_t{256}, size_t{2048}}) {
+    exec::ParallelOptions parallel_options;
+    parallel_options.num_shards = 4;
+    parallel_options.batch_size = batch;
+    Stopwatch watch;
+    exec::ParallelStats stats;
+    Result<std::vector<Match>> parallel =
+        exec::ParallelPartitionedMatchRelation(pattern, stream, -1,
+                                               parallel_options, &stats);
+    double seconds = watch.ElapsedSeconds();
+    SES_CHECK(parallel.ok());
+    SES_CHECK(IdenticalNormalized(*serial, *parallel))
+        << "batched ingest must be output-identical";
+    std::printf("%-12zu %12.4f %12lld %14lld %10zu\n", batch, seconds,
+                static_cast<long long>(stats.batches_enqueued),
+                static_cast<long long>(stats.max_queue_depth),
+                parallel->size());
+  }
+}
+
+/// Skew sweep: Zipf-distributed partition keys against the parallel
+/// runtime with adaptive rebalancing off and on. The rebalancer's
+/// migration decisions are timing-dependent; the match output must be
+/// byte-identical regardless (only idle keys move), which is asserted at
+/// every point. Uses the light (mutually exclusive) pattern: a Zipf hot
+/// key concentrates a quarter of the stream in ONE partition, and the
+/// group-variable pattern's per-partition instance growth is superlinear —
+/// the sweep measures routing and queueing, not that explosion.
+void SkewSweep(int64_t num_events) {
+  Pattern pattern = CompletePattern();
+  std::printf(
+      "\nSkewed-key sweep (%lld events, 64 keys, 4 shards; Zipf exponent "
+      "s)\n",
+      static_cast<long long>(num_events));
+  std::printf("%-8s %-10s %12s %14s %12s %12s %10s\n", "skew", "rebalance",
+              "time [s]", "max q depth", "migrated", "overrides", "matches");
+
+  for (double skew : {0.0, 0.8, 1.2}) {
+    workload::StreamOptions options;
+    options.num_events = num_events;
+    options.num_partitions = 64;
+    options.key_skew = skew;
+    options.type_weights = {{"A", 1}, {"B", 1}, {"X", 1}, {"N", 3}};
+    options.min_gap = duration::Minutes(1);
+    options.max_gap = duration::Minutes(5);
+    options.seed = 77;
+    EventRelation stream = workload::GenerateStream(options);
+
+    Result<std::vector<Match>> serial =
+        PartitionedMatchRelation(pattern, stream);
+    SES_CHECK(serial.ok());
+
+    for (bool rebalance : {false, true}) {
+      exec::ParallelOptions parallel_options;
+      parallel_options.num_shards = 4;
+      parallel_options.batch_size = 64;
+      parallel_options.rebalance.enabled = rebalance;
+      parallel_options.rebalance.interval_events = 2048;
+      Stopwatch watch;
+      exec::ParallelStats stats;
+      Result<std::vector<Match>> parallel =
+          exec::ParallelPartitionedMatchRelation(pattern, stream, -1,
+                                                 parallel_options, &stats);
+      double seconds = watch.ElapsedSeconds();
+      SES_CHECK(parallel.ok());
+      SES_CHECK(IdenticalNormalized(*serial, *parallel))
+          << "rebalancing must be output-identical (skew " << skew << ")";
+      std::printf("%-8.1f %-10s %12.4f %14lld %12lld %12lld %10zu\n", skew,
+                  rebalance ? "on" : "off", seconds,
+                  static_cast<long long>(stats.max_queue_depth),
+                  static_cast<long long>(stats.rebalancer.keys_migrated),
+                  static_cast<long long>(stats.rebalancer.overrides_active),
+                  parallel->size());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,5 +281,7 @@ int main(int argc, char** argv) {
   }
 
   ThreadSweep(args.full ? 120000 : 40000);
+  BatchSweep(args.full ? 120000 : 40000);
+  SkewSweep(args.full ? 120000 : 30000);
   return 0;
 }

@@ -48,13 +48,18 @@ struct CliArgs {
   /// 0 = serial matcher; N >= 1 = parallel partitioned runtime with N
   /// worker shards (requires a partitionable pattern).
   int threads = 0;
+  /// Events per shard batch for the parallel runtime (0 = library default).
+  int batch = 0;
+  /// Enables adaptive shard rebalancing (parallel runtime only).
+  bool rebalance = false;
 };
 
 void PrintUsage() {
   std::printf(
       "usage: ses_cli [--demo] [--schema \"NAME TYPE, ...\"] [--data FILE]\n"
       "               [--query TEXT | --query-file FILE]\n"
-      "               [--no-filter] [--stats] [--dot] [--threads N]\n"
+      "               [--no-filter] [--stats] [--dot]\n"
+      "               [--threads N] [--batch N] [--rebalance]\n"
       "  --demo        run the paper's running example (Figure 1 + Q1)\n"
       "  --schema      attribute list for CSV input (TYPE: INT, DOUBLE,\n"
       "                STRING); .sestbl tables are self-describing\n"
@@ -67,7 +72,12 @@ void PrintUsage() {
       "  --dot         print the SES automaton as Graphviz dot and exit\n"
       "  --threads N   match with the parallel partitioned runtime on N\n"
       "                worker shards; the pattern must carry a complete\n"
-      "                equality graph on one attribute (partition key)\n");
+      "                equality graph on one attribute (partition key)\n"
+      "  --batch N     events per shard batch for the parallel runtime\n"
+      "                (ingest enqueues whole slabs; default 256)\n"
+      "  --rebalance   adaptively migrate idle partition keys off the\n"
+      "                hottest shard (parallel runtime; output unchanged,\n"
+      "                see docs/RUNTIME.md)\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -106,6 +116,14 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       if (args.threads < 1) {
         return Status::InvalidArgument("--threads needs a positive integer");
       }
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
+      args.batch = std::atoi(value.c_str());
+      if (args.batch < 1) {
+        return Status::InvalidArgument("--batch needs a positive integer");
+      }
+    } else if (std::strcmp(argv[i], "--rebalance") == 0) {
+      args.rebalance = true;
     } else if (std::strcmp(argv[i], "--no-filter") == 0) {
       args.no_filter = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -188,6 +206,10 @@ Status Run(const CliArgs& args) {
     }
     exec::ParallelOptions parallel_options;
     parallel_options.num_shards = args.threads;
+    if (args.batch > 0) {
+      parallel_options.batch_size = static_cast<size_t>(args.batch);
+    }
+    parallel_options.rebalance.enabled = args.rebalance;
     parallel_options.matcher = options;
     SES_ASSIGN_OR_RETURN(exec::ParallelPartitionedMatcher matcher,
                          exec::ParallelPartitionedMatcher::Create(
@@ -196,10 +218,8 @@ Status Run(const CliArgs& args) {
       std::printf("%s", matcher.automaton().ToDot().c_str());
       return Status::OK();
     }
-    for (const Event& event : events) {
-      SES_RETURN_IF_ERROR(matcher.Push(event));
-    }
-    SES_RETURN_IF_ERROR(matcher.Flush(&matches));  // emits in sorted order
+    SES_RETURN_IF_ERROR(matcher.RunRelation(events));  // batched ingest
+    SES_RETURN_IF_ERROR(matcher.Flush(&matches));      // emits sorted
     parallel_stats = matcher.stats();
   } else {
     Matcher matcher(pattern, options);
@@ -241,14 +261,26 @@ Status Run(const CliArgs& args) {
   if (args.stats) {
     if (args.threads >= 1) {
       std::printf(
-          "stats: %lld events over %d shard(s), %lld partitions created, "
-          "%lld evicted, max queue depth %lld, merge %.4fs\n",
+          "stats: %lld events in %lld batch(es) over %d shard(s), "
+          "%lld partitions created, %lld evicted, max queue depth %lld, "
+          "merge %.4fs\n",
           static_cast<long long>(parallel_stats.events_ingested),
+          static_cast<long long>(parallel_stats.batches_enqueued),
           args.threads,
           static_cast<long long>(parallel_stats.partitions_created),
           static_cast<long long>(parallel_stats.partitions_evicted),
           static_cast<long long>(parallel_stats.max_queue_depth),
           parallel_stats.merge_seconds);
+      if (args.rebalance) {
+        const exec::RebalancerStats& rb = parallel_stats.rebalancer;
+        std::printf(
+            "rebalancer: %lld sample round(s), %lld rebalance(s), "
+            "%lld key(s) migrated, %lld override(s) active\n",
+            static_cast<long long>(rb.rounds),
+            static_cast<long long>(rb.rebalances),
+            static_cast<long long>(rb.keys_migrated),
+            static_cast<long long>(rb.overrides_active));
+      }
     } else {
       std::printf(
           "stats: filtered %lld/%lld events, max %lld instances, "

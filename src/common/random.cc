@@ -1,6 +1,8 @@
 #include "common/random.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace ses {
 
@@ -61,6 +63,24 @@ bool Random::Bernoulli(double p) {
   if (p <= 0) return false;
   if (p >= 1) return true;
   return UniformDouble() < p;
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double s) {
+  assert(n > 0);
+  cdf_.reserve(static_cast<size_t>(n));
+  double total = 0;
+  for (int64_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int64_t ZipfDistribution::Sample(Random& random) const {
+  double u = random.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
 }
 
 }  // namespace ses

@@ -48,6 +48,26 @@ class Random {
   uint64_t s_[4];
 };
 
+/// Zipf(n, s) sampler over [1, n]: P(k) ∝ 1 / k^s. Used by the workload
+/// generators to produce skewed partition-key distributions (a handful of
+/// hot keys plus a long cold tail), the regime that hot-spots one shard of
+/// the statically hashed parallel runtime. s = 0 degenerates to uniform.
+/// Precomputes the CDF once (O(n) memory, n = number of keys) and samples
+/// by binary search, so sampling is O(log n) and exactly reproducible from
+/// the Random stream.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double s);
+
+  /// Draws a value in [1, n]; rank 1 is the most probable.
+  int64_t Sample(Random& random) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k-1] = P(value <= k), cdf_.back() == 1
+};
+
 }  // namespace ses
 
 #endif  // SES_COMMON_RANDOM_H_

@@ -24,9 +24,12 @@ struct EventBatch {
 
   Kind kind = Kind::kEvents;
   std::vector<Event> events;
-  /// Global high-water timestamp at enqueue time. Shards never see the full
-  /// stream, so the ingest thread forwards its watermark with every batch;
-  /// the receiving shard uses it to detect idle partitions.
+  /// Shards never see the full stream, so the ingest thread forwards a
+  /// watermark with every batch; the receiving shard uses it to detect
+  /// idle partitions. For kEvents batches this is the batch's own newest
+  /// timestamp — never ahead of events a later batch of the same slab
+  /// still carries, which is what makes the eviction sweep safe. Control
+  /// batches carry the global high-water mark.
   Timestamp watermark = 0;
 };
 
@@ -48,6 +51,26 @@ class BatchQueue {
     not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
     queue_.push_back(std::move(batch));
     not_empty_.notify_one();
+  }
+
+  /// Slab variant: enqueues a whole run of batches destined for this shard
+  /// with one lock acquisition and one notify per admitted chunk, instead
+  /// of one lock + notify per batch. This is what makes PushBatch ingest
+  /// cheap: the ingest thread splits a large span into batch_size-bounded
+  /// batches and hands the per-shard slab over in (usually) a single
+  /// synchronization round. Blocks like Push when the queue is at capacity;
+  /// a slab larger than the remaining capacity is admitted in chunks as the
+  /// worker drains the queue.
+  void PushAll(std::vector<EventBatch> slab) {
+    size_t next = 0;
+    while (next < slab.size()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+      while (next < slab.size() && queue_.size() < capacity_) {
+        queue_.push_back(std::move(slab[next++]));
+      }
+      not_empty_.notify_one();
+    }
   }
 
   EventBatch Pop() {

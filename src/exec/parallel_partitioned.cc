@@ -16,12 +16,6 @@ namespace ses::exec {
 
 namespace {
 
-struct ValueLess {
-  bool operator()(const Value& a, const Value& b) const {
-    return Compare(a, b) < 0;
-  }
-};
-
 size_t HashKey(const Value& key) {
   // DOUBLE keys are rejected at Create, so only the exact types remain.
   if (key.is_int64()) return std::hash<int64_t>{}(key.int64());
@@ -48,8 +42,13 @@ struct ParallelPartitionedMatcher::Impl {
     BatchQueue queue;
     std::thread worker;
 
+    /// Cumulative wall-clock nanoseconds spent in ProcessBatch. Written by
+    /// the worker, read live by the ingest thread's rebalancer sampling —
+    /// hence atomic, unlike the barrier-synchronized `stats`.
+    AtomicCounter busy_nanos;
+
     // Worker-owned.
-    std::map<Value, Partition, ValueLess> partitions;
+    std::map<Value, Partition, ValueOrderLess> partitions;
     std::vector<Match> matches;
     ShardStats stats;
     Status status = Status::OK();
@@ -69,6 +68,8 @@ struct ParallelPartitionedMatcher::Impl {
 
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<std::vector<Event>> pending;  // per-shard ingest buffers
+  /// Present iff options.rebalance.enabled; ingest-thread-owned.
+  std::unique_ptr<ShardRebalancer> rebalancer;
 
   bool has_watermark = false;
   Timestamp watermark = 0;
@@ -102,9 +103,12 @@ struct ParallelPartitionedMatcher::Impl {
     while (true) {
       EventBatch batch = shard.queue.Pop();
       switch (batch.kind) {
-        case EventBatch::Kind::kEvents:
+        case EventBatch::Kind::kEvents: {
+          Stopwatch busy_watch;
           ProcessBatch(shard, batch);
+          shard.busy_nanos.Increment(busy_watch.ElapsedNanos());
           break;
+        }
         case EventBatch::Kind::kFlush:
           FlushShard(shard);
           Acknowledge(shard);
@@ -113,6 +117,7 @@ struct ParallelPartitionedMatcher::Impl {
           shard.partitions.clear();
           shard.matches.clear();
           shard.stats = ShardStats{};
+          shard.busy_nanos.Reset();
           shard.status = Status::OK();
           Acknowledge(shard);
           break;
@@ -192,7 +197,12 @@ struct ParallelPartitionedMatcher::Impl {
 
   // ---- Ingest side -------------------------------------------------------
 
-  Status Ingest(const Event& event) {
+  /// Watermark check + routing, shared by Push and PushBatch. On success
+  /// the event sits in the pending buffer of `*shard_index`. Routing
+  /// consults the rebalancer's override table when rebalancing is on
+  /// (which also records the key observation), the plain key hash
+  /// otherwise.
+  Status Admit(const Event& event, size_t* shard_index) {
     if (has_watermark && event.timestamp() <= watermark) {
       return Status::FailedPrecondition(strings::Format(
           "events must have strictly increasing timestamps "
@@ -203,29 +213,98 @@ struct ParallelPartitionedMatcher::Impl {
     has_watermark = true;
     watermark = event.timestamp();
     ++events_ingested;
-    size_t shard_index =
-        HashKey(event.value(static_cast<int>(attribute))) % shards.size();
-    std::vector<Event>& buffer = pending[shard_index];
-    buffer.push_back(event);
-    if (buffer.size() >= options.batch_size) {
-      FlushPending(shard_index);
-    }
+    const Value& key = event.value(static_cast<int>(attribute));
+    size_t hash = HashKey(key);
+    size_t index =
+        rebalancer != nullptr
+            ? static_cast<size_t>(
+                  rebalancer->RouteAndObserve(key, hash, event.timestamp()))
+            : hash % shards.size();
+    pending[index].push_back(event);
+    *shard_index = index;
     return Status::OK();
   }
 
-  void FlushPending(size_t shard_index) {
+  Status Ingest(const Event& event) {
+    size_t shard_index = 0;
+    SES_RETURN_IF_ERROR(Admit(event, &shard_index));
+    if (pending[shard_index].size() >= options.batch_size) {
+      FlushPendingSlab(shard_index, /*all=*/false);
+    }
+    MaybeSampleLoad();
+    return Status::OK();
+  }
+
+  Status IngestBatch(std::span<const Event> events) {
+    // One routing pass groups the span into per-shard slabs (the pending
+    // buffers), then each shard receives all its full batches in a single
+    // queue synchronization.
+    size_t slab_threshold = options.batch_size * 8;
+    for (const Event& event : events) {
+      size_t shard_index = 0;
+      SES_RETURN_IF_ERROR(Admit(event, &shard_index));
+      // Bound pending growth on very large spans: ship a slab as soon as
+      // one shard has several batches' worth buffered.
+      if (pending[shard_index].size() >= slab_threshold) {
+        FlushPendingSlab(shard_index, /*all=*/false);
+      }
+    }
+    for (size_t i = 0; i < shards.size(); ++i) {
+      FlushPendingSlab(i, /*all=*/false);
+    }
+    MaybeSampleLoad();
+    return Status::OK();
+  }
+
+  /// Cuts the shard's pending buffer into batch_size-bounded EventBatches
+  /// and enqueues them as one slab (single synchronization round via
+  /// BatchQueue::PushAll). Keeps a sub-batch_size remainder buffered
+  /// unless `all` is set (barriers must ship everything).
+  void FlushPendingSlab(size_t shard_index, bool all) {
     std::vector<Event>& buffer = pending[shard_index];
     if (buffer.empty()) return;
-    EventBatch batch;
-    batch.kind = EventBatch::Kind::kEvents;
-    batch.events = std::move(buffer);
-    batch.watermark = watermark;
-    buffer = {};
+    std::vector<EventBatch> slab;
+    size_t pos = 0;
+    while (buffer.size() - pos >= options.batch_size ||
+           (all && pos < buffer.size())) {
+      size_t count = std::min(options.batch_size, buffer.size() - pos);
+      EventBatch batch;
+      batch.kind = EventBatch::Kind::kEvents;
+      batch.events.assign(
+          std::make_move_iterator(buffer.begin() + static_cast<long>(pos)),
+          std::make_move_iterator(buffer.begin() +
+                                  static_cast<long>(pos + count)));
+      // Stamp the batch's own newest event, NOT the global ingest
+      // watermark: later batches of the same slab hold older events than
+      // the global high-water mark, and the eviction sweep may only assume
+      // idleness relative to what this shard has actually processed.
+      batch.watermark = batch.events.back().timestamp();
+      slab.push_back(std::move(batch));
+      pos += count;
+    }
+    buffer.erase(buffer.begin(), buffer.begin() + static_cast<long>(pos));
+    if (slab.empty()) return;
     Shard& shard = *shards[shard_index];
-    shard.queue.Push(std::move(batch));
-    ++batches_enqueued;
+    batches_enqueued += static_cast<int64_t>(slab.size());
+    shard.queue.PushAll(std::move(slab));
     max_queue_depth = std::max(
         max_queue_depth, static_cast<int64_t>(shard.queue.depth()));
+  }
+
+  /// Every rebalance.interval_events ingested events: sample queue depth
+  /// and busy time per shard and let the rebalancer migrate idle keys.
+  void MaybeSampleLoad() {
+    if (rebalancer == nullptr || !rebalancer->SampleDue(events_ingested)) {
+      return;
+    }
+    std::vector<ShardRebalancer::ShardLoad> loads;
+    loads.reserve(shards.size());
+    for (auto& shard : shards) {
+      loads.push_back(ShardRebalancer::ShardLoad{
+          static_cast<int64_t>(shard->queue.depth()),
+          shard->busy_nanos.value()});
+    }
+    rebalancer->Sample(loads, watermark);
   }
 
   /// Enqueues a control batch to every shard and waits until all of them
@@ -234,7 +313,7 @@ struct ParallelPartitionedMatcher::Impl {
   void Barrier(EventBatch::Kind kind) {
     for (size_t i = 0; i < shards.size(); ++i) {
       if (kind == EventBatch::Kind::kFlush) {
-        FlushPending(i);
+        FlushPendingSlab(i, /*all=*/true);
       } else {
         pending[i].clear();
       }
@@ -297,17 +376,21 @@ struct ParallelPartitionedMatcher::Impl {
     last_stats.batches_enqueued = batches_enqueued;
     last_stats.max_queue_depth = max_queue_depth;
     last_stats.merge_seconds = merge_watch.ElapsedSeconds();
+    if (rebalancer != nullptr) last_stats.rebalancer = rebalancer->stats();
     for (auto& shard : shards) {
       last_stats.partitions_created += shard->stats.partitions_created;
       last_stats.partitions_evicted += shard->stats.partitions_evicted;
       last_stats.matches_emitted += shard->stats.matches_emitted;
-      last_stats.shards.push_back(shard->stats);
+      ShardStats snapshot = shard->stats;
+      snapshot.busy_nanos = shard->busy_nanos.value();
+      last_stats.shards.push_back(snapshot);
     }
     return first_error;
   }
 
   void ResetAll() {
     Barrier(EventBatch::Kind::kReset);
+    if (rebalancer != nullptr) rebalancer->Reset();
     has_watermark = false;
     watermark = 0;
     events_ingested = 0;
@@ -342,6 +425,10 @@ Result<ParallelPartitionedMatcher> ParallelPartitionedMatcher::Create(
         std::make_unique<Impl::Shard>(options.queue_capacity));
   }
   impl->pending.resize(impl->shards.size());
+  if (options.rebalance.enabled) {
+    impl->rebalancer = std::make_unique<ShardRebalancer>(
+        options.num_shards, impl->automaton->window(), options.rebalance);
+  }
   impl->Start();
   return ParallelPartitionedMatcher(std::move(impl));
 }
@@ -358,6 +445,26 @@ ParallelPartitionedMatcher& ParallelPartitionedMatcher::operator=(
 
 Status ParallelPartitionedMatcher::Push(const Event& event) {
   return impl_->Ingest(event);
+}
+
+Status ParallelPartitionedMatcher::PushBatch(std::span<const Event> events) {
+  return impl_->IngestBatch(events);
+}
+
+Status ParallelPartitionedMatcher::RunRelation(const EventRelation& relation) {
+  SES_RETURN_IF_ERROR(relation.ValidateTotalOrder());
+  std::span<const Event> events(relation.events());
+  // Chunk so workers drain earlier slabs while later ones are still being
+  // routed; a few batches per shard per chunk keeps the pipeline full
+  // without unbounded pending buffers.
+  size_t chunk =
+      std::max<size_t>(impl_->options.batch_size * impl_->shards.size() * 4,
+                       impl_->options.batch_size);
+  for (size_t pos = 0; pos < events.size(); pos += chunk) {
+    SES_RETURN_IF_ERROR(impl_->IngestBatch(
+        events.subspan(pos, std::min(chunk, events.size() - pos))));
+  }
+  return Status::OK();
 }
 
 Status ParallelPartitionedMatcher::Flush(std::vector<Match>* out) {
@@ -381,16 +488,13 @@ int ParallelPartitionedMatcher::num_shards() const {
 Result<std::vector<Match>> ParallelPartitionedMatchRelation(
     const Pattern& pattern, const EventRelation& relation, int attribute,
     ParallelOptions options, ParallelStats* stats) {
-  SES_RETURN_IF_ERROR(relation.ValidateTotalOrder());
   if (attribute < 0) {
     SES_ASSIGN_OR_RETURN(attribute, FindPartitionAttribute(pattern));
   }
   SES_ASSIGN_OR_RETURN(
       ParallelPartitionedMatcher matcher,
       ParallelPartitionedMatcher::Create(pattern, attribute, options));
-  for (const Event& event : relation) {
-    SES_RETURN_IF_ERROR(matcher.Push(event));
-  }
+  SES_RETURN_IF_ERROR(matcher.RunRelation(relation));
   std::vector<Match> matches;
   SES_RETURN_IF_ERROR(matcher.Flush(&matches));
   if (stats != nullptr) *stats = matcher.stats();

@@ -2,10 +2,12 @@
 #define SES_EXEC_PARALLEL_PARTITIONED_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "core/partitioned.h"
+#include "exec/rebalancer.h"
 
 namespace ses::exec {
 
@@ -48,6 +50,12 @@ struct ParallelOptions {
   /// Queue capacity per shard, in batches; bounds the memory a slow shard
   /// can accumulate (the ingest thread blocks when a queue is full).
   size_t queue_capacity = 64;
+  /// Adaptive shard rebalancing (off by default). When enabled, the ingest
+  /// thread samples per-shard queue depth and busy time every
+  /// rebalance.interval_events events and migrates idle keys off the
+  /// hottest shard; see exec/rebalancer.h and docs/RUNTIME.md. Output is
+  /// unaffected — only which worker processes which key.
+  RebalanceOptions rebalance;
   /// Options forwarded to every per-partition Matcher.
   MatcherOptions matcher;
 };
@@ -62,6 +70,9 @@ struct ShardStats {
   int64_t max_resident_partitions = 0;
   int64_t max_queue_depth = 0;
   int64_t matches_emitted = 0;
+  /// Wall-clock nanoseconds this worker spent processing batches (snapshot
+  /// of the live atomic the rebalancer samples).
+  int64_t busy_nanos = 0;
 };
 
 /// Aggregated runtime statistics, snapshotted at Flush().
@@ -74,6 +85,8 @@ struct ParallelStats {
   int64_t matches_emitted = 0;
   /// Wall-clock seconds spent merging and sorting shard outputs.
   double merge_seconds = 0.0;
+  /// What the adaptive rebalancer did (all zero when it is disabled).
+  RebalancerStats rebalancer;
   std::vector<ShardStats> shards;
 };
 
@@ -105,6 +118,21 @@ class ParallelPartitionedMatcher {
   /// Routes the event to its key's shard. Returns FailedPrecondition on
   /// non-increasing timestamps and any error a shard has reported.
   Status Push(const Event& event);
+
+  /// Batched ingest: routes a whole span of events in one pass, grouping
+  /// them by destination shard and handing each shard its slab of
+  /// batch_size-bounded batches with a single queue synchronization
+  /// (BatchQueue::PushAll), instead of one lock + notify per batch. The
+  /// span must continue the stream: strictly increasing timestamps, also
+  /// across calls. Semantically identical to pushing each event — only
+  /// the ingest-side synchronization cost changes.
+  Status PushBatch(std::span<const Event> events);
+
+  /// Relation-level splitter: validates the relation's total order once,
+  /// then feeds it through PushBatch in bounded chunks so workers start
+  /// draining while ingest is still running. Does not Flush — call it
+  /// repeatedly to concatenate relations into one stream, then Flush.
+  Status RunRelation(const EventRelation& relation);
 
   /// Barrier: drains every shard, flushes all partitions, merges the
   /// per-shard match buffers deterministically (SortMatches order) into

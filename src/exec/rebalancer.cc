@@ -1,0 +1,145 @@
+#include "exec/rebalancer.h"
+
+#include <algorithm>
+
+namespace ses::exec {
+
+namespace {
+
+/// Keys idle this many windows beyond the migration horizon are dropped
+/// from the tracking table entirely (their routing reverts to the hash).
+constexpr Duration kPruneWindows = 4;
+
+}  // namespace
+
+ShardRebalancer::ShardRebalancer(int num_shards, Duration window,
+                                 RebalanceOptions options)
+    : num_shards_(std::max(num_shards, 1)),
+      window_(std::max<Duration>(window, 1)),
+      options_(options),
+      next_sample_at_(std::max<int64_t>(options.interval_events, 1)) {
+  options_.interval_events = std::max<int64_t>(options_.interval_events, 1);
+  options_.max_moves_per_round = std::max(options_.max_moves_per_round, 1);
+  depth_ewma_.assign(static_cast<size_t>(num_shards_),
+                     EwmaGauge(options_.depth_alpha));
+  busy_ewma_.assign(static_cast<size_t>(num_shards_),
+                    EwmaGauge(options_.busy_alpha));
+  prev_busy_nanos_.assign(static_cast<size_t>(num_shards_), 0);
+}
+
+int ShardRebalancer::RouteAndObserve(const Value& key, size_t hash,
+                                     Timestamp timestamp) {
+  int home = static_cast<int>(hash % static_cast<size_t>(num_shards_));
+  auto [it, inserted] =
+      keys_.try_emplace(key, KeyState{home, home, timestamp, 0});
+  KeyState& state = it->second;
+  state.last_seen = timestamp;
+  ++state.events;
+  if (inserted) stats_.keys_tracked = static_cast<int64_t>(keys_.size());
+  return state.shard;
+}
+
+void ShardRebalancer::Sample(const std::vector<ShardLoad>& loads,
+                             Timestamp watermark) {
+  ++stats_.rounds;
+  next_sample_at_ += options_.interval_events;
+
+  double total_depth = 0;
+  double total_busy = 0;
+  for (size_t i = 0; i < loads.size() && i < depth_ewma_.size(); ++i) {
+    depth_ewma_[i].Observe(static_cast<double>(loads[i].queue_depth));
+    int64_t delta = loads[i].busy_nanos - prev_busy_nanos_[i];
+    prev_busy_nanos_[i] = loads[i].busy_nanos;
+    busy_ewma_[i].Observe(static_cast<double>(std::max<int64_t>(delta, 0)));
+    total_depth += depth_ewma_[i].value();
+    total_busy += busy_ewma_[i].value();
+  }
+
+  // Scale-free load score: each shard's share of the smoothed queue depth
+  // plus its share of the smoothed busy time. Depth dominates when queues
+  // back up; busy time discriminates when queues drain fast.
+  int deepest = 0;
+  int shallowest = 0;
+  double max_score = -1;
+  double min_score = -1;
+  for (int i = 0; i < num_shards_; ++i) {
+    size_t s = static_cast<size_t>(i);
+    double score =
+        (total_depth > 0 ? depth_ewma_[s].value() / total_depth : 0) +
+        (total_busy > 0 ? busy_ewma_[s].value() / total_busy : 0);
+    if (max_score < 0 || score > max_score) {
+      max_score = score;
+      deepest = i;
+    }
+    if (min_score < 0 || score < min_score) {
+      min_score = score;
+      shallowest = i;
+    }
+  }
+
+  if (deepest != shallowest &&
+      max_score > options_.min_imbalance * min_score + 1e-12) {
+    MigrateIdleKeys(deepest, shallowest, watermark);
+  }
+  PruneIdleKeys(watermark);
+  stats_.keys_tracked = static_cast<int64_t>(keys_.size());
+}
+
+void ShardRebalancer::MigrateIdleKeys(int source, int target,
+                                      Timestamp watermark) {
+  // A key may move only when provably idle: its newest event is more than
+  // one full pattern window behind the watermark, so no live automaton
+  // instance can still consume a future event of this key.
+  std::vector<std::map<Value, KeyState, ValueOrderLess>::iterator> candidates;
+  for (auto it = keys_.begin(); it != keys_.end(); ++it) {
+    const KeyState& state = it->second;
+    if (state.shard == source && state.last_seen + window_ < watermark) {
+      candidates.push_back(it);
+    }
+  }
+  if (candidates.empty()) return;
+
+  // Move the historically busiest keys first: they are the likeliest to
+  // contribute load when they wake up again.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              return a->second.events > b->second.events;
+            });
+  size_t moves = std::min(candidates.size(),
+                          static_cast<size_t>(options_.max_moves_per_round));
+  for (size_t i = 0; i < moves; ++i) {
+    KeyState& state = candidates[i]->second;
+    bool was_override = state.shard != state.home;
+    state.shard = target;
+    bool is_override = state.shard != state.home;
+    stats_.overrides_active += (is_override ? 1 : 0) - (was_override ? 1 : 0);
+    ++stats_.keys_migrated;
+  }
+  ++stats_.rebalances;
+}
+
+void ShardRebalancer::PruneIdleKeys(Timestamp watermark) {
+  Timestamp horizon = watermark - kPruneWindows * window_;
+  for (auto it = keys_.begin(); it != keys_.end();) {
+    const KeyState& state = it->second;
+    if (state.last_seen < horizon) {
+      // Dropping the entry reverts routing to the hash shard, which is
+      // safe for the same idleness reason migration is.
+      if (state.shard != state.home) --stats_.overrides_active;
+      it = keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ShardRebalancer::Reset() {
+  keys_.clear();
+  for (EwmaGauge& g : depth_ewma_) g.Reset();
+  for (EwmaGauge& g : busy_ewma_) g.Reset();
+  std::fill(prev_busy_nanos_.begin(), prev_busy_nanos_.end(), 0);
+  stats_ = RebalancerStats{};
+  next_sample_at_ = options_.interval_events;
+}
+
+}  // namespace ses::exec

@@ -1,0 +1,145 @@
+#ifndef SES_EXEC_REBALANCER_H_
+#define SES_EXEC_REBALANCER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/time.h"
+#include "event/value.h"
+#include "metrics/metrics.h"
+
+namespace ses::exec {
+
+/// Knobs for the adaptive shard rebalancer (see ShardRebalancer below and
+/// docs/RUNTIME.md). The defaults favour stability: a migration round only
+/// fires when one shard's smoothed load exceeds the lightest shard's by
+/// min_imbalance, and each round moves at most max_moves_per_round keys.
+struct RebalanceOptions {
+  /// Master switch; when false the runtime routes by hash only and the
+  /// rebalancer is never constructed.
+  bool enabled = false;
+  /// Ingested events between load samples (and hence between migration
+  /// opportunities).
+  int64_t interval_events = 4096;
+  /// EWMA weight for queue-depth samples, in (0, 1].
+  double depth_alpha = 0.4;
+  /// EWMA weight for busy-time samples, in (0, 1].
+  double busy_alpha = 0.4;
+  /// A migration round fires only when max shard load > min_imbalance ×
+  /// min shard load (load = normalized depth + busy share, so 2.0 means
+  /// "the deepest shard carries twice the lightest's share").
+  double min_imbalance = 1.5;
+  /// Upper bound on keys migrated per round; bounds the routing-table
+  /// churn a single skewed sample can cause.
+  int max_moves_per_round = 64;
+};
+
+/// Counters describing what the rebalancer has done; snapshotted into
+/// ParallelStats at Flush().
+struct RebalancerStats {
+  /// Load samples taken (every interval_events ingested events).
+  int64_t rounds = 0;
+  /// Migration rounds that actually moved keys.
+  int64_t rebalances = 0;
+  /// Keys migrated in total (including reverts to the home shard).
+  int64_t keys_migrated = 0;
+  /// Override-table entries currently routing a key off its hash shard.
+  int64_t overrides_active = 0;
+  /// Keys currently tracked (override table + recently-seen keys).
+  int64_t keys_tracked = 0;
+};
+
+/// Strict weak ordering over Values, shared by the exec-layer key tables.
+struct ValueOrderLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return Compare(a, b) < 0;
+  }
+};
+
+/// Adaptive shard rebalancer for the parallel partitioned runtime.
+///
+/// Static hash sharding hot-spots one worker when the key distribution is
+/// skewed. This class tracks per-shard load (queue-depth and busy-time
+/// EWMAs, fed by the ingest thread every `interval_events` events) and
+/// migrates partition keys from the most loaded to the least loaded shard
+/// through an explicit key→shard override table that the ingest thread
+/// consults *before* the hash.
+///
+/// Only **idle** keys migrate: a key whose newest event is at least the
+/// pattern window τ older than the ingest watermark. Such a key has no
+/// live automaton instance anywhere — every instance would expire before
+/// consuming any future event — so re-routing it cannot change the match
+/// set, and the per-key ordering invariant ("all events of a key that can
+/// co-occur in a match are processed by one shard, in order") is
+/// preserved. docs/SEMANTICS.md §7 spells out the argument; the
+/// skew-equivalence tests in tests/rebalance_test.cc enforce it for every
+/// thread count with rebalancing on and off.
+///
+/// Single-threaded by design: every method is called from the ingest
+/// thread only. Worker load reaches it through the cumulative busy-nanos
+/// counters the runtime samples (those are atomics owned by the workers).
+class ShardRebalancer {
+ public:
+  /// One shard's load sample: instantaneous queue depth plus the worker's
+  /// cumulative busy time (the rebalancer differences consecutive samples).
+  struct ShardLoad {
+    int64_t queue_depth = 0;
+    int64_t busy_nanos = 0;
+  };
+
+  /// `window` is the compiled pattern's τ — the idleness horizon below
+  /// which a key may never migrate.
+  ShardRebalancer(int num_shards, Duration window, RebalanceOptions options);
+
+  /// Routes `key` (whose precomputed hash is `hash`) to a shard, records
+  /// the observation (last-seen timestamp, per-key event count), and
+  /// returns the shard index. Consults the override table first; falls
+  /// back to hash % num_shards.
+  int RouteAndObserve(const Value& key, size_t hash, Timestamp timestamp);
+
+  /// True when `events_ingested` has crossed the next sampling boundary.
+  bool SampleDue(int64_t events_ingested) const {
+    return events_ingested >= next_sample_at_;
+  }
+
+  /// Feeds one load sample per shard, updates the EWMAs, and — when the
+  /// smoothed imbalance exceeds min_imbalance — migrates up to
+  /// max_moves_per_round idle keys from the deepest to the shallowest
+  /// shard. Also prunes long-idle table entries (reverting their routing
+  /// to the hash shard, which is safe for the same idleness reason).
+  void Sample(const std::vector<ShardLoad>& loads, Timestamp watermark);
+
+  /// Drops all routing state and statistics (used by Reset(): a new
+  /// relation starts from pure hash routing).
+  void Reset();
+
+  const RebalancerStats& stats() const { return stats_; }
+  const RebalanceOptions& options() const { return options_; }
+
+ private:
+  struct KeyState {
+    int home = 0;   // hash % num_shards, the route with no override
+    int shard = 0;  // current route
+    Timestamp last_seen = 0;
+    int64_t events = 0;
+  };
+
+  void MigrateIdleKeys(int source, int target, Timestamp watermark);
+  void PruneIdleKeys(Timestamp watermark);
+
+  int num_shards_;
+  Duration window_;
+  RebalanceOptions options_;
+  int64_t next_sample_at_;
+
+  std::map<Value, KeyState, ValueOrderLess> keys_;
+  std::vector<EwmaGauge> depth_ewma_;
+  std::vector<EwmaGauge> busy_ewma_;
+  std::vector<int64_t> prev_busy_nanos_;
+  RebalancerStats stats_;
+};
+
+}  // namespace ses::exec
+
+#endif  // SES_EXEC_REBALANCER_H_

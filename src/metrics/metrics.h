@@ -80,6 +80,37 @@ class AtomicMaxGauge {
   std::atomic<int64_t> max_{0};
 };
 
+/// An exponentially weighted moving average gauge. The parallel runtime's
+/// shard rebalancer feeds it per-shard queue-depth and busy-time samples;
+/// the EWMA smooths out per-batch jitter so one bursty sample does not
+/// trigger a key migration. Not thread-safe: each gauge is owned by the
+/// single thread that samples it (the ingest thread).
+class EwmaGauge {
+ public:
+  /// `alpha` is the weight of the newest sample, in (0, 1]; higher alpha
+  /// reacts faster, lower alpha smooths harder.
+  explicit EwmaGauge(double alpha = 0.5) : alpha_(alpha) {}
+
+  void Observe(double sample) {
+    value_ = samples_ == 0 ? sample : alpha_ * sample + (1 - alpha_) * value_;
+    ++samples_;
+  }
+
+  /// Current average; 0 before the first sample.
+  double value() const { return value_; }
+  int64_t samples() const { return samples_; }
+
+  void Reset() {
+    value_ = 0;
+    samples_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  int64_t samples_ = 0;
+};
+
 /// Wall-clock stopwatch with nanosecond resolution.
 class Stopwatch {
  public:

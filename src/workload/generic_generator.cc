@@ -1,5 +1,7 @@
 #include "workload/generic_generator.h"
 
+#include <optional>
+
 #include "common/logging.h"
 #include "common/random.h"
 #include "workload/paper_fixture.h"
@@ -25,11 +27,18 @@ EventRelation GenerateStream(const StreamOptions& options) {
     return options.type_weights.back().first;
   };
 
+  SES_CHECK(options.key_skew >= 0);
+  std::optional<ZipfDistribution> zipf;
+  if (options.key_skew > 0) {
+    zipf.emplace(options.num_partitions, options.key_skew);
+  }
+
   EventRelation relation(ChemotherapySchema());
   Timestamp now = 0;
   for (int64_t i = 0; i < options.num_events; ++i) {
     now += random.UniformInt(options.min_gap, options.max_gap);
-    int64_t id = random.UniformInt(1, options.num_partitions);
+    int64_t id = zipf ? zipf->Sample(random)
+                      : random.UniformInt(1, options.num_partitions);
     const std::string& type = pick_type();
     double value = static_cast<double>(
         random.Uniform(static_cast<uint64_t>(options.value_range)));

@@ -16,8 +16,13 @@ namespace ses::workload {
 /// matters more than clinical plausibility.
 struct StreamOptions {
   int64_t num_events = 1000;
-  /// ID is drawn uniformly from [1, num_partitions].
+  /// ID is drawn from [1, num_partitions] — uniformly when key_skew == 0,
+  /// Zipf(num_partitions, key_skew) otherwise.
   int num_partitions = 4;
+  /// Zipf exponent for the partition-key distribution. 0 keeps the uniform
+  /// draw; values around 1 produce the hot-key regime that overloads one
+  /// shard of the statically hashed parallel runtime (key 1 is hottest).
+  double key_skew = 0.0;
   /// Event types L and their relative weights; must be non-empty.
   std::vector<std::pair<std::string, double>> type_weights = {
       {"A", 1.0}, {"B", 1.0}, {"C", 1.0}};

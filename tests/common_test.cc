@@ -208,6 +208,37 @@ TEST(Random, UniformDoubleInUnitInterval) {
   }
 }
 
+TEST(Zipf, RankOneIsMostFrequentAndRangeHolds) {
+  Random r(6);
+  ZipfDistribution zipf(/*n=*/16, /*s=*/1.1);
+  std::vector<int> counts(17, 0);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t k = zipf.Sample(r);
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, 16);
+    ++counts[static_cast<size_t>(k)];
+  }
+  // P(k) ∝ 1/k^1.1: rank 1 clearly dominates rank 2, which dominates the
+  // tail's average.
+  EXPECT_GT(counts[1], counts[2]);
+  int tail = 0;
+  for (int k = 9; k <= 16; ++k) tail += counts[static_cast<size_t>(k)];
+  EXPECT_GT(counts[1], tail / 8);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  Random r(7);
+  ZipfDistribution zipf(/*n=*/8, /*s=*/0.0);
+  std::vector<int> counts(9, 0);
+  for (int i = 0; i < 16000; ++i) {
+    ++counts[static_cast<size_t>(zipf.Sample(r))];
+  }
+  for (int k = 1; k <= 8; ++k) {
+    EXPECT_GT(counts[static_cast<size_t>(k)], 1600);  // expected 2000 each
+    EXPECT_LT(counts[static_cast<size_t>(k)], 2400);
+  }
+}
+
 TEST(Random, BernoulliExtremes) {
   Random r(4);
   EXPECT_FALSE(r.Bernoulli(0.0));

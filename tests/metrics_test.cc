@@ -36,6 +36,29 @@ TEST(Metrics, MaxGaugeTracksMaximum) {
   EXPECT_EQ(g.max(), 0);
 }
 
+TEST(Metrics, EwmaGaugeSmoothsSamples) {
+  EwmaGauge g(/*alpha=*/0.5);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(g.samples(), 0);
+  g.Observe(10);  // first sample seeds the average
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.Observe(20);
+  EXPECT_DOUBLE_EQ(g.value(), 15.0);
+  g.Observe(0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  EXPECT_EQ(g.samples(), 3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(g.samples(), 0);
+}
+
+TEST(Metrics, EwmaGaugeAlphaOneTracksLastSample) {
+  EwmaGauge g(/*alpha=*/1.0);
+  g.Observe(3);
+  g.Observe(42);
+  EXPECT_DOUBLE_EQ(g.value(), 42.0);
+}
+
 TEST(Metrics, AtomicCounterAccumulatesAcrossThreads) {
   AtomicCounter c;
   c.Increment(2);

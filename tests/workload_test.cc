@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "workload/chemotherapy.h"
@@ -216,6 +217,34 @@ TEST(GenericGenerator, HonorsOptions) {
   // B is 3x as likely as A: expect roughly 375, allow wide slack.
   EXPECT_GT(count_b, 300);
   EXPECT_LT(count_b, 450);
+}
+
+TEST(GenericGenerator, KeySkewProducesAHotKey) {
+  StreamOptions options;
+  options.num_events = 4000;
+  options.num_partitions = 32;
+  options.key_skew = 1.2;
+  options.seed = 11;
+  EventRelation r = GenerateStream(options);
+  ASSERT_EQ(r.size(), 4000u);
+  EXPECT_TRUE(r.ValidateTotalOrder().ok());
+  std::vector<int> counts(33, 0);
+  for (const Event& e : r) {
+    int64_t id = e.value(0).int64();
+    ASSERT_GE(id, 1);
+    ASSERT_LE(id, 32);
+    ++counts[static_cast<size_t>(id)];
+  }
+  // Zipf(32, 1.2): key 1 draws ~24% of all events — far above the uniform
+  // 1/32 ≈ 3%. That is the hot-spot regime the shard rebalancer targets.
+  EXPECT_GT(counts[1], 4000 / 8);
+  // A uniform stream with the same seed has no such concentration.
+  StreamOptions uniform = options;
+  uniform.key_skew = 0.0;
+  EventRelation u = GenerateStream(uniform);
+  std::vector<int> ucounts(33, 0);
+  for (const Event& e : u) ++ucounts[static_cast<size_t>(e.value(0).int64())];
+  EXPECT_LT(*std::max_element(ucounts.begin(), ucounts.end()), 4000 / 8);
 }
 
 }  // namespace
