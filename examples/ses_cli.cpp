@@ -9,25 +9,27 @@
 //           --data events.csv
 //           --query "PATTERN {c, p+, d} -> {b} WHERE ... WITHIN 264h"
 //
-//   # match against an embedded table (self-describing, no --schema)
-//   ses_cli --data events.sestbl --query-file q.ses --stats
+//   # match against an embedded table with a specific engine
+//   ses_cli --data events.sestbl --query-file q.ses --engine parallel --stats
 //
-// Flags: --no-filter disables the §4.5 pre-filter, --dot prints the SES
-// automaton in Graphviz form instead of matching, --stats appends run
-// statistics.
+// Evaluation strategies are resolved through the engine registry
+// (engine/registry.h): --engine picks one by name, --list-engines shows
+// what is available, and --threads N is shorthand for the parallel engine
+// with N worker shards. All engines run the same compiled plan and print
+// the same matches in the same canonical order.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 
 #include "common/strings.h"
-#include "core/matcher.h"
-#include "core/partitioned.h"
+#include "engine/registry.h"
 #include "event/csv.h"
-#include "exec/parallel_partitioned.h"
+#include "plan/compiled_plan.h"
 #include "query/parser.h"
 #include "storage/table_reader.h"
 #include "workload/paper_fixture.h"
@@ -41,43 +43,53 @@ struct CliArgs {
   std::string data_path;
   std::string query;
   std::string format = "text";  // text | csv
+  /// Registry name of the evaluation strategy; empty = "serial" (or
+  /// "parallel" when --threads is given).
+  std::string engine;
   bool demo = false;
   bool no_filter = false;
+  bool shared_const = false;
   bool stats = false;
   bool dot = false;
-  /// 0 = serial matcher; N >= 1 = parallel partitioned runtime with N
-  /// worker shards (requires a partitionable pattern).
+  bool list_engines = false;
+  /// Shorthand: N >= 1 selects the parallel engine with N worker shards.
   int threads = 0;
-  /// Events per shard batch for the parallel runtime (0 = library default).
+  /// Events per shard batch for the parallel engine (0 = library default).
   int batch = 0;
-  /// Enables adaptive shard rebalancing (parallel runtime only).
+  /// Enables adaptive shard rebalancing (parallel engine only).
   bool rebalance = false;
 };
 
 void PrintUsage() {
   std::printf(
       "usage: ses_cli [--demo] [--schema \"NAME TYPE, ...\"] [--data FILE]\n"
-      "               [--query TEXT | --query-file FILE]\n"
-      "               [--no-filter] [--stats] [--dot]\n"
+      "               [--query TEXT | --query-file FILE] [--engine NAME]\n"
+      "               [--no-filter] [--shared-const] [--stats] [--dot]\n"
       "               [--threads N] [--batch N] [--rebalance]\n"
-      "  --demo        run the paper's running example (Figure 1 + Q1)\n"
-      "  --schema      attribute list for CSV input (TYPE: INT, DOUBLE,\n"
-      "                STRING); .sestbl tables are self-describing\n"
-      "  --data        input file (.csv or .sestbl)\n"
-      "  --query       SES pattern DSL text (see query/parser.h)\n"
-      "  --query-file  read the query from a file\n"
-      "  --no-filter   disable the event pre-filter (sec. 4.5)\n"
-      "  --stats       print execution statistics\n"
-      "  --format F    output format: text (default) or csv\n"
-      "  --dot         print the SES automaton as Graphviz dot and exit\n"
-      "  --threads N   match with the parallel partitioned runtime on N\n"
-      "                worker shards; the pattern must carry a complete\n"
-      "                equality graph on one attribute (partition key)\n"
-      "  --batch N     events per shard batch for the parallel runtime\n"
-      "                (ingest enqueues whole slabs; default 256)\n"
-      "  --rebalance   adaptively migrate idle partition keys off the\n"
-      "                hottest shard (parallel runtime; output unchanged,\n"
-      "                see docs/RUNTIME.md)\n");
+      "               [--list-engines]\n"
+      "  --demo         run the paper's running example (Figure 1 + Q1)\n"
+      "  --schema       attribute list for CSV input (TYPE: INT, DOUBLE,\n"
+      "                 STRING); .sestbl tables are self-describing\n"
+      "  --data         input file (.csv or .sestbl)\n"
+      "  --query        SES pattern DSL text (see query/parser.h)\n"
+      "  --query-file   read the query from a file\n"
+      "  --engine NAME  evaluation strategy from the engine registry\n"
+      "                 (default serial; see --list-engines)\n"
+      "  --list-engines print the registered engines and exit\n"
+      "  --no-filter    disable the event pre-filter (sec. 4.5)\n"
+      "  --shared-const share per-event constant-condition evaluation\n"
+      "                 across automaton instances\n"
+      "  --stats        print execution statistics\n"
+      "  --format F     output format: text (default) or csv\n"
+      "  --dot          print the SES automaton as Graphviz dot and exit\n"
+      "  --threads N    shorthand for --engine parallel with N worker\n"
+      "                 shards; the pattern must carry a complete equality\n"
+      "                 graph on one attribute (partition key)\n"
+      "  --batch N      events per shard batch for the parallel engine\n"
+      "                 (ingest enqueues whole slabs; default 256)\n"
+      "  --rebalance    adaptively migrate idle partition keys off the\n"
+      "                 hottest shard (parallel engine; output unchanged,\n"
+      "                 see docs/RUNTIME.md)\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -110,6 +122,10 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       if (args.format != "text" && args.format != "csv") {
         return Status::InvalidArgument("--format must be text or csv");
       }
+    } else if (std::strcmp(argv[i], "--engine") == 0) {
+      SES_ASSIGN_OR_RETURN(args.engine, need_value(i));
+    } else if (std::strcmp(argv[i], "--list-engines") == 0) {
+      args.list_engines = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
       args.threads = std::atoi(value.c_str());
@@ -126,6 +142,8 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.rebalance = true;
     } else if (std::strcmp(argv[i], "--no-filter") == 0) {
       args.no_filter = true;
+    } else if (std::strcmp(argv[i], "--shared-const") == 0) {
+      args.shared_const = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       args.stats = true;
     } else if (std::strcmp(argv[i], "--dot") == 0) {
@@ -175,7 +193,30 @@ Result<EventRelation> LoadData(const CliArgs& args) {
   return ReadCsvFile(args.data_path, schema);
 }
 
+/// Resolves the engine name: --engine wins, --threads implies parallel,
+/// default is serial. Rejects contradictory combinations.
+Result<std::string> ResolveEngineName(const CliArgs& args) {
+  if (!args.engine.empty()) {
+    if (args.threads >= 1 && args.engine != "parallel") {
+      return Status::InvalidArgument(
+          "--threads selects the parallel engine; it cannot be combined "
+          "with --engine " + args.engine);
+    }
+    return args.engine;
+  }
+  if (args.threads >= 1) return std::string("parallel");
+  return std::string("serial");
+}
+
 Status Run(const CliArgs& args) {
+  if (args.list_engines) {
+    for (const engine::EngineInfo& info :
+         engine::EngineRegistry::Global().List()) {
+      std::printf("%-12s %s\n", info.name.c_str(), info.description.c_str());
+    }
+    return Status::OK();
+  }
+
   SES_ASSIGN_OR_RETURN(EventRelation events, LoadData(args));
 
   std::string query = args.query;
@@ -191,49 +232,38 @@ Status Run(const CliArgs& args) {
   }
   SES_ASSIGN_OR_RETURN(Pattern pattern, ParsePattern(query, events.schema()));
 
-  MatcherOptions options;
-  options.enable_prefilter = !args.no_filter;
+  // Compile once; the plan is shared by whichever engine runs it.
+  plan::PlanOptions plan_options;
+  plan_options.enable_prefilter = !args.no_filter;
+  plan_options.shared_constant_evaluation = args.shared_const;
+  SES_ASSIGN_OR_RETURN(std::shared_ptr<const plan::CompiledPlan> plan,
+                       plan::CompilePlan(pattern, plan_options));
 
-  std::vector<Match> matches;
-  ExecutorStats serial_stats;
-  exec::ParallelStats parallel_stats;
-  if (args.threads >= 1) {
-    Result<int> attribute = FindPartitionAttribute(pattern);
-    if (!attribute.ok()) {
-      return Status::InvalidArgument(
-          "--threads requires a partitionable pattern: " +
-          attribute.status().ToString());
-    }
-    exec::ParallelOptions parallel_options;
-    parallel_options.num_shards = args.threads;
-    if (args.batch > 0) {
-      parallel_options.batch_size = static_cast<size_t>(args.batch);
-    }
-    parallel_options.rebalance.enabled = args.rebalance;
-    parallel_options.matcher = options;
-    SES_ASSIGN_OR_RETURN(exec::ParallelPartitionedMatcher matcher,
-                         exec::ParallelPartitionedMatcher::Create(
-                             pattern, *attribute, parallel_options));
-    if (args.dot) {
-      std::printf("%s", matcher.automaton().ToDot().c_str());
-      return Status::OK();
-    }
-    SES_RETURN_IF_ERROR(matcher.RunRelation(events));  // batched ingest
-    SES_RETURN_IF_ERROR(matcher.Flush(&matches));      // emits sorted
-    parallel_stats = matcher.stats();
-  } else {
-    Matcher matcher(pattern, options);
-    if (args.dot) {
-      std::printf("%s", matcher.automaton().ToDot().c_str());
-      return Status::OK();
-    }
-    for (const Event& event : events) {
-      SES_RETURN_IF_ERROR(matcher.Push(event, &matches));
-    }
-    matcher.Flush(&matches);
-    SortMatches(&matches);
-    serial_stats = matcher.stats();
+  if (args.dot) {
+    std::printf("%s", plan->automaton().ToDot().c_str());
+    return Status::OK();
   }
+
+  SES_ASSIGN_OR_RETURN(std::string engine_name, ResolveEngineName(args));
+  engine::EngineOptions engine_options;
+  if (args.threads >= 1) engine_options.num_shards = args.threads;
+  if (args.batch > 0) {
+    engine_options.batch_size = static_cast<size_t>(args.batch);
+  }
+  engine_options.rebalance.enabled = args.rebalance;
+  std::vector<Match> matches;
+  engine_options.sink = engine::CollectInto(&matches);
+  SES_ASSIGN_OR_RETURN(
+      std::unique_ptr<engine::Engine> eng,
+      engine::CreateEngine(engine_name, plan, std::move(engine_options)));
+
+  SES_RETURN_IF_ERROR(events.ValidateTotalOrder());
+  SES_RETURN_IF_ERROR(
+      eng->PushBatch(std::span<const Event>(events.events())));
+  SES_RETURN_IF_ERROR(eng->Flush());
+  // Engines differ in WHEN matches reach the sink; normalize so every
+  // engine prints the identical canonical listing.
+  SortMatches(&matches);
 
   if (args.format == "csv") {
     // One row per binding: match number, variable, event id, timestamp.
@@ -259,38 +289,16 @@ Status Run(const CliArgs& args) {
   }
 
   if (args.stats) {
-    if (args.threads >= 1) {
-      std::printf(
-          "stats: %lld events in %lld batch(es) over %d shard(s), "
-          "%lld partitions created, %lld evicted, max queue depth %lld, "
-          "merge %.4fs\n",
-          static_cast<long long>(parallel_stats.events_ingested),
-          static_cast<long long>(parallel_stats.batches_enqueued),
-          args.threads,
-          static_cast<long long>(parallel_stats.partitions_created),
-          static_cast<long long>(parallel_stats.partitions_evicted),
-          static_cast<long long>(parallel_stats.max_queue_depth),
-          parallel_stats.merge_seconds);
-      if (args.rebalance) {
-        const exec::RebalancerStats& rb = parallel_stats.rebalancer;
-        std::printf(
-            "rebalancer: %lld sample round(s), %lld rebalance(s), "
-            "%lld key(s) migrated, %lld override(s) active\n",
-            static_cast<long long>(rb.rounds),
-            static_cast<long long>(rb.rebalances),
-            static_cast<long long>(rb.keys_migrated),
-            static_cast<long long>(rb.overrides_active));
-      }
-    } else {
-      std::printf(
-          "stats: filtered %lld/%lld events, max %lld instances, "
-          "%lld transitions evaluated, %lld conditions evaluated\n",
-          static_cast<long long>(serial_stats.events_filtered),
-          static_cast<long long>(serial_stats.events_seen),
-          static_cast<long long>(serial_stats.max_simultaneous_instances),
-          static_cast<long long>(serial_stats.transitions_evaluated),
-          static_cast<long long>(serial_stats.conditions_evaluated));
-    }
+    engine::EngineStats stats = eng->stats();
+    std::printf(
+        "stats [%s]: %lld events pushed, %lld matches (%lld before the "
+        "flush barrier), max %lld buffered, %lld partition(s)\n",
+        std::string(eng->name()).c_str(),
+        static_cast<long long>(stats.events_pushed),
+        static_cast<long long>(stats.matches_emitted),
+        static_cast<long long>(stats.matches_emitted_early),
+        static_cast<long long>(stats.max_buffered_matches),
+        static_cast<long long>(stats.num_partitions));
   }
   return Status::OK();
 }

@@ -7,9 +7,17 @@ namespace ses {
 
 SesExecutor::SesExecutor(const SesAutomaton* automaton,
                          ExecutorOptions options)
+    : SesExecutor(automaton, options, nullptr) {}
+
+SesExecutor::SesExecutor(const SesAutomaton* automaton,
+                         ExecutorOptions options,
+                         std::shared_ptr<const EventPreFilter> filter)
     : automaton_(automaton),
       options_(options),
-      filter_(automaton->pattern()) {
+      filter_(filter != nullptr
+                  ? std::move(filter)
+                  : std::make_shared<const EventPreFilter>(
+                        automaton->pattern())) {
   if (options_.shared_constant_evaluation) {
     constant_memo_.resize(
         static_cast<size_t>(automaton_->num_transitions()));
@@ -18,11 +26,15 @@ SesExecutor::SesExecutor(const SesAutomaton* automaton,
 
 void SesExecutor::Consume(const Event& event, std::vector<Match>* out) {
   ++stats_.events_seen;
-  if (options_.enable_prefilter && !filter_.ShouldProcess(event)) {
+  if (options_.enable_prefilter && !filter_->ShouldProcess(event)) {
     // §4.5: the event satisfies no constant condition, so it cannot fire
-    // any transition; skip the iteration over Ω entirely.
+    // any transition; skip the transition evaluation over Ω entirely. It
+    // still advances time, though — instances whose window it exceeds are
+    // emitted/expired now, so delivery latency and the executor's pending
+    // horizon never depend on how many events the filter drops.
     ++stats_.events_filtered;
     if (observer_ != nullptr) observer_->OnEvent(event, /*filtered=*/true);
+    ExpireUpTo(event.timestamp(), out);
     return;
   }
   ++stats_.events_processed;
@@ -57,6 +69,39 @@ void SesExecutor::Consume(const Event& event, std::vector<Match>* out) {
   stats_.max_simultaneous_instances =
       std::max(stats_.max_simultaneous_instances,
                static_cast<int64_t>(instances_.size()));
+  RecomputePendingFloor();
+}
+
+void SesExecutor::ExpireUpTo(Timestamp now, std::vector<Match>* out) {
+  if (pending_floor_ == kNoPending ||
+      now - pending_floor_ <= automaton_->window()) {
+    return;
+  }
+  const Duration window = automaton_->window();
+  size_t kept = 0;
+  for (AutomatonInstance& instance : instances_) {
+    if (!instance.buffer.empty() &&
+        now - instance.buffer.min_timestamp() > window) {
+      ++stats_.instances_expired;
+      bool accepted = automaton_->IsAccepting(instance.state);
+      if (observer_ != nullptr) observer_->OnExpired(instance, accepted);
+      if (accepted) {
+        EmitMatch(instance, out);
+      }
+      continue;
+    }
+    instances_[kept++] = std::move(instance);
+  }
+  instances_.resize(kept);
+  RecomputePendingFloor();
+}
+
+void SesExecutor::RecomputePendingFloor() {
+  pending_floor_ = kNoPending;
+  for (const AutomatonInstance& instance : instances_) {
+    if (instance.buffer.empty()) continue;
+    pending_floor_ = std::min(pending_floor_, instance.buffer.min_timestamp());
+  }
 }
 
 void SesExecutor::ConsumeOnInstance(
@@ -174,11 +219,13 @@ void SesExecutor::Flush(std::vector<Match>* out) {
   }
   instances_.clear();
   next_.clear();
+  pending_floor_ = kNoPending;
 }
 
 void SesExecutor::Reset() {
   instances_.clear();
   next_.clear();
+  pending_floor_ = kNoPending;
   stats_ = ExecutorStats{};
 }
 

@@ -2,6 +2,7 @@
 #define SES_CORE_EXECUTOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -53,8 +54,17 @@ struct ExecutorStats {
 /// end-of-stream as expiry and must be called after the last event.
 class SesExecutor {
  public:
-  /// `automaton` must outlive the executor and is not owned.
+  /// `automaton` must outlive the executor and is not owned. The executor
+  /// builds its own EventPreFilter from the automaton's pattern.
   SesExecutor(const SesAutomaton* automaton, ExecutorOptions options);
+
+  /// Shares a pre-built pre-filter (see plan::CompiledPlan). The filter is
+  /// immutable after construction, so one instance can serve every
+  /// per-partition executor of a partitioned run instead of re-scanning the
+  /// pattern's conditions on every partition creation. A null filter falls
+  /// back to building one.
+  SesExecutor(const SesAutomaton* automaton, ExecutorOptions options,
+              std::shared_ptr<const EventPreFilter> filter);
 
   /// Feeds the next event (strictly increasing timestamps; enforced by
   /// Matcher). Completed matches are appended to `out`.
@@ -95,14 +105,35 @@ class SesExecutor {
                                  const MatchBuffer& buffer,
                                  const Event& event);
 
+  /// Window-expiry sweep for events that skip the instance loop (§4.5
+  /// pre-filtered). A filtered event cannot fire a transition, but it still
+  /// advances time: instances whose window it exceeds must emit/expire NOW,
+  /// or delivery is delayed until the next unfiltered event — unacceptable
+  /// for streaming consumers that prune state against a time watermark.
+  /// O(1) unless something actually expires (guarded by pending_floor_).
+  void ExpireUpTo(Timestamp now, std::vector<Match>* out);
+
+  /// Recomputes pending_floor_ from the live instance set.
+  void RecomputePendingFloor();
+
   void EmitMatch(const AutomatonInstance& instance, std::vector<Match>* out);
 
   const SesAutomaton* automaton_;
   ExecutorOptions options_;
-  EventPreFilter filter_;
+  /// Shared with sibling executors when handed in at construction (one
+  /// filter per compiled plan), privately owned otherwise.
+  std::shared_ptr<const EventPreFilter> filter_;
   std::vector<AutomatonInstance> instances_;  // Ω
   std::vector<AutomatonInstance> next_;       // Ω'
   ExecutorStats stats_;
+
+  /// Sentinel: no instance holds a binding, nothing can expire.
+  static constexpr Timestamp kNoPending =
+      std::numeric_limits<Timestamp>::max();
+  /// Lower bound on min over Ω of buffer.min_timestamp() (non-empty
+  /// buffers only); exact after every processed event and every sweep.
+  /// Lets ExpireUpTo skip the Ω scan when no window can have expired.
+  Timestamp pending_floor_ = kNoPending;
 
   /// Per-event memo for shared constant-condition evaluation, indexed by
   /// Transition::id. An entry is valid when its epoch equals event_epoch_.

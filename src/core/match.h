@@ -1,6 +1,7 @@
 #ifndef SES_CORE_MATCH_H_
 #define SES_CORE_MATCH_H_
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,6 +51,14 @@ class Match {
   Timestamp start_ = 0;
   Timestamp end_ = 0;
 };
+
+/// Streaming match consumer. Evaluators that support incremental delivery
+/// (the engine layer, exec::ParallelOptions::sink) invoke the sink once per
+/// completed match instead of appending to a caller-owned vector, so match
+/// memory stays bounded on long streams. The sink runs on the thread that
+/// drives the evaluator (Push/Flush caller); it must not re-enter the
+/// evaluator.
+using MatchSink = std::function<void(Match&&)>;
 
 /// Canonical match order: (start time, end time, substitution key) — the
 /// order SortMatches produces. The substitution-key comparison allocates,

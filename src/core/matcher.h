@@ -55,6 +55,14 @@ class Matcher {
   explicit Matcher(std::shared_ptr<const SesAutomaton> automaton,
                    MatcherOptions options = {});
 
+  /// Additionally shares a pre-built event pre-filter (see
+  /// plan::CompiledPlan): per-partition matchers skip re-scanning the
+  /// pattern's constant conditions on every partition creation. A null
+  /// filter behaves like the two-argument constructor.
+  Matcher(std::shared_ptr<const SesAutomaton> automaton,
+          MatcherOptions options,
+          std::shared_ptr<const EventPreFilter> filter);
+
   Matcher(Matcher&&) = default;
   Matcher& operator=(Matcher&&) = default;
 

@@ -4,29 +4,37 @@
 
 namespace ses {
 
-Result<int> FindPartitionAttribute(const Pattern& pattern) {
+bool IsPartitionAttribute(const Pattern& pattern, int attribute) {
+  if (attribute < 0 || attribute >= pattern.schema().num_attributes()) {
+    return false;
+  }
+  if (pattern.schema().attribute(attribute).type == ValueType::kDouble) {
+    return false;
+  }
   int n = pattern.num_variables();
+  if (n < 1) return false;
+  // Equality adjacency on this attribute.
+  std::vector<std::vector<bool>> eq(n, std::vector<bool>(n, false));
+  for (const Condition& c : pattern.conditions()) {
+    if (c.is_constant_condition()) continue;
+    if (c.op() != ComparisonOp::kEq) continue;
+    if (c.lhs().attribute != attribute || c.rhs_ref().attribute != attribute) {
+      continue;
+    }
+    eq[c.lhs().variable][c.rhs_ref().variable] = true;
+    eq[c.rhs_ref().variable][c.lhs().variable] = true;
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (!eq[a][b]) return false;
+    }
+  }
+  return true;
+}
+
+Result<int> FindPartitionAttribute(const Pattern& pattern) {
   for (int attr = 0; attr < pattern.schema().num_attributes(); ++attr) {
-    ValueType type = pattern.schema().attribute(attr).type;
-    if (type == ValueType::kDouble) continue;
-    // Equality adjacency on this attribute.
-    std::vector<std::vector<bool>> eq(n, std::vector<bool>(n, false));
-    for (const Condition& c : pattern.conditions()) {
-      if (c.is_constant_condition()) continue;
-      if (c.op() != ComparisonOp::kEq) continue;
-      if (c.lhs().attribute != attr || c.rhs_ref().attribute != attr) {
-        continue;
-      }
-      eq[c.lhs().variable][c.rhs_ref().variable] = true;
-      eq[c.rhs_ref().variable][c.lhs().variable] = true;
-    }
-    bool complete = true;
-    for (int a = 0; a < n && complete; ++a) {
-      for (int b = a + 1; b < n && complete; ++b) {
-        if (!eq[a][b]) complete = false;
-      }
-    }
-    if (complete && n >= 1) return attr;
+    if (IsPartitionAttribute(pattern, attr)) return attr;
   }
   return Status::NotFound(
       "no attribute carries a complete pairwise equality graph over all "
@@ -36,6 +44,13 @@ Result<int> FindPartitionAttribute(const Pattern& pattern) {
 Result<PartitionedMatcher> PartitionedMatcher::Create(const Pattern& pattern,
                                                       int attribute,
                                                       MatcherOptions options) {
+  return Create(CompileAutomaton(pattern), attribute, options, nullptr);
+}
+
+Result<PartitionedMatcher> PartitionedMatcher::Create(
+    std::shared_ptr<const SesAutomaton> automaton, int attribute,
+    MatcherOptions options, std::shared_ptr<const EventPreFilter> filter) {
+  const Pattern& pattern = automaton->pattern();
   if (attribute < 0 || attribute >= pattern.schema().num_attributes()) {
     return Status::InvalidArgument("partition attribute index out of range");
   }
@@ -43,7 +58,8 @@ Result<PartitionedMatcher> PartitionedMatcher::Create(const Pattern& pattern,
     return Status::InvalidArgument(
         "DOUBLE attributes cannot be used as partition keys");
   }
-  return PartitionedMatcher(CompileAutomaton(pattern), attribute, options);
+  return PartitionedMatcher(std::move(automaton), attribute, options,
+                            std::move(filter));
 }
 
 Status PartitionedMatcher::Push(const Event& event, std::vector<Match>* out) {
@@ -51,7 +67,7 @@ Status PartitionedMatcher::Push(const Event& event, std::vector<Match>* out) {
   const Value& key = event.value(attribute_);
   auto it = matchers_.find(key);
   if (it == matchers_.end()) {
-    it = matchers_.emplace(key, Matcher(automaton_, options_)).first;
+    it = matchers_.emplace(key, Matcher(automaton_, options_, filter_)).first;
     stats_.num_partitions = static_cast<int64_t>(matchers_.size());
   }
   Matcher& matcher = it->second;

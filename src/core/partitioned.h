@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/filter.h"
 #include "core/matcher.h"
 
 namespace ses {
@@ -30,6 +31,11 @@ namespace ses {
 /// partitioned execution would return strictly more matches. The detector
 /// below therefore only accepts complete graphs, where equivalence is
 /// exact (property-tested against the global matcher).
+
+/// True iff `attribute` is a valid partition attribute for `pattern`: in
+/// range, not DOUBLE (partition keys need exact equality), and carrying a
+/// complete pairwise equality graph over all event variables.
+bool IsPartitionAttribute(const Pattern& pattern, int attribute);
 
 /// Finds an attribute on which the pattern's equality conditions form a
 /// complete graph over all variables. Returns the schema attribute index,
@@ -56,6 +62,16 @@ class PartitionedMatcher {
   static Result<PartitionedMatcher> Create(const Pattern& pattern,
                                            int attribute,
                                            MatcherOptions options = {});
+
+  /// Shares a pre-compiled automaton and (optionally) a pre-built event
+  /// pre-filter — the plan-driven construction path (see
+  /// plan::CompiledPlan): the powerset construction and the filter's
+  /// condition scan both run once per plan, not once per evaluator or per
+  /// partition. `attribute` is validated the same way as above.
+  static Result<PartitionedMatcher> Create(
+      std::shared_ptr<const SesAutomaton> automaton, int attribute,
+      MatcherOptions options = {},
+      std::shared_ptr<const EventPreFilter> filter = nullptr);
 
   PartitionedMatcher(PartitionedMatcher&&) = default;
   PartitionedMatcher& operator=(PartitionedMatcher&&) = default;
@@ -86,14 +102,19 @@ class PartitionedMatcher {
   };
 
   PartitionedMatcher(std::shared_ptr<const SesAutomaton> automaton,
-                     int attribute, MatcherOptions options)
+                     int attribute, MatcherOptions options,
+                     std::shared_ptr<const EventPreFilter> filter)
       : automaton_(std::move(automaton)),
+        filter_(std::move(filter)),
         attribute_(attribute),
         options_(options) {}
 
   /// Compiled once in Create and shared by every partition's Matcher — the
   /// powerset construction must NOT re-run per partition key.
   std::shared_ptr<const SesAutomaton> automaton_;
+  /// Shared by every partition's executor (may be null: each executor then
+  /// builds its own).
+  std::shared_ptr<const EventPreFilter> filter_;
   int attribute_;
   MatcherOptions options_;
   std::map<Value, Matcher, ValueLess> matchers_;

@@ -1,0 +1,390 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "baseline/brute_force.h"
+#include "baseline/reference_matcher.h"
+#include "core/matcher.h"
+#include "core/partitioned.h"
+#include "exec/parallel_partitioned.h"
+
+namespace ses::engine {
+
+namespace {
+
+Status ValidateSink(const EngineOptions& options) {
+  if (options.sink == nullptr) {
+    return Status::InvalidArgument(
+        "EngineOptions::sink must be set (use CollectInto to gather matches "
+        "into a vector)");
+  }
+  return Status::OK();
+}
+
+Status RequirePartitionAttribute(const plan::CompiledPlan& plan,
+                                 std::string_view engine) {
+  if (plan.has_partition_attribute()) return Status::OK();
+  return Status::FailedPrecondition(
+      std::string(engine) +
+      " engine requires a partition attribute: the pattern's equality "
+      "conditions must form a complete graph on one attribute "
+      "(see core/partitioned.h)");
+}
+
+/// "serial": one global Matcher; matches drain to the sink on every Push.
+class SerialEngine : public Engine {
+ public:
+  SerialEngine(std::shared_ptr<const plan::CompiledPlan> plan,
+               EngineOptions options)
+      : Engine(std::move(plan), std::move(options)),
+        matcher_(plan_->shared_automaton(), plan_->matcher_options(),
+                 plan_->shared_prefilter()) {}
+
+  std::string_view name() const override { return "serial"; }
+
+  Status Push(const Event& event) override {
+    ++stats_.events_pushed;
+    SES_RETURN_IF_ERROR(matcher_.Push(event, &buffer_));
+    Drain(/*early=*/true);
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    matcher_.Flush(&buffer_);
+    Drain(/*early=*/false);
+    return Status::OK();
+  }
+
+  void Reset() override {
+    matcher_.Reset();
+    buffer_.clear();
+    stats_ = EngineStats{};
+  }
+
+  EngineStats stats() const override { return stats_; }
+
+ private:
+  void Drain(bool early) {
+    stats_.max_buffered_matches = std::max(
+        stats_.max_buffered_matches, static_cast<int64_t>(buffer_.size()));
+    for (Match& match : buffer_) {
+      ++stats_.matches_emitted;
+      if (early) ++stats_.matches_emitted_early;
+      options_.sink(std::move(match));
+    }
+    buffer_.clear();
+  }
+
+  Matcher matcher_;
+  std::vector<Match> buffer_;
+  EngineStats stats_;
+};
+
+/// "partitioned": serial partition-pure execution, one Matcher per key.
+class PartitionedEngine : public Engine {
+ public:
+  PartitionedEngine(std::shared_ptr<const plan::CompiledPlan> plan,
+                    EngineOptions options, PartitionedMatcher matcher)
+      : Engine(std::move(plan), std::move(options)),
+        matcher_(std::move(matcher)) {}
+
+  std::string_view name() const override { return "partitioned"; }
+
+  Status Push(const Event& event) override {
+    ++stats_.events_pushed;
+    SES_RETURN_IF_ERROR(matcher_.Push(event, &buffer_));
+    Drain(/*early=*/true);
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    matcher_.Flush(&buffer_);
+    Drain(/*early=*/false);
+    return Status::OK();
+  }
+
+  void Reset() override {
+    matcher_.Reset();
+    buffer_.clear();
+    stats_ = EngineStats{};
+  }
+
+  EngineStats stats() const override {
+    EngineStats stats = stats_;
+    stats.num_partitions = matcher_.num_partitions();
+    return stats;
+  }
+
+ private:
+  void Drain(bool early) {
+    stats_.max_buffered_matches = std::max(
+        stats_.max_buffered_matches, static_cast<int64_t>(buffer_.size()));
+    for (Match& match : buffer_) {
+      ++stats_.matches_emitted;
+      if (early) ++stats_.matches_emitted_early;
+      options_.sink(std::move(match));
+    }
+    buffer_.clear();
+  }
+
+  PartitionedMatcher matcher_;
+  std::vector<Match> buffer_;
+  EngineStats stats_;
+};
+
+/// "parallel": the sharded runtime with the sink wired through. The plan's
+/// pre-filter additionally runs at ingest, so filtered events are never
+/// routed, copied into batches, or queued.
+class ParallelEngine : public Engine {
+ public:
+  static Result<std::unique_ptr<Engine>> Make(
+      std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options) {
+    auto engine = std::unique_ptr<ParallelEngine>(
+        new ParallelEngine(std::move(plan), std::move(options)));
+    exec::ParallelOptions parallel;
+    parallel.num_shards = engine->options_.num_shards;
+    parallel.batch_size = engine->options_.batch_size;
+    parallel.queue_capacity = engine->options_.queue_capacity;
+    parallel.idle_timeout = engine->options_.idle_timeout;
+    parallel.emit_interval_events = engine->options_.emit_interval_events;
+    parallel.rebalance = engine->options_.rebalance;
+    parallel.matcher = engine->plan_->matcher_options();
+    // The engine is heap-allocated and owns the matcher, so its address
+    // outlives every sink invocation (sinks run inside Push/Flush).
+    ParallelEngine* raw = engine.get();
+    parallel.sink = [raw](Match&& match) { raw->OnMatch(std::move(match)); };
+    SES_ASSIGN_OR_RETURN(
+        exec::ParallelPartitionedMatcher matcher,
+        exec::ParallelPartitionedMatcher::Create(
+            engine->plan_->shared_automaton(),
+            engine->plan_->partition_attribute(), std::move(parallel),
+            engine->plan_->shared_prefilter()));
+    engine->matcher_.emplace(std::move(matcher));
+    if (const auto& filter = engine->plan_->shared_prefilter();
+        filter != nullptr && filter->active()) {
+      engine->ingest_filter_ = filter.get();
+    }
+    return std::unique_ptr<Engine>(std::move(engine));
+  }
+
+  std::string_view name() const override { return "parallel"; }
+
+  Status Push(const Event& event) override {
+    ++stats_.events_pushed;
+    if (ingest_filter_ != nullptr && !ingest_filter_->ShouldProcess(event)) {
+      return Status::OK();
+    }
+    return matcher_->Push(event);
+  }
+
+  Status PushBatch(std::span<const Event> events) override {
+    stats_.events_pushed += static_cast<int64_t>(events.size());
+    if (ingest_filter_ == nullptr) return matcher_->PushBatch(events);
+    scratch_.clear();
+    for (const Event& event : events) {
+      if (ingest_filter_->ShouldProcess(event)) scratch_.push_back(event);
+    }
+    if (scratch_.empty()) return Status::OK();
+    return matcher_->PushBatch(scratch_);
+  }
+
+  Status Flush() override {
+    in_flush_ = true;
+    Status status = matcher_->Flush(nullptr);
+    in_flush_ = false;
+    const exec::ParallelStats& parallel_stats = matcher_->stats();
+    stats_.max_buffered_matches = parallel_stats.max_buffered_matches;
+    stats_.num_partitions = parallel_stats.partitions_created;
+    return status;
+  }
+
+  void Reset() override {
+    matcher_->Reset();
+    stats_ = EngineStats{};
+  }
+
+  EngineStats stats() const override { return stats_; }
+
+ private:
+  ParallelEngine(std::shared_ptr<const plan::CompiledPlan> plan,
+                 EngineOptions options)
+      : Engine(std::move(plan), std::move(options)) {}
+
+  void OnMatch(Match&& match) {
+    ++stats_.matches_emitted;
+    if (!in_flush_) ++stats_.matches_emitted_early;
+    options_.sink(std::move(match));
+  }
+
+  std::optional<exec::ParallelPartitionedMatcher> matcher_;
+  const EventPreFilter* ingest_filter_ = nullptr;
+  std::vector<Event> scratch_;
+  bool in_flush_ = false;
+  EngineStats stats_;
+};
+
+/// "brute-force": the §5.2 union of per-ordering sequential automata,
+/// reduced to the canonical SES match set. Each candidate substitution is
+/// deduplicated by SubstitutionKey and replayed against the recent event
+/// window with IsOperationalMatch; both the event buffer and the dedup map
+/// are pruned below watermark − τ (no later automaton instance — hence no
+/// later candidate — can start earlier than that).
+class BruteForceEngine : public Engine {
+ public:
+  static Result<std::unique_ptr<Engine>> Make(
+      std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options) {
+    SES_ASSIGN_OR_RETURN(baseline::BruteForceMatcher matcher,
+                         baseline::BruteForceMatcher::Create(
+                             plan->pattern(), plan->matcher_options()));
+    return std::unique_ptr<Engine>(new BruteForceEngine(
+        std::move(plan), std::move(options), std::move(matcher)));
+  }
+
+  std::string_view name() const override { return "brute-force"; }
+
+  Status Push(const Event& event) override {
+    ++stats_.events_pushed;
+    SES_RETURN_IF_ERROR(matcher_->Push(event, &buffer_));
+    // A filtered event satisfies no constant condition, so it can neither
+    // be bound by a match nor extend any replay prefix — and, crucially,
+    // it never reaches the underlying executors, so it does not trigger
+    // their window-expiry sweep. Emission is therefore delayed until the
+    // next UNFILTERED event, and only unfiltered events may advance the
+    // replay buffer's prune cutoff (otherwise the buffer could drop events
+    // a delayed match still needs).
+    const bool visible = filter_ == nullptr || filter_->ShouldProcess(event);
+    if (visible) recent_.push_back(event);
+    Deliver(/*early=*/true);
+    if (visible) {
+      const Timestamp cutoff = event.timestamp() - plan_->window();
+      size_t drop = 0;
+      while (drop < recent_.size() && recent_[drop].timestamp() < cutoff) {
+        ++drop;
+      }
+      recent_.erase(recent_.begin(),
+                    recent_.begin() + static_cast<long>(drop));
+      std::erase_if(seen_, [&](const auto& entry) {
+        return entry.second < cutoff;
+      });
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    matcher_->Flush(&buffer_);
+    Deliver(/*early=*/false);
+    return Status::OK();
+  }
+
+  void Reset() override {
+    // BruteForceMatcher has no Reset; rebuild the automaton bank. Creation
+    // cannot fail here — the pattern was validated when the engine was.
+    Result<baseline::BruteForceMatcher> rebuilt =
+        baseline::BruteForceMatcher::Create(plan_->pattern(),
+                                            plan_->matcher_options());
+    if (rebuilt.ok()) matcher_.emplace(std::move(*rebuilt));
+    buffer_.clear();
+    recent_.clear();
+    seen_.clear();
+    stats_ = EngineStats{};
+  }
+
+  EngineStats stats() const override { return stats_; }
+
+ private:
+  BruteForceEngine(std::shared_ptr<const plan::CompiledPlan> plan,
+                   EngineOptions options,
+                   baseline::BruteForceMatcher matcher)
+      : Engine(std::move(plan), std::move(options)) {
+    matcher_.emplace(std::move(matcher));
+    if (const auto& filter = plan_->shared_prefilter();
+        filter != nullptr && filter->active()) {
+      filter_ = filter.get();
+    }
+  }
+
+  void Deliver(bool early) {
+    stats_.max_buffered_matches = std::max(
+        stats_.max_buffered_matches, static_cast<int64_t>(buffer_.size()));
+    for (Match& match : buffer_) {
+      auto key = match.SubstitutionKey();
+      if (seen_.find(key) != seen_.end()) continue;
+      const Timestamp start = match.start_time();
+      const bool canonical = baseline::IsOperationalMatch(
+          plan_->pattern(), match, std::span<const Event>(recent_));
+      // Rejected candidates are remembered too: another ordering may
+      // produce the same substitution and must not trigger a second replay.
+      seen_.emplace(std::move(key), start);
+      if (!canonical) continue;
+      ++stats_.matches_emitted;
+      if (early) ++stats_.matches_emitted_early;
+      options_.sink(std::move(match));
+    }
+    buffer_.clear();
+  }
+
+  std::optional<baseline::BruteForceMatcher> matcher_;
+  /// The plan's pre-filter when it is active (per-ordering patterns share
+  /// the original pattern's constant conditions, so one predicate fits
+  /// every internal matcher); null when inactive or disabled.
+  const EventPreFilter* filter_ = nullptr;
+  std::vector<Match> buffer_;
+  /// All UNFILTERED stream events newer than the prune cutoff, in order —
+  /// enough to replay any candidate that can still be produced.
+  std::vector<Event> recent_;
+  /// SubstitutionKey → start time of every candidate already judged.
+  std::map<std::vector<std::pair<VariableId, EventId>>, Timestamp> seen_;
+  EngineStats stats_;
+};
+
+}  // namespace
+
+Status Engine::PushBatch(std::span<const Event> events) {
+  for (const Event& event : events) {
+    SES_RETURN_IF_ERROR(Push(event));
+  }
+  return Status::OK();
+}
+
+MatchSink CollectInto(std::vector<Match>* out) {
+  return [out](Match&& match) { out->push_back(std::move(match)); };
+}
+
+Result<std::unique_ptr<Engine>> CreateSerialEngine(
+    std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options) {
+  SES_RETURN_IF_ERROR(ValidateSink(options));
+  return std::unique_ptr<Engine>(
+      new SerialEngine(std::move(plan), std::move(options)));
+}
+
+Result<std::unique_ptr<Engine>> CreatePartitionedEngine(
+    std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options) {
+  SES_RETURN_IF_ERROR(ValidateSink(options));
+  SES_RETURN_IF_ERROR(RequirePartitionAttribute(*plan, "partitioned"));
+  SES_ASSIGN_OR_RETURN(
+      PartitionedMatcher matcher,
+      PartitionedMatcher::Create(plan->shared_automaton(),
+                                 plan->partition_attribute(),
+                                 plan->matcher_options(),
+                                 plan->shared_prefilter()));
+  return std::unique_ptr<Engine>(new PartitionedEngine(
+      std::move(plan), std::move(options), std::move(matcher)));
+}
+
+Result<std::unique_ptr<Engine>> CreateParallelEngine(
+    std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options) {
+  SES_RETURN_IF_ERROR(ValidateSink(options));
+  SES_RETURN_IF_ERROR(RequirePartitionAttribute(*plan, "parallel"));
+  return ParallelEngine::Make(std::move(plan), std::move(options));
+}
+
+Result<std::unique_ptr<Engine>> CreateBruteForceEngine(
+    std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options) {
+  SES_RETURN_IF_ERROR(ValidateSink(options));
+  return BruteForceEngine::Make(std::move(plan), std::move(options));
+}
+
+}  // namespace ses::engine

@@ -1,0 +1,148 @@
+#ifndef SES_ENGINE_ENGINE_H_
+#define SES_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match.h"
+#include "exec/rebalancer.h"
+#include "plan/compiled_plan.h"
+
+namespace ses::engine {
+
+/// Runtime knobs of an engine instance, fixed at creation. Plan-level
+/// choices (pre-filter, shared constant evaluation, partition attribute)
+/// live in plan::PlanOptions instead — the same plan runs under any engine
+/// options. Fields that a given engine does not use are ignored: the
+/// serial engine reads only `sink`, the parallel engine reads everything.
+struct EngineOptions {
+  /// Streaming match consumer; required (CreateEngine rejects a null sink).
+  /// Runs on the thread that drives the engine and must not re-enter it.
+  /// Use CollectInto for the common collect-to-vector case.
+  MatchSink sink;
+  /// Worker shards of the parallel engine.
+  int num_shards = 4;
+  /// Events per worker batch (parallel engine).
+  size_t batch_size = 256;
+  /// Per-shard queue capacity, in batches (parallel engine).
+  size_t queue_capacity = 64;
+  /// Idle-partition eviction threshold τe of the parallel engine; 0 means
+  /// "evict as soon as provably safe", negative disables eviction (and with
+  /// it incremental emission). See exec::ParallelOptions::idle_timeout.
+  Duration idle_timeout = 0;
+  /// How often (in ingested events) the parallel engine emits matches below
+  /// the safety watermark. See exec::ParallelOptions::emit_interval_events.
+  int64_t emit_interval_events = 4096;
+  /// Adaptive shard rebalancing (parallel engine; off by default).
+  exec::RebalanceOptions rebalance;
+};
+
+/// Engine-agnostic statistics snapshot. Counters an engine cannot measure
+/// are zero.
+struct EngineStats {
+  int64_t events_pushed = 0;
+  /// Matches delivered to the sink so far (incremental + Flush).
+  int64_t matches_emitted = 0;
+  /// Matches delivered before the Flush barrier (parallel engine's
+  /// watermark-bounded incremental emission; serial-style engines deliver
+  /// on every Push, which also counts as early).
+  int64_t matches_emitted_early = 0;
+  /// Peak number of completed-but-undelivered matches resident in the
+  /// engine — the buffer that incremental emission bounds.
+  int64_t max_buffered_matches = 0;
+  /// Resident partitions (partition-pure engines; cumulative created for
+  /// the parallel engine, whose resident set fluctuates with eviction).
+  int64_t num_partitions = 0;
+};
+
+/// A streaming SES evaluator behind a uniform push/flush interface. All
+/// four evaluation strategies of this repository — the global serial
+/// automaton, serial partitioned execution, the sharded parallel runtime,
+/// and the §5.2 brute-force baseline — implement this interface, are
+/// constructed from the same immutable plan::CompiledPlan, and deliver
+/// matches through the same MatchSink, so harnesses, benchmarks and the CLI
+/// can treat "which engine" as a run-time string (see engine/registry.h).
+///
+/// Contract: Push events in strictly increasing timestamp order; call
+/// Flush() once at end-of-stream (pending matches are delivered to the
+/// sink); Reset() returns the engine to its initial state for a new stream.
+/// WHEN matches reach the sink is engine-specific — the only guarantee is
+/// that after Flush() the sink has received exactly the pattern's match set
+/// (canonical SES semantics, Definition 2 + skip-till-next-match). Engines
+/// are not thread-safe; drive each instance from one thread.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Registry name of this engine ("serial", "parallel", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Offers the next event. Returns FailedPrecondition on non-increasing
+  /// timestamps.
+  virtual Status Push(const Event& event) = 0;
+
+  /// Pushes a span of events; the span must continue the stream. The base
+  /// implementation loops over Push; the parallel engine overrides it with
+  /// genuinely batched ingest.
+  virtual Status PushBatch(std::span<const Event> events);
+
+  /// End-of-stream barrier: delivers every remaining match to the sink and
+  /// snapshots stats(). The engine stays usable; Reset() before reuse.
+  virtual Status Flush() = 0;
+
+  /// Drops all execution state (instances, partitions, watermarks,
+  /// statistics). The compiled plan is retained — resets are cheap.
+  virtual void Reset() = 0;
+
+  virtual EngineStats stats() const = 0;
+
+  /// The immutable plan this engine executes.
+  const plan::CompiledPlan& plan() const { return *plan_; }
+
+ protected:
+  Engine(std::shared_ptr<const plan::CompiledPlan> plan,
+         EngineOptions options)
+      : plan_(std::move(plan)), options_(std::move(options)) {}
+
+  std::shared_ptr<const plan::CompiledPlan> plan_;
+  EngineOptions options_;
+};
+
+/// A sink that appends every match to `*out` (not owned; must outlive the
+/// engine's last Push/Flush). The common harness/test configuration.
+MatchSink CollectInto(std::vector<Match>* out);
+
+/// Factory functions behind the registry entries (engine/registry.h). All
+/// validate that `options.sink` is set; the partition-pure engines
+/// additionally require plan->has_partition_attribute().
+
+/// "serial": one global Matcher over the shared automaton. Matches reach
+/// the sink as their window expires (on Push) and at Flush.
+Result<std::unique_ptr<Engine>> CreateSerialEngine(
+    std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options);
+
+/// "partitioned": serial partition-pure execution (core::PartitionedMatcher,
+/// one Matcher per key, all sharing the plan's automaton and pre-filter).
+Result<std::unique_ptr<Engine>> CreatePartitionedEngine(
+    std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options);
+
+/// "parallel": the sharded runtime (exec::ParallelPartitionedMatcher) with
+/// the sink wired through for incremental watermark-bounded emission; the
+/// plan's pre-filter is additionally applied at ingest, so filtered events
+/// are never routed or queued.
+Result<std::unique_ptr<Engine>> CreateParallelEngine(
+    std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options);
+
+/// "brute-force": the §5.2 baseline bank of per-ordering sequential
+/// automata, reduced to the canonical SES match set by replaying each
+/// candidate against the recent event window (IsOperationalMatch). Fails
+/// for patterns with group variables. Exponential; use on small inputs.
+Result<std::unique_ptr<Engine>> CreateBruteForceEngine(
+    std::shared_ptr<const plan::CompiledPlan> plan, EngineOptions options);
+
+}  // namespace ses::engine
+
+#endif  // SES_ENGINE_ENGINE_H_

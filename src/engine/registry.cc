@@ -1,0 +1,91 @@
+#include "engine/registry.h"
+
+#include <utility>
+
+namespace ses::engine {
+
+namespace {
+
+void RegisterBuiltinEngines(EngineRegistry& registry) {
+  // Startup registration cannot collide; ignore the statuses.
+  (void)registry.Register(
+      "serial", "one global automaton over the whole stream",
+      CreateSerialEngine);
+  (void)registry.Register(
+      "partitioned",
+      "serial partition-pure execution, one automaton bank per key",
+      CreatePartitionedEngine);
+  (void)registry.Register(
+      "parallel",
+      "hash-sharded multi-threaded runtime with incremental emission",
+      CreateParallelEngine);
+  (void)registry.Register(
+      "brute-force",
+      "per-ordering sequential automata (§5.2), canonicalized; exponential",
+      CreateBruteForceEngine);
+}
+
+}  // namespace
+
+EngineRegistry& EngineRegistry::Global() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    RegisterBuiltinEngines(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status EngineRegistry::Register(std::string name, std::string description,
+                                EngineFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(
+      std::move(name), Entry{std::move(description), std::move(factory)});
+  if (!inserted) {
+    return Status::AlreadyExists("engine '" + it->first +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Engine>> EngineRegistry::Create(
+    std::string_view name, std::shared_ptr<const plan::CompiledPlan> plan,
+    EngineOptions options) const {
+  EngineFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::string known;
+      for (const auto& [entry_name, entry] : entries_) {
+        if (!known.empty()) known += ", ";
+        known += entry_name;
+      }
+      return Status::NotFound("unknown engine '" + std::string(name) +
+                              "' (registered: " + known + ")");
+    }
+    factory = it->second.factory;
+  }
+  // Run the factory outside the lock: factories compile automata and spawn
+  // worker threads, and may themselves consult the registry.
+  return factory(std::move(plan), std::move(options));
+}
+
+std::vector<EngineInfo> EngineRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EngineInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    infos.push_back(EngineInfo{name, entry.description});
+  }
+  return infos;
+}
+
+Result<std::unique_ptr<Engine>> CreateEngine(
+    std::string_view name, std::shared_ptr<const plan::CompiledPlan> plan,
+    EngineOptions options) {
+  return EngineRegistry::Global().Create(name, std::move(plan),
+                                         std::move(options));
+}
+
+}  // namespace ses::engine

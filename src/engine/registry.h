@@ -1,0 +1,71 @@
+#ifndef SES_ENGINE_REGISTRY_H_
+#define SES_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace ses::engine {
+
+/// Builds an engine instance from a shared plan and runtime options.
+using EngineFactory = std::function<Result<std::unique_ptr<Engine>>(
+    std::shared_ptr<const plan::CompiledPlan>, EngineOptions)>;
+
+/// One registry row, as returned by EngineRegistry::List.
+struct EngineInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Name → factory table behind every "which engine" decision: the CLI's
+/// --engine flag, the engine-comparison bench, and the cross-engine
+/// equivalence tests all resolve evaluation strategies through this
+/// registry, so a new engine becomes available everywhere by registering
+/// one factory. The global instance comes pre-loaded with the four built-in
+/// engines ("serial", "partitioned", "parallel", "brute-force"); tests may
+/// register additional ones. Thread-safe.
+class EngineRegistry {
+ public:
+  /// The process-wide registry, with built-in engines pre-registered.
+  static EngineRegistry& Global();
+
+  /// Registers a factory under `name`. Fails with AlreadyExists on a
+  /// duplicate name — engines are registered once, at startup.
+  Status Register(std::string name, std::string description,
+                  EngineFactory factory);
+
+  /// Instantiates the named engine from `plan`. NotFound for an unknown
+  /// name (the message lists the registered ones); otherwise whatever the
+  /// factory returns (e.g. FailedPrecondition when a partition-pure engine
+  /// is asked to run a non-partitionable plan).
+  Result<std::unique_ptr<Engine>> Create(
+      std::string_view name, std::shared_ptr<const plan::CompiledPlan> plan,
+      EngineOptions options) const;
+
+  /// All registered engines, sorted by name.
+  std::vector<EngineInfo> List() const;
+
+ private:
+  struct Entry {
+    std::string description;
+    EngineFactory factory;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Shorthand for EngineRegistry::Global().Create(...).
+Result<std::unique_ptr<Engine>> CreateEngine(
+    std::string_view name, std::shared_ptr<const plan::CompiledPlan> plan,
+    EngineOptions options);
+
+}  // namespace ses::engine
+
+#endif  // SES_ENGINE_REGISTRY_H_

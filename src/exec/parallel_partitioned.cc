@@ -1,8 +1,10 @@
 #include "exec/parallel_partitioned.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -20,6 +22,32 @@ size_t HashKey(const Value& key) {
   // DOUBLE keys are rejected at Create, so only the exact types remain.
   if (key.is_int64()) return std::hash<int64_t>{}(key.int64());
   return std::hash<std::string>{}(key.string());
+}
+
+/// Sentinel for "this worker has not processed any event yet".
+constexpr Timestamp kNoWatermark = std::numeric_limits<Timestamp>::min();
+
+/// Merges sorted runs pairwise into one canonical-order run (MatchOrderLess
+/// merge tree). Distinct matches never compare equal across runs —
+/// partitions are disjoint — so the result order is total on the data.
+std::vector<Match> MergeSortedRuns(std::vector<std::vector<Match>> runs) {
+  while (runs.size() > 1) {
+    std::vector<std::vector<Match>> next;
+    next.reserve(runs.size() / 2 + 1);
+    for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+      std::vector<Match> merged;
+      merged.reserve(runs[i].size() + runs[i + 1].size());
+      std::merge(std::make_move_iterator(runs[i].begin()),
+                 std::make_move_iterator(runs[i].end()),
+                 std::make_move_iterator(runs[i + 1].begin()),
+                 std::make_move_iterator(runs[i + 1].end()),
+                 std::back_inserter(merged), MatchOrderLess);
+      next.push_back(std::move(merged));
+    }
+    if (runs.size() % 2 == 1) next.push_back(std::move(runs.back()));
+    runs = std::move(next);
+  }
+  return runs.empty() ? std::vector<Match>{} : std::move(runs[0]);
 }
 
 }  // namespace
@@ -53,6 +81,16 @@ struct ParallelPartitionedMatcher::Impl {
     ShardStats stats;
     Status status = Status::OK();
 
+    /// Incremental emission (sink mode): per-batch sorted runs of expired
+    /// matches, sealed by the worker, drained by the ingest thread.
+    std::mutex runs_mu;
+    std::vector<std::vector<Match>> sealed_runs;
+    /// Newest event timestamp this worker has fully processed. Stored with
+    /// release order AFTER the batch's run is sealed, so an ingest-side
+    /// acquire load that observes the watermark also finds every run of
+    /// matches emitted at or below it.
+    std::atomic<Timestamp> published{kNoWatermark};
+
     // Barrier acknowledgement for kFlush/kReset control batches.
     std::mutex mu;
     std::condition_variable cv;
@@ -60,14 +98,24 @@ struct ParallelPartitionedMatcher::Impl {
   };
 
   std::shared_ptr<const SesAutomaton> automaton;
+  /// Shared by every partition's executor (may be null: each builds its
+  /// own).
+  std::shared_ptr<const EventPreFilter> filter;
   int attribute = 0;
   ParallelOptions options;
   /// Eviction threshold after clamping to the pattern window; negative
   /// disables eviction.
   Duration effective_timeout = -1;
+  /// True when a sink is installed AND eviction is enabled: workers seal
+  /// per-batch runs and the ingest thread emits below the safety watermark.
+  bool incremental = false;
 
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<std::vector<Event>> pending;  // per-shard ingest buffers
+  /// fed[i]: shard i has been routed at least one event (ingest-owned).
+  /// Unfed shards are excluded from the safety-watermark minimum — they
+  /// can only ever contribute matches newer than the global watermark.
+  std::vector<bool> fed;
   /// Present iff options.rebalance.enabled; ingest-thread-owned.
   std::unique_ptr<ShardRebalancer> rebalancer;
 
@@ -79,6 +127,17 @@ struct ParallelPartitionedMatcher::Impl {
   int64_t batches_enqueued = 0;
   int64_t max_queue_depth = 0;
   ParallelStats last_stats;
+
+  // ---- Incremental emission state (ingest-owned unless noted) ----------
+  /// Sorted leftover runs below which nothing was safely emittable yet;
+  /// compacted to at most one run after every emission round.
+  std::vector<std::vector<Match>> merge_runs;
+  int64_t next_emit_at = 0;
+  int64_t matches_emitted_early = 0;
+  /// Matches resident in sealed shard runs + the ingest merger. Workers
+  /// increment on sealing, the ingest thread decrements on emission.
+  AtomicCounter buffered_matches;
+  AtomicMaxGauge max_buffered;
 
   ~Impl() {
     if (shards.empty()) return;
@@ -116,6 +175,11 @@ struct ParallelPartitionedMatcher::Impl {
         case EventBatch::Kind::kReset:
           shard.partitions.clear();
           shard.matches.clear();
+          {
+            std::lock_guard<std::mutex> lock(shard.runs_mu);
+            shard.sealed_runs.clear();
+          }
+          shard.published.store(kNoWatermark, std::memory_order_release);
           shard.stats = ShardStats{};
           shard.busy_nanos.Reset();
           shard.status = Status::OK();
@@ -137,8 +201,9 @@ struct ParallelPartitionedMatcher::Impl {
       auto it = shard.partitions.find(key);
       if (it == shard.partitions.end()) {
         it = shard.partitions
-                 .emplace(key,
-                          Partition{Matcher(automaton, options.matcher), 0})
+                 .emplace(key, Partition{Matcher(automaton, options.matcher,
+                                                 filter),
+                                         0})
                  .first;
         ++shard.stats.partitions_created;
         shard.stats.max_resident_partitions =
@@ -155,6 +220,21 @@ struct ParallelPartitionedMatcher::Impl {
     }
     shard.stats.matches_emitted +=
         static_cast<int64_t>(shard.matches.size() - matches_before);
+    if (incremental) {
+      // Seal this batch's expired matches as one sorted run, then publish
+      // the progress watermark (release pairs with the ingest thread's
+      // acquire: whoever sees the watermark sees the run).
+      if (!shard.matches.empty()) {
+        SortMatches(&shard.matches);
+        buffered_matches.Increment(
+            static_cast<int64_t>(shard.matches.size()));
+        max_buffered.Observe(buffered_matches.value());
+        std::lock_guard<std::mutex> lock(shard.runs_mu);
+        shard.sealed_runs.push_back(std::move(shard.matches));
+        shard.matches = {};
+      }
+      shard.published.store(batch.watermark, std::memory_order_release);
+    }
   }
 
   /// Flushes and reclaims partitions whose newest event is older than
@@ -221,6 +301,7 @@ struct ParallelPartitionedMatcher::Impl {
                   rebalancer->RouteAndObserve(key, hash, event.timestamp()))
             : hash % shards.size();
     pending[index].push_back(event);
+    fed[index] = true;
     *shard_index = index;
     return Status::OK();
   }
@@ -232,6 +313,7 @@ struct ParallelPartitionedMatcher::Impl {
       FlushPendingSlab(shard_index, /*all=*/false);
     }
     MaybeSampleLoad();
+    MaybeEmitIncremental();
     return Status::OK();
   }
 
@@ -248,12 +330,82 @@ struct ParallelPartitionedMatcher::Impl {
       if (pending[shard_index].size() >= slab_threshold) {
         FlushPendingSlab(shard_index, /*all=*/false);
       }
+      // Keep the emission cadence inside the span too — a single huge
+      // PushBatch must not defer every sealed match to the flush barrier.
+      MaybeEmitIncremental();
     }
     for (size_t i = 0; i < shards.size(); ++i) {
       FlushPendingSlab(i, /*all=*/false);
     }
     MaybeSampleLoad();
+    MaybeEmitIncremental();
     return Status::OK();
+  }
+
+  /// Every emit_interval_events ingested events (sink mode only): collect
+  /// the workers' sealed runs and emit everything below the safety
+  /// watermark.
+  void MaybeEmitIncremental() {
+    if (!incremental || events_ingested < next_emit_at) return;
+    next_emit_at = events_ingested + options.emit_interval_events;
+    EmitBelowWatermark();
+  }
+
+  /// Drains every shard's sealed runs into the ingest-side merger, computes
+  /// the safety threshold T = min(published progress over fed shards) − τe
+  /// − τ, and delivers every merged match with start < T to the sink. No
+  /// match sealed later can sort before an emitted one: a shard at progress
+  /// p only holds pending instances with start > p − τe − τ (older
+  /// partitions were evicted and their matches sealed), so everything it
+  /// seals later starts at or above T (see docs/SEMANTICS.md §8).
+  void EmitBelowWatermark() {
+    bool any_fed = false;
+    Timestamp min_published = std::numeric_limits<Timestamp>::max();
+    for (size_t i = 0; i < shards.size(); ++i) {
+      Shard& shard = *shards[i];
+      // Acquire pairs with the worker's release store: observing the
+      // watermark guarantees the runs sealed at or below it are visible.
+      Timestamp published = shard.published.load(std::memory_order_acquire);
+      {
+        std::lock_guard<std::mutex> lock(shard.runs_mu);
+        for (auto& run : shard.sealed_runs) {
+          if (!run.empty()) merge_runs.push_back(std::move(run));
+        }
+        shard.sealed_runs.clear();
+      }
+      if (!fed[i]) continue;  // can only contribute matches newer than T
+      any_fed = true;
+      if (published == kNoWatermark) {
+        // A fed shard that has not processed anything yet pins the
+        // threshold: nothing is provably safe.
+        min_published = kNoWatermark;
+      }
+      min_published = std::min(min_published, published);
+    }
+    if (!any_fed || min_published == kNoWatermark || merge_runs.empty()) {
+      return;
+    }
+    const Timestamp threshold =
+        min_published - effective_timeout - automaton->window();
+    std::vector<Match> merged = MergeSortedRuns(std::move(merge_runs));
+    merge_runs.clear();
+    auto split = std::partition_point(
+        merged.begin(), merged.end(),
+        [&](const Match& m) { return m.start_time() < threshold; });
+    int64_t emitted = static_cast<int64_t>(split - merged.begin());
+    if (emitted == 0) {
+      merge_runs.push_back(std::move(merged));
+      return;
+    }
+    for (auto it = merged.begin(); it != split; ++it) {
+      options.sink(std::move(*it));
+    }
+    matches_emitted_early += emitted;
+    buffered_matches.Increment(-emitted);
+    if (split != merged.end()) {
+      merged.erase(merged.begin(), split);
+      merge_runs.push_back(std::move(merged));
+    }
   }
 
   /// Cuts the shard's pending buffer into batch_size-bounded EventBatches
@@ -333,48 +485,51 @@ struct ParallelPartitionedMatcher::Impl {
 
     Stopwatch merge_watch;
     Status first_error = Status::OK();
-    std::vector<std::vector<Match>> runs;
-    for (auto& shard : shards) {
-      if (first_error.ok() && !shard->status.ok()) {
-        first_error = shard->status;
-      }
-      if (!shard->matches.empty()) {
-        runs.push_back(std::move(shard->matches));
-      }
-      shard->matches = {};
-    }
     // Deterministic merge: every run arrives pre-sorted in canonical
     // MatchOrderLess order (the workers sort during the barrier, in
     // parallel), so a merge tree yields the full canonical order — the
     // emitted sequence is independent of shard count and worker
     // scheduling, byte-identical to sorted serial output. Two distinct
     // matches never compare equal across shards (partitions are disjoint),
-    // so the order is total on the actual data.
-    while (runs.size() > 1) {
-      std::vector<std::vector<Match>> next;
-      next.reserve(runs.size() / 2 + 1);
-      for (size_t i = 0; i + 1 < runs.size(); i += 2) {
-        std::vector<Match> merged;
-        merged.reserve(runs[i].size() + runs[i + 1].size());
-        std::merge(std::make_move_iterator(runs[i].begin()),
-                   std::make_move_iterator(runs[i].end()),
-                   std::make_move_iterator(runs[i + 1].begin()),
-                   std::make_move_iterator(runs[i + 1].end()),
-                   std::back_inserter(merged), MatchOrderLess);
-        next.push_back(std::move(merged));
+    // so the order is total on the actual data. In sink mode the leftover
+    // sealed runs and the ingest-side remainder join the merge; everything
+    // remaining sorts after the matches already emitted incrementally
+    // (they all start at or above the last emission threshold).
+    std::vector<std::vector<Match>> runs = std::move(merge_runs);
+    merge_runs.clear();
+    for (auto& shard : shards) {
+      if (first_error.ok() && !shard->status.ok()) {
+        first_error = shard->status;
       }
-      if (runs.size() % 2 == 1) next.push_back(std::move(runs.back()));
-      runs = std::move(next);
+      {
+        std::lock_guard<std::mutex> lock(shard->runs_mu);
+        for (auto& run : shard->sealed_runs) {
+          if (!run.empty()) runs.push_back(std::move(run));
+        }
+        shard->sealed_runs.clear();
+      }
+      if (!shard->matches.empty()) {
+        runs.push_back(std::move(shard->matches));
+      }
+      shard->matches = {};
     }
-    if (!runs.empty()) {
-      out->insert(out->end(), std::make_move_iterator(runs[0].begin()),
-                  std::make_move_iterator(runs[0].end()));
+    std::vector<Match> merged = MergeSortedRuns(std::move(runs));
+    if (options.sink != nullptr) {
+      for (Match& match : merged) {
+        options.sink(std::move(match));
+      }
+    } else if (!merged.empty()) {
+      out->insert(out->end(), std::make_move_iterator(merged.begin()),
+                  std::make_move_iterator(merged.end()));
     }
+    buffered_matches.Reset();
 
     last_stats = ParallelStats{};
     last_stats.events_ingested = events_ingested;
     last_stats.batches_enqueued = batches_enqueued;
     last_stats.max_queue_depth = max_queue_depth;
+    last_stats.matches_emitted_early = matches_emitted_early;
+    last_stats.max_buffered_matches = max_buffered.max();
     last_stats.merge_seconds = merge_watch.ElapsedSeconds();
     if (rebalancer != nullptr) last_stats.rebalancer = rebalancer->stats();
     for (auto& shard : shards) {
@@ -396,12 +551,26 @@ struct ParallelPartitionedMatcher::Impl {
     events_ingested = 0;
     batches_enqueued = 0;
     max_queue_depth = 0;
+    merge_runs.clear();
+    next_emit_at = 0;
+    matches_emitted_early = 0;
+    buffered_matches.Reset();
+    max_buffered.Reset();
+    std::fill(fed.begin(), fed.end(), false);
     last_stats = ParallelStats{};
   }
 };
 
 Result<ParallelPartitionedMatcher> ParallelPartitionedMatcher::Create(
     const Pattern& pattern, int attribute, ParallelOptions options) {
+  return Create(CompileAutomaton(pattern), attribute, std::move(options),
+                nullptr);
+}
+
+Result<ParallelPartitionedMatcher> ParallelPartitionedMatcher::Create(
+    std::shared_ptr<const SesAutomaton> automaton, int attribute,
+    ParallelOptions options, std::shared_ptr<const EventPreFilter> filter) {
+  const Pattern& pattern = automaton->pattern();
   if (attribute < 0 || attribute >= pattern.schema().num_attributes()) {
     return Status::InvalidArgument("partition attribute index out of range");
   }
@@ -410,24 +579,33 @@ Result<ParallelPartitionedMatcher> ParallelPartitionedMatcher::Create(
         "DOUBLE attributes cannot be used as partition keys");
   }
   auto impl = std::make_unique<Impl>();
-  impl->automaton = CompileAutomaton(pattern);
+  impl->automaton = std::move(automaton);
+  impl->filter = std::move(filter);
   impl->attribute = attribute;
   options.num_shards = std::max(options.num_shards, 1);
   options.batch_size = std::max<size_t>(options.batch_size, 1);
-  impl->options = options;
+  options.emit_interval_events = std::max<int64_t>(options.emit_interval_events, 1);
+  impl->options = std::move(options);
   impl->effective_timeout =
-      options.idle_timeout < 0
+      impl->options.idle_timeout < 0
           ? -1
-          : std::max(options.idle_timeout, impl->automaton->window());
-  impl->shards.reserve(static_cast<size_t>(options.num_shards));
-  for (int i = 0; i < options.num_shards; ++i) {
+          : std::max(impl->options.idle_timeout, impl->automaton->window());
+  // Incremental emission needs both a consumer and the eviction guarantee:
+  // with eviction off, an idle partition may hold an arbitrarily old pending
+  // match, so no prefix of the stream is ever provably complete.
+  impl->incremental =
+      impl->options.sink != nullptr && impl->effective_timeout >= 0;
+  impl->shards.reserve(static_cast<size_t>(impl->options.num_shards));
+  for (int i = 0; i < impl->options.num_shards; ++i) {
     impl->shards.push_back(
-        std::make_unique<Impl::Shard>(options.queue_capacity));
+        std::make_unique<Impl::Shard>(impl->options.queue_capacity));
   }
   impl->pending.resize(impl->shards.size());
-  if (options.rebalance.enabled) {
+  impl->fed.assign(impl->shards.size(), false);
+  if (impl->options.rebalance.enabled) {
     impl->rebalancer = std::make_unique<ShardRebalancer>(
-        options.num_shards, impl->automaton->window(), options.rebalance);
+        impl->options.num_shards, impl->automaton->window(),
+        impl->options.rebalance);
   }
   impl->Start();
   return ParallelPartitionedMatcher(std::move(impl));

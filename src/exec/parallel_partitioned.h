@@ -23,11 +23,20 @@ namespace ses::exec {
 /// construction runs exactly once per pattern), and a private match buffer.
 /// The ingest thread batches events per shard to amortize queue locking.
 ///
-/// Matches are reported at the Flush() barrier: every shard flushes its
-/// partitions, the ingest thread merges the per-shard buffers and sorts
-/// them with SortMatches, so the output is byte-identical to serial
-/// partitioned (and global) execution after the same normalization,
-/// independent of shard count and scheduling.
+/// Match delivery has two modes. Without a sink, matches are reported at
+/// the Flush() barrier: every shard flushes its partitions, the ingest
+/// thread merges the per-shard buffers and sorts them with SortMatches, so
+/// the output is byte-identical to serial partitioned (and global)
+/// execution after the same normalization, independent of shard count and
+/// scheduling. With a sink installed (ParallelOptions::sink) and eviction
+/// enabled, matches are additionally delivered *incrementally*: each worker
+/// seals its per-batch matches as a sorted run, and the ingest thread
+/// k-way-merges the runs and emits every match whose start time lies below
+/// the safety watermark min(shard progress) − τe − τ — no later match can
+/// sort before that point (see docs/SEMANTICS.md §8) — so the resident
+/// match buffer stays bounded on long streams instead of growing until
+/// Flush. The emitted sequence over the whole stream is exactly the
+/// canonical sorted order either way.
 ///
 /// Partition eviction: streaming over high-cardinality keys (the "millions
 /// of users" regime) must not keep every partition resident forever. A
@@ -58,6 +67,18 @@ struct ParallelOptions {
   RebalanceOptions rebalance;
   /// Options forwarded to every per-partition Matcher.
   MatcherOptions matcher;
+  /// Streaming match consumer. When set, Flush(out) delivers every match to
+  /// the sink (out may be null), and — if eviction is enabled (idle_timeout
+  /// >= 0) — matches are emitted incrementally below the safety watermark
+  /// while the stream is still running, keeping match memory bounded. The
+  /// sink runs on the ingest thread (inside Push/PushBatch/Flush). When
+  /// eviction is disabled, the sink still receives everything, but only at
+  /// the Flush barrier.
+  MatchSink sink;
+  /// How often (in ingested events) the ingest thread collects sealed shard
+  /// runs and emits matches below the safety watermark. Only meaningful
+  /// with a sink; clamped to at least 1.
+  int64_t emit_interval_events = 4096;
 };
 
 /// Counters owned by one shard worker. Only the worker writes them; the
@@ -83,6 +104,12 @@ struct ParallelStats {
   int64_t partitions_evicted = 0;
   int64_t max_queue_depth = 0;
   int64_t matches_emitted = 0;
+  /// Matches delivered to the sink before the Flush barrier (incremental
+  /// watermark-bounded emission; 0 without a sink or with eviction off).
+  int64_t matches_emitted_early = 0;
+  /// Peak number of completed matches resident in sealed shard runs plus
+  /// the ingest-side merger — the buffer that incremental emission bounds.
+  int64_t max_buffered_matches = 0;
   /// Wall-clock seconds spent merging and sorting shard outputs.
   double merge_seconds = 0.0;
   /// What the adaptive rebalancer did (all zero when it is disabled).
@@ -111,6 +138,16 @@ class ParallelPartitionedMatcher {
                                                    int attribute,
                                                    ParallelOptions options = {});
 
+  /// Shares a pre-compiled automaton and (optionally) a pre-built event
+  /// pre-filter — the plan-driven construction path (see
+  /// plan::CompiledPlan). The powerset construction and the filter's
+  /// condition scan run once per plan, shared by every partition of every
+  /// shard.
+  static Result<ParallelPartitionedMatcher> Create(
+      std::shared_ptr<const SesAutomaton> automaton, int attribute,
+      ParallelOptions options = {},
+      std::shared_ptr<const EventPreFilter> filter = nullptr);
+
   ~ParallelPartitionedMatcher();
   ParallelPartitionedMatcher(ParallelPartitionedMatcher&&) noexcept;
   ParallelPartitionedMatcher& operator=(ParallelPartitionedMatcher&&) noexcept;
@@ -136,8 +173,9 @@ class ParallelPartitionedMatcher {
 
   /// Barrier: drains every shard, flushes all partitions, merges the
   /// per-shard match buffers deterministically (SortMatches order) into
-  /// `out`, and snapshots stats(). The matcher stays usable afterwards;
-  /// call Reset() before feeding a new relation.
+  /// `out` — or into the sink when one is installed (`out` may then be
+  /// null; it receives nothing) — and snapshots stats(). The matcher stays
+  /// usable afterwards; call Reset() before feeding a new relation.
   Status Flush(std::vector<Match>* out);
 
   /// Drops all shard state (partitions, buffered matches, statistics) and

@@ -1,0 +1,43 @@
+#include "plan/compiled_plan.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "core/partitioned.h"
+
+namespace ses::plan {
+
+Result<std::shared_ptr<const CompiledPlan>> CompilePlan(const Pattern& pattern,
+                                                        PlanOptions options) {
+  int attribute = options.partition_attribute;
+  if (attribute >= 0) {
+    if (attribute >= pattern.schema().num_attributes()) {
+      return Status::InvalidArgument(
+          "partition attribute index out of range");
+    }
+    if (!IsPartitionAttribute(pattern, attribute)) {
+      return Status::InvalidArgument(strings::Format(
+          "attribute '%s' does not carry a complete equality graph over all "
+          "event variables; partitioned execution would not be equivalent",
+          pattern.schema().attribute(attribute).name.c_str()));
+    }
+  } else {
+    // Auto-detection: a pattern without a qualifying attribute still
+    // compiles — it just cannot feed partition-pure engines.
+    Result<int> found = FindPartitionAttribute(pattern);
+    attribute = found.ok() ? *found : -1;
+  }
+
+  std::shared_ptr<const SesAutomaton> automaton = CompileAutomaton(pattern);
+  std::shared_ptr<const EventPreFilter> prefilter;
+  if (options.enable_prefilter) {
+    // Built against the automaton's own pattern copy, so the filter's
+    // condition references stay valid for the plan's whole lifetime.
+    prefilter =
+        std::make_shared<const EventPreFilter>(automaton->pattern());
+  }
+  return std::shared_ptr<const CompiledPlan>(new CompiledPlan(
+      std::move(automaton), std::move(prefilter), attribute, options));
+}
+
+}  // namespace ses::plan

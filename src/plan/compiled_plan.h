@@ -1,0 +1,107 @@
+#ifndef SES_PLAN_COMPILED_PLAN_H_
+#define SES_PLAN_COMPILED_PLAN_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/automaton.h"
+#include "core/filter.h"
+#include "core/matcher.h"
+
+namespace ses::plan {
+
+/// Compile-time choices, fixed when the plan is built.
+struct PlanOptions {
+  /// Enables the §4.5 event pre-filter. The filter is built (and its
+  /// constant-condition scan run) once per plan; engines share it across
+  /// partitions and shards. When disabled, no filter is built and engines
+  /// process every event.
+  bool enable_prefilter = true;
+  /// Enables shared per-event evaluation of constant transition conditions
+  /// in every executor created from this plan (see
+  /// ExecutorOptions::shared_constant_evaluation).
+  bool shared_constant_evaluation = false;
+  /// Partition attribute for partition-pure engines. Negative means
+  /// auto-detect with FindPartitionAttribute; detection failure is not an
+  /// error — the plan simply reports has_partition_attribute() == false and
+  /// partitioned engines refuse to build from it. A non-negative value is
+  /// validated against FindPartitionAttribute's result and rejected if the
+  /// pattern's equality graph is not complete on it.
+  int partition_attribute = -1;
+};
+
+/// The immutable artifact of pattern compilation, shared by every engine
+/// (see engine/engine.h) evaluating the same pattern: the §4 powerset
+/// automaton, the §4.5 event pre-filter, and the detected partition
+/// attribute. The exponential automaton construction and the
+/// FindPartitionAttribute equality-graph analysis run exactly once per
+/// plan, no matter how many engines, partitions, or shards execute it —
+/// compile once, run anywhere.
+///
+/// A CompiledPlan is deeply immutable after CompilePlan returns, so one
+/// shared_ptr<const CompiledPlan> may be handed to any number of engines on
+/// any number of threads concurrently.
+class CompiledPlan {
+ public:
+  const Pattern& pattern() const { return automaton_->pattern(); }
+  const SesAutomaton& automaton() const { return *automaton_; }
+  /// The shared automaton handle, for engines that hold their own
+  /// reference (per-partition matchers outliving the plan lookup).
+  const std::shared_ptr<const SesAutomaton>& shared_automaton() const {
+    return automaton_;
+  }
+  /// Null when options().enable_prefilter is false. May be non-null but
+  /// inactive (filter->active() == false) when the pattern has a variable
+  /// without constant conditions — engines then pass every event through.
+  const std::shared_ptr<const EventPreFilter>& shared_prefilter() const {
+    return prefilter_;
+  }
+
+  /// True when the pattern admits partition-pure execution (a complete
+  /// equality graph on partition_attribute(); see core/partitioned.h).
+  bool has_partition_attribute() const { return partition_attribute_ >= 0; }
+  /// Schema index of the partition attribute; -1 when none qualifies.
+  int partition_attribute() const { return partition_attribute_; }
+
+  Duration window() const { return automaton_->window(); }
+  const PlanOptions& options() const { return options_; }
+
+  /// The per-evaluator options every engine built from this plan must
+  /// forward to its Matchers, derived from the plan options.
+  MatcherOptions matcher_options() const {
+    MatcherOptions options;
+    options.enable_prefilter = options_.enable_prefilter;
+    options.shared_constant_evaluation = options_.shared_constant_evaluation;
+    return options;
+  }
+
+ private:
+  friend Result<std::shared_ptr<const CompiledPlan>> CompilePlan(
+      const Pattern& pattern, PlanOptions options);
+
+  CompiledPlan(std::shared_ptr<const SesAutomaton> automaton,
+               std::shared_ptr<const EventPreFilter> prefilter,
+               int partition_attribute, PlanOptions options)
+      : automaton_(std::move(automaton)),
+        prefilter_(std::move(prefilter)),
+        partition_attribute_(partition_attribute),
+        options_(options) {}
+
+  std::shared_ptr<const SesAutomaton> automaton_;
+  std::shared_ptr<const EventPreFilter> prefilter_;
+  int partition_attribute_;
+  PlanOptions options_;
+};
+
+/// Compiles `pattern` once into a shareable plan: runs the powerset
+/// construction, builds the pre-filter (when enabled), and detects or
+/// validates the partition attribute. Fails only on an explicitly requested
+/// partition attribute that does not carry a complete equality graph (or is
+/// out of range / of DOUBLE type); an undetectable attribute under
+/// auto-detection just yields a plan without one.
+Result<std::shared_ptr<const CompiledPlan>> CompilePlan(
+    const Pattern& pattern, PlanOptions options = {});
+
+}  // namespace ses::plan
+
+#endif  // SES_PLAN_COMPILED_PLAN_H_
