@@ -5,10 +5,12 @@
 // table or figure of the paper's Section 5; see EXPERIMENTS.md for the
 // paper-vs-measured record.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "bench/harness.h"
 #include "common/logging.h"
 #include "query/pattern_builder.h"
 #include "workload/chemotherapy.h"
@@ -21,9 +23,13 @@ namespace ses::bench {
 /// Harness scale. The paper's runs took up to thousands of seconds on a
 /// 2006-era Opteron; the default "quick" scale reproduces every trend in
 /// seconds, `--full` approaches the paper's data-set scale (W ≈ 1322 for
-/// the base data set).
+/// the base data set), and `--smoke` shrinks event counts further for the
+/// CI perf gate (see .github/workflows/ci.yml, job perf-smoke).
 struct BenchArgs {
   bool full = false;
+  bool smoke = false;
+  /// When non-empty, write the harness BenchReport here (--json <path>).
+  std::string json_path;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -31,16 +37,71 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) {
       args.full = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--full]\n  --full  paper-scale data set\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--full|--smoke] [--json <path>]\n"
+          "  --full         paper-scale data set\n"
+          "  --smoke        reduced event counts + short cadence (CI gate)\n"
+          "  --json <path>  write machine-readable results (schema v%d)\n",
+          argv[0], BenchReport::kSchemaVersion);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
       std::exit(1);
     }
   }
+  if (args.full && args.smoke) {
+    std::fprintf(stderr, "--full and --smoke are mutually exclusive\n");
+    std::exit(1);
+  }
   return args;
+}
+
+/// Scales a quick-mode event count down for --smoke runs (floor 1).
+inline size_t ScaleEvents(const BenchArgs& args, size_t quick_count) {
+  if (!args.smoke) return quick_count;
+  return std::max<size_t>(1, quick_count / 4);
+}
+
+/// Harness cadence per scale: smoke trades statistical power for CI wall
+/// time; full tightens the steady-state cutoff for publishable numbers.
+inline HarnessOptions DefaultHarnessOptions(const BenchArgs& args) {
+  HarnessOptions options;
+  if (args.smoke) {
+    options.warmup_runs = 1;
+    options.min_runs = 2;
+    options.max_runs = 3;
+    options.cv_cutoff = 0.20;
+  } else if (args.full) {
+    options.warmup_runs = 1;
+    options.min_runs = 3;
+    options.max_runs = 8;
+    options.cv_cutoff = 0.05;
+  } else {
+    options.warmup_runs = 1;
+    options.min_runs = 3;
+    options.max_runs = 6;
+    options.cv_cutoff = 0.10;
+  }
+  return options;
+}
+
+/// Writes `report` to args.json_path if --json was given. Exits the process
+/// with an error on I/O failure, so CI cannot silently gate on a stale file.
+inline void MaybeWriteReport(const BenchArgs& args, const BenchReport& report) {
+  if (args.json_path.empty()) return;
+  Status status = report.WriteFile(args.json_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "writing %s: %s\n", args.json_path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu cases)\n", args.json_path.c_str(),
+              report.cases().size());
 }
 
 /// The experiment pattern family of §5.3-§5.5:

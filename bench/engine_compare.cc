@@ -2,7 +2,10 @@
 // engine/registry.h runs the same CompiledPlan over the same stream
 // through the uniform Engine interface (PushBatch + Flush into a
 // MatchSink), so the numbers measure the runtimes, not four different
-// harnesses. Two sweeps:
+// harnesses. All timing goes through bench::Harness (warmup + repeated
+// runs + steady-state detection + sink-measured emission latency); with
+// --json the report lands in the BENCH_engines.json schema that
+// tools/bench_compare gates CI on. Two sweeps:
 //
 //   1. All registered engines — including the exponential brute-force
 //      baseline — on a small stream, as a correctness-anchored cost
@@ -22,8 +25,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/engine_bench.h"
 #include "engine/registry.h"
-#include "metrics/metrics.h"
 #include "plan/compiled_plan.h"
 #include "workload/generic_generator.h"
 
@@ -71,80 +74,56 @@ std::vector<std::vector<std::pair<VariableId, EventId>>> NormalizedKeys(
   return keys;
 }
 
-struct RunResult {
-  bool ok = false;
-  std::string error;
-  double seconds = 0;
-  std::vector<Match> matches;
-  engine::EngineStats stats;
-};
-
-RunResult RunOne(const std::string& name,
-                 std::shared_ptr<const plan::CompiledPlan> plan,
-                 const EventRelation& stream) {
-  RunResult result;
-  engine::EngineOptions options;
-  options.sink = engine::CollectInto(&result.matches);
-  Result<std::unique_ptr<engine::Engine>> built =
-      engine::CreateEngine(name, std::move(plan), std::move(options));
-  if (!built.ok()) {
-    result.error = built.status().ToString();
-    return result;
-  }
-  Stopwatch watch;
-  Status status =
-      (*built)->PushBatch(std::span<const Event>(stream.events()));
-  if (status.ok()) status = (*built)->Flush();
-  result.seconds = watch.ElapsedSeconds();
-  if (!status.ok()) {
-    result.error = status.ToString();
-    return result;
-  }
-  result.stats = (*built)->stats();
-  result.ok = true;
-  return result;
+void PrintCaseRow(const char* engine, const EngineCaseOutput& out) {
+  const CaseResult& r = out.result;
+  std::printf("%-14s %12.4f %14.0f %10zu %12.0f %s\n", engine,
+              r.wall_seconds.mean, r.events_per_sec, out.matches.size(),
+              r.latency.count > 0 ? r.latency.p99_ns / 1000.0 : 0.0,
+              "identical");
 }
 
 /// Sweep 1: every registered engine on a stream small enough for the
 /// exponential baseline.
-void EngineLadder(int64_t events) {
+void EngineLadder(const Harness& harness, int64_t events,
+                  BenchReport* report) {
   auto plan = plan::CompilePlan(CompletePattern(duration::Hours(4)));
   SES_CHECK(plan.ok());
   EventRelation stream = MakeStream(events, 16, 0.0, 11);
 
   std::printf("\nAll registered engines (%lld events, 16 keys, 4h window)\n",
               static_cast<long long>(events));
-  std::printf("%-14s %12s %14s %10s %s\n", "engine", "time [s]", "events/s",
-              "matches", "output");
+  std::printf("%-14s %12s %14s %10s %12s %s\n", "engine", "wall [s]",
+              "events/s", "matches", "p99 [us]", "output");
 
   std::vector<std::vector<std::pair<VariableId, EventId>>> reference;
   bool have_reference = false;
-  for (const engine::EngineInfo& info : engine::EngineRegistry::Global().List()) {
-    RunResult run = RunOne(info.name, *plan, stream);
-    if (!run.ok) {
-      std::printf("%-14s %12s %14s %10s skipped: %s\n", info.name.c_str(),
-                  "-", "-", "-", run.error.c_str());
+  for (const engine::EngineInfo& info :
+       engine::EngineRegistry::Global().List()) {
+    EngineCaseConfig config;
+    config.engine = info.name;
+    Result<EngineCaseOutput> run = RunEngineCase(
+        harness, "ladder/" + info.name, *plan, stream, std::move(config));
+    if (!run.ok()) {
+      std::printf("%-14s %12s %14s %10s %12s skipped: %s\n",
+                  info.name.c_str(), "-", "-", "-", "-",
+                  run.status().ToString().c_str());
       continue;
     }
-    auto keys = NormalizedKeys(run.matches);
+    auto keys = NormalizedKeys(run->matches);
     if (!have_reference) {
       reference = keys;
       have_reference = true;
     }
-    bool identical = keys == reference;
-    SES_CHECK(identical) << "engine " << info.name
-                         << " diverged from the reference output";
-    std::printf("%-14s %12.4f %14.0f %10zu identical\n", info.name.c_str(),
-                run.seconds,
-                run.seconds > 0 ? static_cast<double>(events) / run.seconds
-                                : 0.0,
-                run.matches.size());
+    SES_CHECK(keys == reference)
+        << "engine " << info.name << " diverged from the reference output";
+    PrintCaseRow(info.name.c_str(), *run);
+    report->Add(std::move(run->result));
   }
 }
 
 /// Sweep 2: the streaming engines across key skew, with the parallel
 /// engine's incremental-emission statistics.
-void SkewSweep(int64_t events) {
+void SkewSweep(const Harness& harness, int64_t events, BenchReport* report) {
   auto plan = plan::CompilePlan(CompletePattern(duration::Hours(4)));
   SES_CHECK(plan.ok());
 
@@ -154,66 +133,49 @@ void SkewSweep(int64_t events) {
       "events)\n",
       static_cast<long long>(events));
   std::printf("%-8s %-14s %12s %14s %10s %12s %12s\n", "skew", "engine",
-              "time [s]", "events/s", "matches", "early", "peak buf");
+              "wall [s]", "events/s", "matches", "early", "peak buf");
 
   for (double skew : {0.0, 0.8, 1.2}) {
     EventRelation stream = MakeStream(events, 48, skew, 23);
     std::vector<std::vector<std::pair<VariableId, EventId>>> reference;
     bool have_reference = false;
     for (const std::string name : {"serial", "partitioned", "parallel"}) {
-      RunResult run = [&] {
-        if (name != "parallel") return RunOne(name, *plan, stream);
-        RunResult result;
-        engine::EngineOptions options;
-        options.num_shards = 4;
-        options.batch_size = 64;
-        options.queue_capacity = 2;
-        options.emit_interval_events = 512;
-        options.sink = engine::CollectInto(&result.matches);
-        Result<std::unique_ptr<engine::Engine>> built =
-            engine::CreateEngine(name, *plan, std::move(options));
-        if (!built.ok()) {
-          result.error = built.status().ToString();
-          return result;
-        }
-        Stopwatch watch;
-        Status status =
-            (*built)->PushBatch(std::span<const Event>(stream.events()));
-        if (status.ok()) status = (*built)->Flush();
-        result.seconds = watch.ElapsedSeconds();
-        if (!status.ok()) {
-          result.error = status.ToString();
-          return result;
-        }
-        result.stats = (*built)->stats();
-        result.ok = true;
-        return result;
-      }();
-      SES_CHECK(run.ok) << "engine " << name << ": " << run.error;
-      auto keys = NormalizedKeys(run.matches);
+      EngineCaseConfig config;
+      config.engine = name;
+      if (name == "parallel") {
+        config.options.num_shards = 4;
+        config.options.batch_size = 64;
+        config.options.queue_capacity = 2;
+        config.options.emit_interval_events = 512;
+      }
+      char case_name[64];
+      std::snprintf(case_name, sizeof(case_name), "skew%.1f/%s", skew,
+                    name.c_str());
+      Result<EngineCaseOutput> run =
+          RunEngineCase(harness, case_name, *plan, stream, std::move(config));
+      SES_CHECK(run.ok()) << "engine " << name << ": "
+                          << run.status().ToString();
+      auto keys = NormalizedKeys(run->matches);
       if (!have_reference) {
         reference = keys;
         have_reference = true;
       }
       SES_CHECK(keys == reference)
           << "engine " << name << " diverged at skew " << skew;
+      const CaseResult& r = run->result;
       if (name == "parallel") {
-        std::printf("%-8.1f %-14s %12.4f %14.0f %10zu %12lld %12lld\n", skew,
-                    name.c_str(), run.seconds,
-                    run.seconds > 0
-                        ? static_cast<double>(events) / run.seconds
-                        : 0.0,
-                    run.matches.size(),
-                    static_cast<long long>(run.stats.matches_emitted_early),
-                    static_cast<long long>(run.stats.max_buffered_matches));
+        std::printf(
+            "%-8.1f %-14s %12.4f %14.0f %10zu %12lld %12lld\n", skew,
+            name.c_str(), r.wall_seconds.mean, r.events_per_sec,
+            run->matches.size(),
+            static_cast<long long>(run->stats.matches_emitted_early),
+            static_cast<long long>(run->stats.max_buffered_matches));
       } else {
         std::printf("%-8.1f %-14s %12.4f %14.0f %10zu %12s %12s\n", skew,
-                    name.c_str(), run.seconds,
-                    run.seconds > 0
-                        ? static_cast<double>(events) / run.seconds
-                        : 0.0,
-                    run.matches.size(), "-", "-");
+                    name.c_str(), r.wall_seconds.mean, r.events_per_sec,
+                    run->matches.size(), "-", "-");
       }
+      report->Add(std::move(run->result));
     }
   }
 }
@@ -222,12 +184,17 @@ void SkewSweep(int64_t events) {
 
 int main(int argc, char** argv) {
   BenchArgs args = ParseBenchArgs(argc, argv);
-  const int64_t ladder_events = args.full ? 20000 : 4000;
-  const int64_t sweep_events = args.full ? 200000 : 40000;
-  EngineLadder(ladder_events);
-  SkewSweep(sweep_events);
+  const int64_t ladder_events =
+      args.full ? 20000 : static_cast<int64_t>(ScaleEvents(args, 4000));
+  const int64_t sweep_events =
+      args.full ? 200000 : static_cast<int64_t>(ScaleEvents(args, 40000));
+  Harness harness(DefaultHarnessOptions(args));
+  BenchReport report("engines");
+  EngineLadder(harness, ladder_events, &report);
+  SkewSweep(harness, sweep_events, &report);
   std::printf(
       "\nAll engines ran from one shared CompiledPlan (single automaton "
       "compilation) through the uniform Engine interface.\n");
+  MaybeWriteReport(args, report);
   return 0;
 }

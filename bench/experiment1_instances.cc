@@ -11,6 +11,10 @@
 // instances on demand while the brute force bank creates (|V1|-1)!
 // redundant prefixes per start event; for P1 the ratio approaches
 // (|V1|-1)! (Table 1), for P2 the gap is small (9-20% in the paper).
+//
+// Instance counts are deterministic, so each case is a single harness
+// RunOnce whose "max_instances"/"matches" counters are gated exactly by
+// tools/bench_compare when a baseline is committed.
 
 #include <cstdio>
 
@@ -23,21 +27,41 @@ namespace {
 using namespace ses;
 using namespace ses::bench;
 
-int64_t SesInstances(const Pattern& pattern, const EventRelation& relation) {
-  ExecutorStats stats;
-  Result<std::vector<Match>> matches =
-      MatchRelation(pattern, relation, MatcherOptions{}, &stats);
-  SES_CHECK(matches.ok()) << matches.status().ToString();
-  return stats.max_simultaneous_instances;
+int64_t SesInstances(const Harness& harness, BenchReport* report,
+                     const std::string& case_name, const Pattern& pattern,
+                     const EventRelation& relation) {
+  int64_t instances = 0;
+  report->Add(harness.RunOnce(
+      case_name, static_cast<int64_t>(relation.size()), [&](CaseRun& run) {
+        ExecutorStats stats;
+        Result<std::vector<Match>> matches =
+            MatchRelation(pattern, relation, MatcherOptions{}, &stats);
+        SES_CHECK(matches.ok()) << matches.status().ToString();
+        instances = stats.max_simultaneous_instances;
+        run.SetCounter("max_instances", instances, /*exact=*/true);
+        run.SetCounter("matches", static_cast<int64_t>(matches->size()),
+                       /*exact=*/true);
+      }));
+  return instances;
 }
 
-int64_t BruteForceInstances(const Pattern& pattern,
+int64_t BruteForceInstances(const Harness& harness, BenchReport* report,
+                            const std::string& case_name,
+                            const Pattern& pattern,
                             const EventRelation& relation) {
-  baseline::BruteForceStats stats;
-  Result<std::vector<Match>> matches = baseline::BruteForceMatchRelation(
-      pattern, relation, MatcherOptions{}, &stats);
-  SES_CHECK(matches.ok()) << matches.status().ToString();
-  return stats.max_simultaneous_instances;
+  int64_t instances = 0;
+  report->Add(harness.RunOnce(
+      case_name, static_cast<int64_t>(relation.size()), [&](CaseRun& run) {
+        baseline::BruteForceStats stats;
+        Result<std::vector<Match>> matches = baseline::BruteForceMatchRelation(
+            pattern, relation, MatcherOptions{}, &stats);
+        SES_CHECK(matches.ok()) << matches.status().ToString();
+        instances = stats.max_simultaneous_instances;
+        run.SetCounter("max_instances", instances, /*exact=*/true);
+        run.SetCounter("matches", static_cast<int64_t>(matches->size()),
+                       /*exact=*/true);
+      }));
+  return instances;
 }
 
 int64_t Factorial(int n) {
@@ -54,6 +78,8 @@ int main(int argc, char** argv) {
                                      /*quick_cycles=*/3);
   std::printf("Experiment 1 — SES vs brute force, data set D1\n");
   PrintDatasetInfo("D1", d1);
+  Harness harness(DefaultHarnessOptions(args));
+  BenchReport report("experiment1");
 
   // Figure 11: four series over |V1| = 2..6.
   std::printf(
@@ -65,14 +91,20 @@ int main(int argc, char** argv) {
     int64_t bf_p1, ses_p1;
   };
   std::vector<Row> table1_rows;
-  for (int v1 = 2; v1 <= 6; ++v1) {
+  const int max_v1 = args.smoke ? 4 : 6;
+  for (int v1 = 2; v1 <= max_v1; ++v1) {
     Pattern p1 = MedicationPattern(v1, /*exclusive=*/true, /*group_p=*/false);
     Pattern p2 = MedicationPattern(v1, /*exclusive=*/false,
                                    /*group_p=*/false);
-    int64_t bf_p2 = BruteForceInstances(p2, d1);
-    int64_t ses_p2 = SesInstances(p2, d1);
-    int64_t bf_p1 = BruteForceInstances(p1, d1);
-    int64_t ses_p1 = SesInstances(p1, d1);
+    const std::string suffix = "/v" + std::to_string(v1);
+    int64_t bf_p2 = BruteForceInstances(harness, &report, "bf_p2" + suffix,
+                                        p2, d1);
+    int64_t ses_p2 = SesInstances(harness, &report, "ses_p2" + suffix, p2,
+                                  d1);
+    int64_t bf_p1 = BruteForceInstances(harness, &report, "bf_p1" + suffix,
+                                        p1, d1);
+    int64_t ses_p1 = SesInstances(harness, &report, "ses_p1" + suffix, p1,
+                                  d1);
     std::printf("%-6d %12lld %12lld %12lld %12lld\n", v1,
                 static_cast<long long>(bf_p2), static_cast<long long>(ses_p2),
                 static_cast<long long>(bf_p1),
@@ -94,5 +126,6 @@ int main(int argc, char** argv) {
                 static_cast<long long>(row.ses_p1), ratio,
                 static_cast<long long>(Factorial(row.v1 - 1)));
   }
+  MaybeWriteReport(args, report);
   return 0;
 }

@@ -21,12 +21,23 @@ namespace {
 using namespace ses;
 using namespace ses::bench;
 
-int64_t SesInstances(const Pattern& pattern, const EventRelation& relation) {
-  ExecutorStats stats;
-  Result<std::vector<Match>> matches =
-      MatchRelation(pattern, relation, MatcherOptions{}, &stats);
-  SES_CHECK(matches.ok()) << matches.status().ToString();
-  return stats.max_simultaneous_instances;
+/// Deterministic instance count, recorded as an exact-gated harness case.
+int64_t SesInstances(const Harness& harness, BenchReport* report,
+                     const std::string& case_name, const Pattern& pattern,
+                     const EventRelation& relation) {
+  int64_t instances = 0;
+  report->Add(harness.RunOnce(
+      case_name, static_cast<int64_t>(relation.size()), [&](CaseRun& run) {
+        ExecutorStats stats;
+        Result<std::vector<Match>> matches =
+            MatchRelation(pattern, relation, MatcherOptions{}, &stats);
+        SES_CHECK(matches.ok()) << matches.status().ToString();
+        instances = stats.max_simultaneous_instances;
+        run.SetCounter("max_instances", instances, /*exact=*/true);
+        run.SetCounter("matches", static_cast<int64_t>(matches->size()),
+                       /*exact=*/true);
+      }));
+  return instances;
 }
 
 }  // namespace
@@ -47,6 +58,9 @@ int main(int argc, char** argv) {
       "Experiment 2 — instance growth with window size (Theorems 2/3)\n");
   PrintDatasetInfo("D1", base);
 
+  Harness harness(DefaultHarnessOptions(args));
+  BenchReport report("experiment2");
+
   Pattern p3 = MedicationPattern(3, /*exclusive=*/false, /*group_p=*/true);
   Pattern p4 = MedicationPattern(3, /*exclusive=*/false, /*group_p=*/false);
 
@@ -55,13 +69,17 @@ int main(int argc, char** argv) {
   std::printf("%-8s %10s %14s %14s %18s %14s\n", "factor", "W", "SES(P3)",
               "SES(P4)", "P3 growth", "P4 growth");
   int64_t first_w = 0, first_p3 = 0, first_p4 = 0;
-  for (int factor = 1; factor <= 5; ++factor) {
+  const int max_factor = args.smoke ? 3 : 5;
+  for (int factor = 1; factor <= max_factor; ++factor) {
     Result<EventRelation> dataset = workload::ReplicateDataset(base, factor);
     SES_CHECK(dataset.ok()) << dataset.status().ToString();
     int64_t w =
         workload::ComputeWindowSize(*dataset, duration::Hours(264));
-    int64_t p3_instances = SesInstances(p3, *dataset);
-    int64_t p4_instances = SesInstances(p4, *dataset);
+    const std::string suffix = "/d" + std::to_string(factor);
+    int64_t p3_instances =
+        SesInstances(harness, &report, "ses_p3" + suffix, p3, *dataset);
+    int64_t p4_instances =
+        SesInstances(harness, &report, "ses_p4" + suffix, p4, *dataset);
     if (factor == 1) {
       first_w = w;
       first_p3 = p3_instances;
@@ -85,5 +103,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpectation: P3 exponent > 1 (polynomial, Theorem 3); P4 exponent "
       "~ 1 (linear, Theorem 2).\n");
+  MaybeWriteReport(args, report);
   return 0;
 }

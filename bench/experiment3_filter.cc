@@ -8,27 +8,40 @@
 // constant condition reduces the runtime by roughly an order of magnitude
 // (clinical streams are dominated by events irrelevant to the query),
 // independent of whether the variables are mutually exclusive.
+//
+// Timing runs through bench::Harness (warmup + repeated runs); the
+// filtered-on/off pair of each data set becomes two cases in the --json
+// report, with match counts gated exactly.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "core/matcher.h"
-#include "metrics/metrics.h"
 
 namespace {
 
 using namespace ses;
 using namespace ses::bench;
 
-double TimedRun(const Pattern& pattern, const EventRelation& relation,
-                bool filter) {
+double TimedRun(const Harness& harness, BenchReport* report,
+                const std::string& case_name, const Pattern& pattern,
+                const EventRelation& relation, bool filter) {
   MatcherOptions options;
   options.enable_prefilter = filter;
-  Stopwatch watch;
-  Result<std::vector<Match>> matches =
-      MatchRelation(pattern, relation, options);
-  double seconds = watch.ElapsedSeconds();
-  SES_CHECK(matches.ok()) << matches.status().ToString();
+  CaseResult result = harness.Run(
+      case_name, static_cast<int64_t>(relation.size()), [&](CaseRun& run) {
+        ExecutorStats stats;
+        Result<std::vector<Match>> matches =
+            MatchRelation(pattern, relation, options, &stats);
+        SES_CHECK(matches.ok()) << matches.status().ToString();
+        run.SetCounter("matches", static_cast<int64_t>(matches->size()),
+                       /*exact=*/true);
+        run.SetCounter("events_filtered", stats.events_filtered,
+                       /*exact=*/true);
+      });
+  double seconds = result.wall_seconds.mean;
+  report->Add(std::move(result));
   return seconds;
 }
 
@@ -50,6 +63,8 @@ int main(int argc, char** argv) {
   EventRelation base = workload::GenerateChemotherapy(data_options);
   std::printf("Experiment 3 — effect of event filtering (sec. 4.5)\n");
   PrintDatasetInfo("D1", base);
+  Harness harness(DefaultHarnessOptions(args));
+  BenchReport report("experiment3");
 
   Pattern p5 = MedicationPattern(3, /*exclusive=*/true, /*group_p=*/true);
   Pattern p6 = MedicationPattern(3, /*exclusive=*/false, /*group_p=*/true);
@@ -58,15 +73,21 @@ int main(int argc, char** argv) {
   std::printf("%-8s %10s %14s %14s %14s %14s %10s %10s\n", "factor", "W",
               "P6 no-filter", "P6 filter", "P5 no-filter", "P5 filter",
               "P6 speedup", "P5 speedup");
-  for (int factor = 1; factor <= 5; ++factor) {
+  const int max_factor = args.smoke ? 3 : 5;
+  for (int factor = 1; factor <= max_factor; ++factor) {
     Result<EventRelation> dataset = workload::ReplicateDataset(base, factor);
     SES_CHECK(dataset.ok()) << dataset.status().ToString();
     int64_t w =
         workload::ComputeWindowSize(*dataset, duration::Hours(264));
-    double p6_off = TimedRun(p6, *dataset, /*filter=*/false);
-    double p6_on = TimedRun(p6, *dataset, /*filter=*/true);
-    double p5_off = TimedRun(p5, *dataset, /*filter=*/false);
-    double p5_on = TimedRun(p5, *dataset, /*filter=*/true);
+    const std::string suffix = "/d" + std::to_string(factor);
+    double p6_off = TimedRun(harness, &report, "p6" + suffix + "/nofilter",
+                             p6, *dataset, /*filter=*/false);
+    double p6_on = TimedRun(harness, &report, "p6" + suffix + "/filter", p6,
+                            *dataset, /*filter=*/true);
+    double p5_off = TimedRun(harness, &report, "p5" + suffix + "/nofilter",
+                             p5, *dataset, /*filter=*/false);
+    double p5_on = TimedRun(harness, &report, "p5" + suffix + "/filter", p5,
+                            *dataset, /*filter=*/true);
     std::printf("D%-7d %10lld %14.4f %14.4f %14.4f %14.4f %9.1fx %9.1fx\n",
                 factor, static_cast<long long>(w), p6_off, p6_on, p5_off,
                 p5_on, p6_on > 0 ? p6_off / p6_on : 0.0,
@@ -85,5 +106,6 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.events_seen),
               100.0 * static_cast<double>(stats.events_filtered) /
                   static_cast<double>(stats.events_seen));
+  MaybeWriteReport(args, report);
   return 0;
 }

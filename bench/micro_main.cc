@@ -1,0 +1,116 @@
+// Custom google-benchmark main for the micro_* binaries: adds the same
+// `--json <path>` reporting mode as the harness-based benches, so every
+// binary under bench/ emits the BENCH_*.json schema (see bench/harness.h).
+// The flag is stripped before benchmark::Initialize; console output is
+// unchanged. Each google-benchmark iteration-run becomes one case record:
+// mean wall/CPU seconds are per-iteration times (google-benchmark already
+// aggregates across iterations; per-run spread is not exposed, so stddev
+// and cv are 0 and steady_state mirrors google-benchmark's own stopping
+// rule having been applied).
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace {
+
+using ses::bench::BenchReport;
+using ses::bench::CaseResult;
+
+/// Console reporter that additionally records every iteration run.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (run.error_occurred) continue;
+      CaseResult result;
+      result.name = run.benchmark_name();
+      result.items = static_cast<int64_t>(run.iterations);
+      result.timed_runs = 1;
+      result.steady_state = true;
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      const double wall = run.real_accumulated_time / iterations;
+      const double cpu = run.cpu_accumulated_time / iterations;
+      result.wall_seconds.count = 1;
+      result.wall_seconds.mean = wall;
+      result.wall_seconds.min = wall;
+      result.wall_seconds.max = wall;
+      result.cpu_seconds.count = 1;
+      result.cpu_seconds.mean = cpu;
+      result.cpu_seconds.min = cpu;
+      result.cpu_seconds.max = cpu;
+      // Per-second user counters (events/s rates) round to integers here;
+      // they are informational, never exact-gated.
+      for (const auto& [name, counter] : run.counters) {
+        result.counters.emplace_back(
+            name, static_cast<int64_t>(counter.value));
+      }
+      result.peak_rss_kb = ses::bench::PeakRssKb();
+      cases_.push_back(std::move(result));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<CaseResult>& cases() { return cases_; }
+
+ private:
+  std::vector<CaseResult> cases_;
+};
+
+std::string BinaryBaseName(const char* argv0) {
+  std::string name = argv0 != nullptr ? argv0 : "micro";
+  size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    BenchReport report(BinaryBaseName(argv[0]));
+    for (CaseResult& result : reporter.cases()) {
+      report.Add(std::move(result));
+    }
+    ses::Status status = report.WriteFile(json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "writing %s: %s\n", json_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu cases)\n", json_path.c_str(),
+                report.cases().size());
+  }
+  return 0;
+}

@@ -5,10 +5,14 @@
 // partition's instances per event, so its advantage grows with the number
 // of concurrently active partitions.
 //
-// A second sweep measures the sharded parallel runtime (exec/) against the
-// serial partitioned matcher on a high-cardinality stream: speedup vs
-// worker-thread count, with the output checked byte-identical after
-// SortMatches normalization.
+// Further sweeps measure the sharded parallel runtime (exec/) against the
+// serial partitioned matcher: speedup vs worker-thread count, ingest batch
+// size, and key skew with adaptive rebalancing off/on — the output checked
+// byte-identical after SortMatches normalization at every point.
+//
+// All timing goes through bench::Harness (warmup + repeated runs +
+// steady-state detection); with --json the report lands in the
+// BENCH_partition.json schema that tools/bench_compare gates CI on.
 
 #include <cstdio>
 #include <thread>
@@ -16,7 +20,6 @@
 #include "bench/bench_common.h"
 #include "core/partitioned.h"
 #include "exec/parallel_partitioned.h"
-#include "metrics/metrics.h"
 #include "workload/generic_generator.h"
 
 namespace {
@@ -77,7 +80,92 @@ Pattern HeavyCompletePattern() {
   return *pattern;
 }
 
-void ThreadSweep(int64_t num_events) {
+EventRelation HeavyStream(int64_t num_events) {
+  workload::StreamOptions options;
+  options.num_events = num_events;
+  options.num_partitions = 64;
+  options.type_weights = {{"C", 4}, {"B", 1}, {"N", 2}};
+  options.min_gap = duration::Minutes(1);
+  options.max_gap = duration::Minutes(5);
+  options.seed = 77;
+  return workload::GenerateStream(options);
+}
+
+void AblationSweep(const Harness& harness, int64_t num_events,
+                   BenchReport* report) {
+  Pattern pattern = CompletePattern();
+  std::printf("Partitioned execution ablation (%lld events per run)\n",
+              static_cast<long long>(num_events));
+  std::printf("%-12s %12s %12s %10s %12s %12s %10s\n", "partitions",
+              "global [s]", "partit. [s]", "speedup", "|O| global",
+              "|O| partit.", "matches");
+
+  for (int partitions : {1, 4, 16, 64, 256}) {
+    workload::StreamOptions options;
+    options.num_events = num_events;
+    options.num_partitions = partitions;
+    options.type_weights = {{"A", 1}, {"B", 1}, {"X", 1}, {"N", 3}};
+    options.min_gap = duration::Minutes(1);
+    options.max_gap = duration::Minutes(5);
+    options.seed = 77;
+    EventRelation stream = workload::GenerateStream(options);
+
+    char name[64];
+    std::vector<Match> global;
+    ExecutorStats global_stats;
+    std::snprintf(name, sizeof(name), "ablation/p%d/global", partitions);
+    CaseResult global_case =
+        harness.Run(name, num_events, [&](CaseRun& run) {
+          Result<std::vector<Match>> matches =
+              MatchRelation(pattern, stream, MatcherOptions{}, &global_stats);
+          SES_CHECK(matches.ok());
+          global = std::move(*matches);
+          run.SetCounter("matches", static_cast<int64_t>(global.size()),
+                         /*exact=*/true);
+          run.SetCounter("max_instances",
+                         global_stats.max_simultaneous_instances,
+                         /*exact=*/true);
+        });
+
+    std::vector<Match> partitioned;
+    PartitionedStats part_stats;
+    std::snprintf(name, sizeof(name), "ablation/p%d/partitioned", partitions);
+    CaseResult part_case =
+        harness.Run(name, num_events, [&](CaseRun& run) {
+          Result<std::vector<Match>> matches = PartitionedMatchRelation(
+              pattern, stream, /*attribute=*/-1, MatcherOptions{},
+              &part_stats);
+          SES_CHECK(matches.ok());
+          partitioned = std::move(*matches);
+          run.SetCounter("matches",
+                         static_cast<int64_t>(partitioned.size()),
+                         /*exact=*/true);
+          run.SetCounter("max_instances",
+                         part_stats.max_simultaneous_instances,
+                         /*exact=*/true);
+        });
+    SES_CHECK(SameMatchSet(global, partitioned))
+        << "partitioned execution must be output-identical";
+
+    std::printf("%-12d %12.4f %12.4f %9.1fx %12lld %12lld %10zu\n",
+                partitions, global_case.wall_seconds.mean,
+                part_case.wall_seconds.mean,
+                part_case.wall_seconds.mean > 0
+                    ? global_case.wall_seconds.mean /
+                          part_case.wall_seconds.mean
+                    : 0.0,
+                static_cast<long long>(
+                    global_stats.max_simultaneous_instances),
+                static_cast<long long>(
+                    part_stats.max_simultaneous_instances),
+                global.size());
+    report->Add(std::move(global_case));
+    report->Add(std::move(part_case));
+  }
+}
+
+void ThreadSweep(const Harness& harness, int64_t num_events,
+                 BenchReport* report) {
   Pattern pattern = HeavyCompletePattern();
   unsigned hardware = std::thread::hardware_concurrency();
   std::printf(
@@ -93,38 +181,51 @@ void ThreadSweep(int64_t num_events) {
   std::printf("%-12s %12s %10s %12s %10s\n", "threads", "time [s]",
               "speedup", "evicted", "matches");
 
-  workload::StreamOptions options;
-  options.num_events = num_events;
-  options.num_partitions = 64;
-  options.type_weights = {{"C", 4}, {"B", 1}, {"N", 2}};
-  options.min_gap = duration::Minutes(1);
-  options.max_gap = duration::Minutes(5);
-  options.seed = 77;
-  EventRelation stream = workload::GenerateStream(options);
+  EventRelation stream = HeavyStream(num_events);
 
-  Stopwatch serial_watch;
-  Result<std::vector<Match>> serial =
-      PartitionedMatchRelation(pattern, stream);
-  double serial_seconds = serial_watch.ElapsedSeconds();
-  SES_CHECK(serial.ok());
+  std::vector<Match> serial;
+  CaseResult serial_case =
+      harness.Run("threads/serial", num_events, [&](CaseRun& run) {
+        Result<std::vector<Match>> matches =
+            PartitionedMatchRelation(pattern, stream);
+        SES_CHECK(matches.ok());
+        serial = std::move(*matches);
+        run.SetCounter("matches", static_cast<int64_t>(serial.size()),
+                       /*exact=*/true);
+      });
+  double serial_seconds = serial_case.wall_seconds.mean;
   std::printf("%-12s %12.4f %9s %12s %10zu\n", "serial", serial_seconds,
-              "1.0x", "-", serial->size());
+              "1.0x", "-", serial.size());
+  report->Add(std::move(serial_case));
 
   for (int threads : {1, 2, 4, 8}) {
     exec::ParallelOptions parallel_options;
     parallel_options.num_shards = threads;
-    Stopwatch watch;
+    std::vector<Match> parallel;
     exec::ParallelStats stats;
-    Result<std::vector<Match>> parallel = exec::ParallelPartitionedMatchRelation(
-        pattern, stream, /*attribute=*/-1, parallel_options, &stats);
-    double seconds = watch.ElapsedSeconds();
-    SES_CHECK(parallel.ok());
-    SES_CHECK(IdenticalNormalized(*serial, *parallel))
+    char name[64];
+    std::snprintf(name, sizeof(name), "threads/t%d", threads);
+    CaseResult parallel_case =
+        harness.Run(name, num_events, [&](CaseRun& run) {
+          Result<std::vector<Match>> matches =
+              exec::ParallelPartitionedMatchRelation(
+                  pattern, stream, /*attribute=*/-1, parallel_options,
+                  &stats);
+          SES_CHECK(matches.ok());
+          parallel = std::move(*matches);
+          run.SetCounter("matches", static_cast<int64_t>(parallel.size()),
+                         /*exact=*/true);
+          run.SetCounter("partitions_evicted", stats.partitions_evicted);
+          run.SetCounter("max_queue_depth", stats.max_queue_depth);
+        });
+    SES_CHECK(IdenticalNormalized(serial, parallel))
         << "parallel execution must be output-identical";
+    double seconds = parallel_case.wall_seconds.mean;
     std::printf("%-12d %12.4f %9.1fx %12lld %10zu\n", threads, seconds,
                 seconds > 0 ? serial_seconds / seconds : 0.0,
                 static_cast<long long>(stats.partitions_evicted),
-                parallel->size());
+                parallel.size());
+    report->Add(std::move(parallel_case));
   }
 }
 
@@ -133,7 +234,8 @@ void ThreadSweep(int64_t num_events) {
 /// batch. Small batches maximize queue synchronization per event; large
 /// batches amortize it but delay the workers' start. Output identity with
 /// the serial partitioned matcher is asserted at every point.
-void BatchSweep(int64_t num_events) {
+void BatchSweep(const Harness& harness, int64_t num_events,
+                BenchReport* report) {
   Pattern pattern = HeavyCompletePattern();
   std::printf(
       "\nBatched ingest sweep (%lld events, 64-key stream, 4 shards)\n",
@@ -141,14 +243,7 @@ void BatchSweep(int64_t num_events) {
   std::printf("%-12s %12s %12s %14s %10s\n", "batch", "time [s]",
               "batches", "max q depth", "matches");
 
-  workload::StreamOptions options;
-  options.num_events = num_events;
-  options.num_partitions = 64;
-  options.type_weights = {{"C", 4}, {"B", 1}, {"N", 2}};
-  options.min_gap = duration::Minutes(1);
-  options.max_gap = duration::Minutes(5);
-  options.seed = 77;
-  EventRelation stream = workload::GenerateStream(options);
+  EventRelation stream = HeavyStream(num_events);
 
   Result<std::vector<Match>> serial =
       PartitionedMatchRelation(pattern, stream);
@@ -158,19 +253,31 @@ void BatchSweep(int64_t num_events) {
     exec::ParallelOptions parallel_options;
     parallel_options.num_shards = 4;
     parallel_options.batch_size = batch;
-    Stopwatch watch;
+    std::vector<Match> parallel;
     exec::ParallelStats stats;
-    Result<std::vector<Match>> parallel =
-        exec::ParallelPartitionedMatchRelation(pattern, stream, -1,
-                                               parallel_options, &stats);
-    double seconds = watch.ElapsedSeconds();
-    SES_CHECK(parallel.ok());
-    SES_CHECK(IdenticalNormalized(*serial, *parallel))
+    char name[64];
+    std::snprintf(name, sizeof(name), "batch/b%zu", batch);
+    CaseResult batch_case =
+        harness.Run(name, num_events, [&](CaseRun& run) {
+          Result<std::vector<Match>> matches =
+              exec::ParallelPartitionedMatchRelation(pattern, stream, -1,
+                                                     parallel_options,
+                                                     &stats);
+          SES_CHECK(matches.ok());
+          parallel = std::move(*matches);
+          run.SetCounter("matches", static_cast<int64_t>(parallel.size()),
+                         /*exact=*/true);
+          run.SetCounter("batches_enqueued", stats.batches_enqueued);
+          run.SetCounter("max_queue_depth", stats.max_queue_depth);
+        });
+    SES_CHECK(IdenticalNormalized(*serial, parallel))
         << "batched ingest must be output-identical";
-    std::printf("%-12zu %12.4f %12lld %14lld %10zu\n", batch, seconds,
+    std::printf("%-12zu %12.4f %12lld %14lld %10zu\n", batch,
+                batch_case.wall_seconds.mean,
                 static_cast<long long>(stats.batches_enqueued),
                 static_cast<long long>(stats.max_queue_depth),
-                parallel->size());
+                parallel.size());
+    report->Add(std::move(batch_case));
   }
 }
 
@@ -182,7 +289,8 @@ void BatchSweep(int64_t num_events) {
 /// key concentrates a quarter of the stream in ONE partition, and the
 /// group-variable pattern's per-partition instance growth is superlinear —
 /// the sweep measures routing and queueing, not that explosion.
-void SkewSweep(int64_t num_events) {
+void SkewSweep(const Harness& harness, int64_t num_events,
+               BenchReport* report) {
   Pattern pattern = CompletePattern();
   std::printf(
       "\nSkewed-key sweep (%lld events, 64 keys, 4 shards; Zipf exponent "
@@ -212,21 +320,33 @@ void SkewSweep(int64_t num_events) {
       parallel_options.batch_size = 64;
       parallel_options.rebalance.enabled = rebalance;
       parallel_options.rebalance.interval_events = 2048;
-      Stopwatch watch;
+      std::vector<Match> parallel;
       exec::ParallelStats stats;
-      Result<std::vector<Match>> parallel =
-          exec::ParallelPartitionedMatchRelation(pattern, stream, -1,
-                                                 parallel_options, &stats);
-      double seconds = watch.ElapsedSeconds();
-      SES_CHECK(parallel.ok());
-      SES_CHECK(IdenticalNormalized(*serial, *parallel))
+      char name[64];
+      std::snprintf(name, sizeof(name), "skew%.1f/rebalance-%s", skew,
+                    rebalance ? "on" : "off");
+      CaseResult skew_case =
+          harness.Run(name, num_events, [&](CaseRun& run) {
+            Result<std::vector<Match>> matches =
+                exec::ParallelPartitionedMatchRelation(pattern, stream, -1,
+                                                       parallel_options,
+                                                       &stats);
+            SES_CHECK(matches.ok());
+            parallel = std::move(*matches);
+            run.SetCounter("matches", static_cast<int64_t>(parallel.size()),
+                           /*exact=*/true);
+            run.SetCounter("max_queue_depth", stats.max_queue_depth);
+            run.SetCounter("keys_migrated", stats.rebalancer.keys_migrated);
+          });
+      SES_CHECK(IdenticalNormalized(*serial, parallel))
           << "rebalancing must be output-identical (skew " << skew << ")";
       std::printf("%-8.1f %-10s %12.4f %14lld %12lld %12lld %10zu\n", skew,
-                  rebalance ? "on" : "off", seconds,
+                  rebalance ? "on" : "off", skew_case.wall_seconds.mean,
                   static_cast<long long>(stats.max_queue_depth),
                   static_cast<long long>(stats.rebalancer.keys_migrated),
                   static_cast<long long>(stats.rebalancer.overrides_active),
-                  parallel->size());
+                  parallel.size());
+      report->Add(std::move(skew_case));
     }
   }
 }
@@ -235,53 +355,25 @@ void SkewSweep(int64_t num_events) {
 
 int main(int argc, char** argv) {
   BenchArgs args = ParseBenchArgs(argc, argv);
-  Pattern pattern = CompletePattern();
-  int64_t num_events = args.full ? 120000 : 30000;
+  Harness harness(DefaultHarnessOptions(args));
+  BenchReport report("partition");
 
-  std::printf("Partitioned execution ablation (%lld events per run)\n",
-              static_cast<long long>(num_events));
-  std::printf("%-12s %12s %12s %10s %12s %12s %10s\n", "partitions",
-              "global [s]", "partit. [s]", "speedup", "|O| global",
-              "|O| partit.", "matches");
-
-  for (int partitions : {1, 4, 16, 64, 256}) {
-    workload::StreamOptions options;
-    options.num_events = num_events;
-    options.num_partitions = partitions;
-    options.type_weights = {{"A", 1}, {"B", 1}, {"X", 1}, {"N", 3}};
-    options.min_gap = duration::Minutes(1);
-    options.max_gap = duration::Minutes(5);
-    options.seed = 77;
-    EventRelation stream = workload::GenerateStream(options);
-
-    Stopwatch global_watch;
-    ExecutorStats global_stats;
-    Result<std::vector<Match>> global =
-        MatchRelation(pattern, stream, MatcherOptions{}, &global_stats);
-    double global_seconds = global_watch.ElapsedSeconds();
-    SES_CHECK(global.ok());
-
-    Stopwatch part_watch;
-    PartitionedStats part_stats;
-    Result<std::vector<Match>> partitioned = PartitionedMatchRelation(
-        pattern, stream, /*attribute=*/-1, MatcherOptions{}, &part_stats);
-    double part_seconds = part_watch.ElapsedSeconds();
-    SES_CHECK(partitioned.ok());
-    SES_CHECK(SameMatchSet(*global, *partitioned))
-        << "partitioned execution must be output-identical";
-
-    std::printf("%-12d %12.4f %12.4f %9.1fx %12lld %12lld %10zu\n",
-                partitions, global_seconds, part_seconds,
-                part_seconds > 0 ? global_seconds / part_seconds : 0.0,
-                static_cast<long long>(
-                    global_stats.max_simultaneous_instances),
-                static_cast<long long>(
-                    part_stats.max_simultaneous_instances),
-                global->size());
-  }
-
-  ThreadSweep(args.full ? 120000 : 40000);
-  BatchSweep(args.full ? 120000 : 40000);
-  SkewSweep(args.full ? 120000 : 30000);
+  AblationSweep(harness,
+                args.full ? 120000
+                          : static_cast<int64_t>(ScaleEvents(args, 30000)),
+                &report);
+  ThreadSweep(harness,
+              args.full ? 120000
+                        : static_cast<int64_t>(ScaleEvents(args, 40000)),
+              &report);
+  BatchSweep(harness,
+             args.full ? 120000
+                       : static_cast<int64_t>(ScaleEvents(args, 40000)),
+             &report);
+  SkewSweep(harness,
+            args.full ? 120000
+                      : static_cast<int64_t>(ScaleEvents(args, 30000)),
+            &report);
+  MaybeWriteReport(args, report);
   return 0;
 }

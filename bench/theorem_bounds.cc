@@ -9,6 +9,9 @@
 //           so |Ω| ≤ W · |V1|!.
 //   Case 3: not exclusive, k = 1 group variable    — per-start
 //           O((|V1|-1)! · W^|V1|).
+//
+// Instance counts are deterministic, so each case is a single harness
+// RunOnce whose counters are gated exactly by tools/bench_compare.
 
 #include <cstdio>
 
@@ -27,20 +30,31 @@ int64_t Factorial(int n) {
   return f;
 }
 
-struct CaseResult {
+struct BoundResult {
   int64_t measured;
   int64_t bound;
   int64_t window;
 };
 
-CaseResult RunCase(const Pattern& pattern, const EventRelation& relation,
-                   int64_t per_start_bound) {
-  ExecutorStats stats;
-  Result<std::vector<Match>> matches =
-      MatchRelation(pattern, relation, MatcherOptions{}, &stats);
-  SES_CHECK(matches.ok()) << matches.status().ToString();
-  int64_t w = workload::ComputeWindowSize(relation, pattern.window());
-  return CaseResult{stats.max_simultaneous_instances, w * per_start_bound, w};
+BoundResult RunBoundCase(const Harness& harness, BenchReport* report,
+                         const std::string& case_name, const Pattern& pattern,
+                         const EventRelation& relation,
+                         int64_t per_start_bound) {
+  BoundResult result{};
+  report->Add(harness.RunOnce(
+      case_name, static_cast<int64_t>(relation.size()), [&](CaseRun& run) {
+        ExecutorStats stats;
+        Result<std::vector<Match>> matches =
+            MatchRelation(pattern, relation, MatcherOptions{}, &stats);
+        SES_CHECK(matches.ok()) << matches.status().ToString();
+        int64_t w = workload::ComputeWindowSize(relation, pattern.window());
+        result = BoundResult{stats.max_simultaneous_instances,
+                             w * per_start_bound, w};
+        run.SetCounter("max_instances", result.measured, /*exact=*/true);
+        run.SetCounter("matches", static_cast<int64_t>(matches->size()),
+                       /*exact=*/true);
+      }));
+  return result;
 }
 
 }  // namespace
@@ -49,20 +63,23 @@ int main(int argc, char** argv) {
   BenchArgs args = ParseBenchArgs(argc, argv);
   // A compact, noisy stream: 4 types A..C plus noise X, 2 partitions.
   workload::StreamOptions options;
-  options.num_events = args.full ? 20000 : 3000;
+  options.num_events =
+      args.full ? 20000 : static_cast<int64_t>(ScaleEvents(args, 3000));
   options.num_partitions = 2;
   options.type_weights = {{"A", 1}, {"B", 1}, {"C", 1}, {"X", 3}};
   options.min_gap = duration::Minutes(2);
   options.max_gap = duration::Minutes(20);
   options.seed = 12345;
   EventRelation stream = workload::GenerateStream(options);
+  Harness harness(DefaultHarnessOptions(args));
+  BenchReport json_report("theorem_bounds");
 
   std::printf("Theorem bound validation (sec. 4.4)\n");
   std::printf("%zu events\n\n", stream.size());
   std::printf("%-40s %10s %14s %14s %8s\n", "case", "W", "measured |O|",
               "bound W*|O|_1", "holds");
 
-  auto report = [](const char* name, const CaseResult& r) {
+  auto report = [](const char* name, const BoundResult& r) {
     std::printf("%-40s %10lld %14lld %14lld %8s\n", name,
                 static_cast<long long>(r.window),
                 static_cast<long long>(r.measured),
@@ -83,7 +100,9 @@ int main(int argc, char** argv) {
     b.Within(duration::Hours(2));
     Pattern pattern = *b.Build();
     SES_CHECK(pattern.ArePairwiseMutuallyExclusive());
-    report("case 1: exclusive, |V1|=3", RunCase(pattern, stream, 1));
+    report("case 1: exclusive, |V1|=3",
+           RunBoundCase(harness, &json_report, "case1/exclusive", pattern,
+                        stream, 1));
   }
 
   // Case 2: ⟨{a, x, y}⟩ all of type A — |V1|! per start instance.
@@ -97,7 +116,8 @@ int main(int argc, char** argv) {
     Pattern pattern = *b.Build();
     SES_CHECK(!pattern.ArePairwiseMutuallyExclusive());
     report("case 2: not exclusive, |V1|=3",
-           RunCase(pattern, stream, Factorial(3)));
+           RunBoundCase(harness, &json_report, "case2/not-exclusive",
+                        pattern, stream, Factorial(3)));
   }
 
   // Case 3: ⟨{a, x, y+}⟩ all of type A, one group variable — the
@@ -113,10 +133,12 @@ int main(int argc, char** argv) {
     int64_t w = workload::ComputeWindowSize(stream, pattern.window());
     int64_t per_start = Factorial(2) * w * w * w;
     report("case 3: not exclusive, group, |V1|=3",
-           RunCase(pattern, stream, per_start));
+           RunBoundCase(harness, &json_report, "case3/group", pattern,
+                        stream, per_start));
   }
 
   std::printf(
       "\nAll measured instance counts satisfy the theorem bounds.\n");
+  MaybeWriteReport(args, json_report);
   return 0;
 }

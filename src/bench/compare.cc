@@ -1,0 +1,302 @@
+#include "bench/compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench/harness.h"
+
+namespace ses::bench {
+
+namespace {
+
+const char* VerdictLabel(CaseVerdict verdict) {
+  switch (verdict) {
+    case CaseVerdict::kPass:
+      return "pass";
+    case CaseVerdict::kImprove:
+      return "improve";
+    case CaseVerdict::kRegress:
+      return "REGRESS";
+    case CaseVerdict::kMissingBaseline:
+      return "new";
+    case CaseVerdict::kMissingCandidate:
+      return "MISSING";
+  }
+  return "?";
+}
+
+double NumberAt(const Json& node, std::string_view key, double fallback = 0) {
+  const Json* value = node.Find(key);
+  return value != nullptr && value->is_number() ? value->number_value()
+                                                : fallback;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4fs", seconds);
+  return buf;
+}
+
+std::string FormatRatio(double ratio) {
+  if (ratio == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.0f%%", (ratio - 1.0) * 100.0);
+  return buf;
+}
+
+/// Ratio-gated timing metric: fills a MetricDelta and returns it.
+MetricDelta RatioMetric(std::string metric, double baseline, double candidate,
+                        double regress_above, double improve_below) {
+  MetricDelta delta;
+  delta.metric = std::move(metric);
+  delta.baseline = baseline;
+  delta.candidate = candidate;
+  delta.ratio = baseline != 0 ? candidate / baseline : 0;
+  if (baseline > 0 && candidate > 0) {
+    if (regress_above > 0 && delta.ratio > regress_above) {
+      delta.regressed = true;
+    }
+    if (improve_below > 0 && delta.ratio < improve_below) {
+      delta.improved = true;
+    }
+  }
+  return delta;
+}
+
+/// Inverse-gated metric (throughput): regression when the ratio FALLS below
+/// the threshold.
+MetricDelta ThroughputMetric(double baseline, double candidate,
+                             double regress_below, double improve_above) {
+  MetricDelta delta;
+  delta.metric = "events_per_sec";
+  delta.baseline = baseline;
+  delta.candidate = candidate;
+  delta.ratio = baseline != 0 ? candidate / baseline : 0;
+  if (baseline > 0 && candidate > 0) {
+    if (delta.ratio < regress_below) delta.regressed = true;
+    if (delta.ratio > improve_above) delta.improved = true;
+  }
+  return delta;
+}
+
+CaseDelta CompareCase(const std::string& name, const Json& base,
+                      const Json& cand, const CompareThresholds& thresholds) {
+  CaseDelta delta;
+  delta.name = name;
+
+  const Json* base_wall = base.Find("wall_seconds");
+  const Json* cand_wall = cand.Find("wall_seconds");
+  // The gated wall metric is the MIN across runs (see CompareThresholds);
+  // the mean rides along ungated for the report table.
+  delta.metrics.push_back(RatioMetric(
+      "wall_seconds.min",
+      base_wall != nullptr ? NumberAt(*base_wall, "min") : 0,
+      cand_wall != nullptr ? NumberAt(*cand_wall, "min") : 0,
+      thresholds.wall_ratio, thresholds.improve_ratio));
+  delta.metrics.push_back(RatioMetric(
+      "wall_seconds.mean",
+      base_wall != nullptr ? NumberAt(*base_wall, "mean") : 0,
+      cand_wall != nullptr ? NumberAt(*cand_wall, "mean") : 0,
+      /*regress_above=*/0, /*improve_below=*/0));
+  delta.metrics.push_back(ThroughputMetric(
+      NumberAt(base, "events_per_sec"), NumberAt(cand, "events_per_sec"),
+      thresholds.throughput_ratio, 1.0 / thresholds.improve_ratio));
+
+  const Json* base_latency = base.Find("latency_ns");
+  const Json* cand_latency = cand.Find("latency_ns");
+  if (base_latency != nullptr && cand_latency != nullptr &&
+      NumberAt(*base_latency, "count") >=
+          static_cast<double>(thresholds.min_latency_samples) &&
+      NumberAt(*cand_latency, "count") >=
+          static_cast<double>(thresholds.min_latency_samples)) {
+    // The median is the gated percentile: the p99 tail of an emission-
+    // latency distribution is set by WHEN the window-expiry flush lands
+    // relative to the completing event, which jitters by 10x run to run;
+    // the median jitters by single-digit percent. p99 rides along ungated.
+    delta.metrics.push_back(RatioMetric(
+        "latency_ns.p50", NumberAt(*base_latency, "p50"),
+        NumberAt(*cand_latency, "p50"), thresholds.latency_ratio,
+        /*improve_below=*/0));
+    delta.metrics.push_back(RatioMetric(
+        "latency_ns.p99", NumberAt(*base_latency, "p99"),
+        NumberAt(*cand_latency, "p99"), /*regress_above=*/0,
+        /*improve_below=*/0));
+  }
+
+  // Exact counters: gate every counter the BASELINE declared deterministic
+  // (the committed baseline is the contract; the candidate may add more).
+  const Json* exact = base.Find("exact");
+  const Json* base_counters = base.Find("counters");
+  const Json* cand_counters = cand.Find("counters");
+  if (exact != nullptr && exact->is_array()) {
+    for (size_t i = 0; i < exact->size(); ++i) {
+      if (!exact->at(i).is_string()) continue;
+      const std::string& counter = exact->at(i).string_value();
+      const Json* base_value =
+          base_counters != nullptr ? base_counters->Find(counter) : nullptr;
+      // A baseline that declares a counter exact but never recorded it is
+      // malformed; nothing to gate on.
+      if (base_value == nullptr) continue;
+      const Json* cand_value =
+          cand_counters != nullptr ? cand_counters->Find(counter) : nullptr;
+      MetricDelta exact_delta;
+      exact_delta.metric = "counters." + counter;
+      exact_delta.baseline =
+          base_value != nullptr ? base_value->number_value() : 0;
+      exact_delta.candidate =
+          cand_value != nullptr ? cand_value->number_value() : 0;
+      exact_delta.ratio = exact_delta.baseline != 0
+                              ? exact_delta.candidate / exact_delta.baseline
+                              : 0;
+      if (cand_value == nullptr ||
+          base_value->int_value() != cand_value->int_value()) {
+        exact_delta.regressed = true;
+        delta.notes.push_back("exact counter '" + counter + "' changed: " +
+                              std::to_string(base_value->int_value()) +
+                              " -> " +
+                              (cand_value != nullptr
+                                   ? std::to_string(cand_value->int_value())
+                                   : std::string("absent")));
+      }
+      delta.metrics.push_back(std::move(exact_delta));
+    }
+  }
+
+  bool regressed = false;
+  bool improved = false;
+  for (const MetricDelta& metric : delta.metrics) {
+    regressed = regressed || metric.regressed;
+    improved = improved || metric.improved;
+    if (metric.regressed && metric.metric == "wall_seconds.min") {
+      delta.notes.push_back(
+          "min wall time " + FormatSeconds(metric.baseline) + " -> " +
+          FormatSeconds(metric.candidate) + " (" + FormatRatio(metric.ratio) +
+          ")");
+    }
+  }
+  delta.verdict = regressed  ? CaseVerdict::kRegress
+                  : improved ? CaseVerdict::kImprove
+                             : CaseVerdict::kPass;
+  return delta;
+}
+
+Result<const Json*> ValidatedCases(const Json& doc, const char* label) {
+  const Json* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_integer() ||
+      version->int_value() != BenchReport::kSchemaVersion) {
+    return Status::Corruption(std::string(label) +
+                              ": missing or unsupported schema_version");
+  }
+  const Json* cases = doc.Find("cases");
+  if (cases == nullptr || !cases->is_array()) {
+    return Status::Corruption(std::string(label) + ": missing 'cases' array");
+  }
+  return cases;
+}
+
+}  // namespace
+
+Result<CompareReport> CompareBenchReports(
+    const Json& baseline, const Json& candidate,
+    const CompareThresholds& thresholds) {
+  SES_ASSIGN_OR_RETURN(const Json* base_cases,
+                       ValidatedCases(baseline, "baseline"));
+  SES_ASSIGN_OR_RETURN(const Json* cand_cases,
+                       ValidatedCases(candidate, "candidate"));
+  const Json* base_bench = baseline.Find("bench");
+  const Json* cand_bench = candidate.Find("bench");
+  if (base_bench != nullptr && cand_bench != nullptr &&
+      base_bench->string_value() != cand_bench->string_value()) {
+    return Status::InvalidArgument(
+        "comparing different benches: baseline '" +
+        base_bench->string_value() + "' vs candidate '" +
+        cand_bench->string_value() + "'");
+  }
+
+  auto name_of = [](const Json& entry) {
+    const Json* name = entry.Find("name");
+    return name != nullptr ? name->string_value() : std::string();
+  };
+  std::map<std::string, const Json*> candidates;
+  std::vector<std::string> candidate_order;
+  for (size_t i = 0; i < cand_cases->size(); ++i) {
+    const std::string name = name_of(cand_cases->at(i));
+    if (candidates.emplace(name, &cand_cases->at(i)).second) {
+      candidate_order.push_back(name);
+    }
+  }
+
+  CompareReport report;
+  std::set<std::string> seen;
+  for (size_t i = 0; i < base_cases->size(); ++i) {
+    const Json& base = base_cases->at(i);
+    const std::string name = name_of(base);
+    seen.insert(name);
+    auto it = candidates.find(name);
+    if (it == candidates.end()) {
+      CaseDelta delta;
+      delta.name = name;
+      delta.verdict = CaseVerdict::kMissingCandidate;
+      delta.notes.push_back("baseline case absent from the candidate run");
+      report.cases.push_back(std::move(delta));
+      ++report.regressions;
+      continue;
+    }
+    CaseDelta delta = CompareCase(name, base, *it->second, thresholds);
+    if (delta.verdict == CaseVerdict::kRegress) ++report.regressions;
+    if (delta.verdict == CaseVerdict::kImprove) ++report.improvements;
+    report.cases.push_back(std::move(delta));
+  }
+  for (const std::string& name : candidate_order) {
+    if (seen.count(name) > 0) continue;
+    CaseDelta delta;
+    delta.name = name;
+    delta.verdict = CaseVerdict::kMissingBaseline;
+    delta.notes.push_back("no baseline yet (new case; re-record baselines)");
+    report.cases.push_back(std::move(delta));
+    ++report.missing_baseline;
+  }
+  return report;
+}
+
+std::string CompareReport::ToMarkdown() const {
+  std::string out;
+  out += "| case | min wall (base) | min wall (cand) | Δ wall | "
+         "Δ throughput | verdict |\n";
+  out += "|---|---|---|---|---|---|\n";
+  for (const CaseDelta& delta : cases) {
+    const MetricDelta* wall = nullptr;
+    const MetricDelta* throughput = nullptr;
+    for (const MetricDelta& metric : delta.metrics) {
+      if (metric.metric == "wall_seconds.min") wall = &metric;
+      if (metric.metric == "events_per_sec") throughput = &metric;
+    }
+    out += "| " + delta.name + " | ";
+    out += (wall != nullptr ? FormatSeconds(wall->baseline) : "-");
+    out += " | ";
+    out += (wall != nullptr ? FormatSeconds(wall->candidate) : "-");
+    out += " | ";
+    out += (wall != nullptr ? FormatRatio(wall->ratio) : "-");
+    out += " | ";
+    out += (throughput != nullptr ? FormatRatio(throughput->ratio) : "-");
+    out += " | ";
+    out += VerdictLabel(delta.verdict);
+    out += " |\n";
+  }
+  for (const CaseDelta& delta : cases) {
+    for (const std::string& note : delta.notes) {
+      out += "- `" + delta.name + "`: " + note + "\n";
+    }
+  }
+  char summary[128];
+  std::snprintf(summary, sizeof(summary),
+                "\n%zu case(s): %d regression(s), %d improvement(s), %d "
+                "without baseline.\n",
+                cases.size(), regressions, improvements, missing_baseline);
+  out += summary;
+  return out;
+}
+
+}  // namespace ses::bench

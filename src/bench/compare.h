@@ -1,0 +1,93 @@
+#ifndef SES_BENCH_COMPARE_H_
+#define SES_BENCH_COMPARE_H_
+
+// Baseline comparison for BENCH_*.json result files (schema in
+// bench/harness.h): matches cases by name, gates deterministic counters on
+// exact equality, and gates timing metrics with per-metric noise thresholds.
+// tools/bench_compare is a thin CLI over this; the logic lives here so the
+// pass / regress / improve / missing-baseline verdicts are unit-testable.
+
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "common/result.h"
+
+namespace ses::bench {
+
+/// Per-metric noise thresholds. Ratios are candidate/baseline. Defaults are
+/// deliberately generous: shared CI runners jitter by tens of percent, so
+/// the gate is tuned to catch real cliffs (a hot path losing 2x) and exact
+/// correctness drift (match counts), not single-digit noise.
+struct CompareThresholds {
+  /// Regression when MIN wall time grows beyond this ratio. The gate uses
+  /// the min, not the mean: scheduling noise on shared runners only ever
+  /// adds time, so the fastest run is the stable estimate of the true
+  /// cost (the mean of a 2-run smoke case can jitter by 50%).
+  double wall_ratio = 1.50;
+  /// Regression when throughput falls below this ratio. events_per_sec is
+  /// derived from the MEAN wall time, so this is looser than wall_ratio.
+  double throughput_ratio = 0.50;
+  /// Regression when MEDIAN emission latency grows beyond this ratio (only
+  /// gated when both sides collected at least min_latency_samples). The
+  /// median, not p99: the tail is set by window-expiry flush timing, which
+  /// jitters by 10x between identical runs; p99 is reported ungated.
+  double latency_ratio = 4.00;
+  /// p99 of a handful of samples is pure noise; below this count the
+  /// latency gate is skipped.
+  int64_t min_latency_samples = 50;
+  /// Improvement marker: min wall time below this ratio.
+  double improve_ratio = 0.80;
+};
+
+enum class CaseVerdict {
+  kPass,
+  kImprove,
+  kRegress,
+  /// Case present only in the candidate (a new benchmark): pass, noted.
+  kMissingBaseline,
+  /// Case present only in the baseline (coverage loss): regression.
+  kMissingCandidate,
+};
+
+/// One compared metric of one case.
+struct MetricDelta {
+  std::string metric;
+  double baseline = 0;
+  double candidate = 0;
+  /// candidate / baseline; 0 when the baseline value is 0.
+  double ratio = 0;
+  bool regressed = false;
+  bool improved = false;
+};
+
+/// Comparison outcome of one case.
+struct CaseDelta {
+  std::string name;
+  CaseVerdict verdict = CaseVerdict::kPass;
+  std::vector<MetricDelta> metrics;
+  std::vector<std::string> notes;
+};
+
+/// Whole-file comparison: per-case verdicts plus the exit decision.
+struct CompareReport {
+  std::vector<CaseDelta> cases;
+  int regressions = 0;
+  int improvements = 0;
+  int missing_baseline = 0;
+  bool ok() const { return regressions == 0; }
+
+  /// Markdown delta table (one row per case) plus per-case notes.
+  std::string ToMarkdown() const;
+};
+
+/// Compares two parsed BENCH_*.json documents. Fails (Status, not a
+/// verdict) on schema violations: wrong schema_version, missing "cases", or
+/// the two files reporting different "bench" names.
+Result<CompareReport> CompareBenchReports(const Json& baseline,
+                                          const Json& candidate,
+                                          const CompareThresholds& thresholds);
+
+}  // namespace ses::bench
+
+#endif  // SES_BENCH_COMPARE_H_

@@ -1,0 +1,80 @@
+#include "bench/engine_bench.h"
+
+#include <span>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ses::bench {
+
+Result<EngineCaseOutput> RunEngineCase(
+    const Harness& harness, const std::string& case_name,
+    std::shared_ptr<const plan::CompiledPlan> plan,
+    const EventRelation& stream, EngineCaseConfig config) {
+  auto output = std::make_unique<EngineCaseOutput>();
+  EngineCaseOutput* out = output.get();
+
+  // The probe-wrapped sink is installed once at engine creation; the probe
+  // outlives the engine because both live until this function returns.
+  LatencyProbe* probe = nullptr;
+  engine::EngineOptions options = std::move(config.options);
+  // Bound sink: filled in per run via the shared collector pointer.
+  options.sink = [out](Match&& match) {
+    out->matches.push_back(std::move(match));
+  };
+  // Wrap lazily below — the probe belongs to the harness case run. Engine
+  // creation needs a sink now, so wrap a trampoline that defers to the
+  // currently-installed probe sink.
+  MatchSink collect = std::move(options.sink);
+  MatchSink probed;  // rebuilt per case once the probe is known
+  options.sink = [&probed, &collect](Match&& match) {
+    if (probed) {
+      probed(std::move(match));
+    } else {
+      collect(std::move(match));
+    }
+  };
+
+  SES_ASSIGN_OR_RETURN(
+      std::unique_ptr<engine::Engine> engine,
+      engine::CreateEngine(config.engine, std::move(plan), std::move(options)));
+
+  const std::span<const Event> events(stream.events());
+  const size_t chunk = config.push_batch == 0 ? events.size()
+                                              : config.push_batch;
+  Status run_status = Status::OK();
+  CaseResult result = harness.Run(case_name, static_cast<int64_t>(
+                                                 stream.size()),
+                                  [&](CaseRun& run) {
+    if (!run_status.ok()) return;  // fail fast across remaining runs
+    if (probe != &run.latency()) {
+      probe = &run.latency();
+      probed = probe->Wrap(collect);
+    }
+    engine->Reset();
+    out->matches.clear();
+    for (size_t offset = 0; offset < events.size(); offset += chunk) {
+      const size_t n = std::min(chunk, events.size() - offset);
+      const std::span<const Event> batch = events.subspan(offset, n);
+      for (const Event& event : batch) {
+        run.latency().RecordIngest(event.timestamp());
+      }
+      run_status = engine->PushBatch(batch);
+      if (!run_status.ok()) return;
+    }
+    run_status = engine->Flush();
+    if (!run_status.ok()) return;
+    out->stats = engine->stats();
+    run.SetCounter("events", out->stats.events_pushed, /*exact=*/true);
+    run.SetCounter("matches", out->stats.matches_emitted, /*exact=*/true);
+    for (const auto& [name, value] : engine::EngineCounters(out->stats)) {
+      if (name == "events_pushed" || name == "matches_emitted") continue;
+      run.SetCounter(name, value);
+    }
+  });
+  SES_RETURN_IF_ERROR(run_status);
+  out->result = std::move(result);
+  return std::move(*output);
+}
+
+}  // namespace ses::bench

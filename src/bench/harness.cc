@@ -1,0 +1,308 @@
+#include "bench/harness.h"
+
+#include <sys/resource.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+namespace ses::bench {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Json ToJson(const SampleStats& stats) {
+  Json out = Json::Object();
+  out["mean"] = Json(stats.mean);
+  out["min"] = Json(stats.min);
+  out["max"] = Json(stats.max);
+  out["stddev"] = Json(stats.stddev);
+  out["cv"] = Json(stats.cv);
+  return out;
+}
+
+Json ToJson(const LatencyStats& stats) {
+  Json out = Json::Object();
+  out["count"] = Json(stats.count);
+  out["p50"] = Json(stats.p50_ns);
+  out["p95"] = Json(stats.p95_ns);
+  out["p99"] = Json(stats.p99_ns);
+  out["max"] = Json(stats.max_ns);
+  return out;
+}
+
+}  // namespace
+
+SampleStats Summarize(const std::vector<double>& samples) {
+  SampleStats stats;
+  stats.count = static_cast<int64_t>(samples.size());
+  if (samples.empty()) return stats;
+  stats.min = samples[0];
+  stats.max = samples[0];
+  double sum = 0;
+  for (double s : samples) {
+    sum += s;
+    stats.min = std::min(stats.min, s);
+    stats.max = std::max(stats.max, s);
+  }
+  stats.mean = sum / static_cast<double>(samples.size());
+  double variance = 0;
+  for (double s : samples) {
+    variance += (s - stats.mean) * (s - stats.mean);
+  }
+  variance /= static_cast<double>(samples.size());
+  stats.stddev = std::sqrt(variance);
+  stats.cv = stats.mean != 0 ? stats.stddev / stats.mean : 0;
+  return stats;
+}
+
+double Quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+LatencyProbe::LatencyProbe(std::function<int64_t()> now_ns)
+    : now_ns_(now_ns ? std::move(now_ns) : SteadyNowNs) {}
+
+void LatencyProbe::BeginRun(bool collect) {
+  collect_ = collect;
+  ingest_.clear();
+}
+
+void LatencyProbe::RecordIngest(Timestamp event_time) {
+  ingest_.emplace_back(event_time, now_ns_());
+}
+
+MatchSink LatencyProbe::Wrap(MatchSink inner) {
+  return [this, inner = std::move(inner)](Match&& match) {
+    if (collect_ && !ingest_.empty()) {
+      // The completing event is the one at end_time(); timestamps are
+      // strictly increasing, so the binary search hits it exactly. A match
+      // can never outrun its own completing event, so the entry exists.
+      auto it = std::lower_bound(
+          ingest_.begin(), ingest_.end(), match.end_time(),
+          [](const auto& entry, Timestamp t) { return entry.first < t; });
+      if (it != ingest_.end()) {
+        latencies_ns_.push_back(static_cast<double>(now_ns_() - it->second));
+      }
+    }
+    if (inner) inner(std::move(match));
+  };
+}
+
+LatencyStats LatencyProbe::Snapshot() const {
+  LatencyStats stats;
+  stats.count = static_cast<int64_t>(latencies_ns_.size());
+  if (latencies_ns_.empty()) return stats;
+  stats.p50_ns = Quantile(latencies_ns_, 0.50);
+  stats.p95_ns = Quantile(latencies_ns_, 0.95);
+  stats.p99_ns = Quantile(latencies_ns_, 0.99);
+  stats.max_ns = *std::max_element(latencies_ns_.begin(), latencies_ns_.end());
+  return stats;
+}
+
+void LatencyProbe::Reset() {
+  ingest_.clear();
+  latencies_ns_.clear();
+  collect_ = true;
+}
+
+int64_t CaseResult::counter(std::string_view name, int64_t fallback) const {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return value;
+  }
+  return fallback;
+}
+
+void CaseRun::SetCounter(const std::string& name, int64_t value, bool exact) {
+  for (auto& [counter_name, counter_value] : result_->counters) {
+    if (counter_name == name) {
+      counter_value = value;
+      return;
+    }
+  }
+  result_->counters.emplace_back(name, value);
+  if (exact) result_->exact.push_back(name);
+}
+
+CaseResult Harness::Run(const std::string& name, int64_t items,
+                        const std::function<void(CaseRun&)>& body) const {
+  return RunWith(options_, name, items, body);
+}
+
+CaseResult Harness::RunOnce(const std::string& name, int64_t items,
+                            const std::function<void(CaseRun&)>& body) const {
+  HarnessOptions once;
+  once.warmup_runs = 0;
+  once.min_runs = 1;
+  once.max_runs = 1;
+  once.cv_cutoff = options_.cv_cutoff;
+  return RunWith(once, name, items, body);
+}
+
+CaseResult Harness::RunWith(const HarnessOptions& options,
+                            const std::string& name, int64_t items,
+                            const std::function<void(CaseRun&)>& body) const {
+  CaseResult result;
+  result.name = name;
+  result.items = items;
+  result.warmup_runs = options.warmup_runs;
+  LatencyProbe probe;
+
+  for (int i = 0; i < options.warmup_runs; ++i) {
+    probe.BeginRun(/*collect=*/false);
+    CaseRun run(/*warmup=*/true, i, &probe, &result);
+    body(run);
+  }
+
+  std::vector<double> wall;
+  std::vector<double> cpu;
+  const int min_runs = std::max(1, options.min_runs);
+  const int max_runs = std::max(min_runs, options.max_runs);
+  for (int i = 0; i < max_runs; ++i) {
+    probe.BeginRun(/*collect=*/true);
+    CaseRun run(/*warmup=*/false, i, &probe, &result);
+    const double cpu_before = ProcessCpuSeconds();
+    const int64_t wall_before = SteadyNowNs();
+    body(run);
+    wall.push_back(static_cast<double>(SteadyNowNs() - wall_before) * 1e-9);
+    cpu.push_back(ProcessCpuSeconds() - cpu_before);
+    if (static_cast<int>(wall.size()) >= min_runs &&
+        Summarize(wall).cv <= options.cv_cutoff) {
+      result.steady_state = true;
+      break;
+    }
+  }
+  result.timed_runs = static_cast<int>(wall.size());
+  result.wall_seconds = Summarize(wall);
+  result.cpu_seconds = Summarize(cpu);
+  result.events_per_sec =
+      result.wall_seconds.mean > 0 && items > 0
+          ? static_cast<double>(items) / result.wall_seconds.mean
+          : 0;
+  result.latency = probe.Snapshot();
+  result.peak_rss_kb = PeakRssKb();
+  return result;
+}
+
+double ProcessCpuSeconds() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  auto seconds = [](const struct timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+}
+
+int64_t PeakRssKb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss);
+}
+
+HostInfo QueryHostInfo() {
+  HostInfo info;
+  struct utsname uts;
+  if (uname(&uts) == 0) {
+    info.hostname = uts.nodename;
+    info.os = std::string(uts.sysname) + " " + uts.release;
+    info.arch = uts.machine;
+  }
+  info.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  return info;
+}
+
+std::string QueryGitSha() {
+  if (const char* sha = std::getenv("SES_GIT_SHA");
+      sha != nullptr && *sha != '\0') {
+    return sha;
+  }
+  FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {0};
+    std::string sha;
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    pclose(pipe);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (!sha.empty()) return sha;
+  }
+  return "unknown";
+}
+
+Json BenchReport::ToJson() const {
+  Json doc = Json::Object();
+  doc["schema_version"] = Json(kSchemaVersion);
+  doc["bench"] = Json(bench_name_);
+  doc["git_sha"] = Json(QueryGitSha());
+  char timestamp[32] = "unknown";
+  std::time_t now = std::time(nullptr);
+  struct tm utc;
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  doc["timestamp"] = Json(timestamp);
+  HostInfo host = QueryHostInfo();
+  Json& host_json = doc["host"];
+  host_json["hostname"] = Json(host.hostname);
+  host_json["os"] = Json(host.os);
+  host_json["arch"] = Json(host.arch);
+  host_json["hardware_threads"] = Json(host.hardware_threads);
+  Json cases = Json::Array();
+  for (const CaseResult& result : cases_) {
+    Json entry = Json::Object();
+    entry["name"] = Json(result.name);
+    entry["items"] = Json(result.items);
+    entry["warmup_runs"] = Json(result.warmup_runs);
+    entry["timed_runs"] = Json(result.timed_runs);
+    entry["steady_state"] = Json(result.steady_state);
+    entry["wall_seconds"] = ses::bench::ToJson(result.wall_seconds);
+    entry["cpu_seconds"] = ses::bench::ToJson(result.cpu_seconds);
+    entry["events_per_sec"] = Json(result.events_per_sec);
+    entry["latency_ns"] = ses::bench::ToJson(result.latency);
+    entry["peak_rss_kb"] = Json(result.peak_rss_kb);
+    Json& counters = entry["counters"];
+    counters = Json::Object();
+    for (const auto& [name, value] : result.counters) {
+      counters[name] = Json(value);
+    }
+    Json exact = Json::Array();
+    for (const std::string& name : result.exact) exact.Append(Json(name));
+    entry["exact"] = std::move(exact);
+    cases.Append(std::move(entry));
+  }
+  doc["cases"] = std::move(cases);
+  return doc;
+}
+
+Status BenchReport::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToJson().Dump();
+  out.close();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace ses::bench

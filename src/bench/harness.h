@@ -1,0 +1,252 @@
+#ifndef SES_BENCH_HARNESS_H_
+#define SES_BENCH_HARNESS_H_
+
+// Benchmark harness: repeated timed runs with warmup, steady-state
+// detection, latency percentiles measured through engine::MatchSink, and a
+// machine-readable result record. Every binary under bench/ reports through
+// this harness so numbers are comparable across binaries and across
+// commits; tools/bench_compare consumes the emitted JSON to gate CI on perf
+// regressions.
+//
+// Result schema (BENCH_<name>.json, schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",                   // e.g. "engines", "partition"
+//     "git_sha": "<sha or 'unknown'>",
+//     "timestamp": "<UTC ISO-8601>",
+//     "host": {"hostname", "os", "arch", "hardware_threads"},
+//     "cases": [{
+//       "name": "<sweep>/<case>",          // unique within the file
+//       "items": <events per run>,
+//       "warmup_runs": N, "timed_runs": N,
+//       "steady_state": bool,              // CV cutoff reached
+//       "wall_seconds": {"mean","min","max","stddev","cv"},
+//       "cpu_seconds":  {"mean","min","max","stddev","cv"},
+//       "events_per_sec": <items / mean wall seconds>,
+//       "latency_ns": {"count","p50","p95","p99","max"},  // sink-measured;
+//                                          // count 0 when not collected
+//       "peak_rss_kb": <ru_maxrss after the case>,
+//       "counters": {"matches": ..., ...}, // bench-specific int counters
+//       "exact": ["matches", ...]          // counters bench_compare gates
+//     }, ...]                              // on exact equality
+//   }
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/json.h"
+#include "common/time.h"
+#include "core/match.h"
+
+namespace ses::bench {
+
+/// Aggregate statistics over one sample set (the per-run wall/CPU times).
+struct SampleStats {
+  int64_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv = 0;
+};
+
+/// Mean / min / max / stddev / CV of `samples` (population stddev).
+SampleStats Summarize(const std::vector<double>& samples);
+
+/// Quantile `q` in [0, 1] by linear interpolation between closest ranks
+/// (the "R-7" definition, also numpy's default). `samples` need not be
+/// sorted; returns 0 on an empty set.
+double Quantile(std::vector<double> samples, double q);
+
+/// Percentile summary of per-match emission latencies, in nanoseconds.
+struct LatencyStats {
+  int64_t count = 0;
+  double p50_ns = 0;
+  double p95_ns = 0;
+  double p99_ns = 0;
+  double max_ns = 0;
+};
+
+/// Measures per-match emission latency through engine::MatchSink: the wall
+/// time between the ingest of the stream event that completed a match (the
+/// event at Match::end_time()) and the sink delivering that match. This is
+/// the delay the watermark-bounded incremental emission path bounds — NOT
+/// the wall clock of the whole run.
+///
+/// Usage: call RecordIngest(event.timestamp()) immediately before pushing
+/// each event (for PushBatch, record the whole span first — the batch is
+/// handed over at one wall instant), and wrap the terminal sink with
+/// Wrap(). One probe serves many runs: BeginRun() clears the per-run ingest
+/// log while latency samples pool across timed runs; samples recorded
+/// during warmup runs are dropped.
+class LatencyProbe {
+ public:
+  /// `now_ns` overrides the monotonic clock (tests inject a fake clock);
+  /// default is steady_clock nanoseconds.
+  explicit LatencyProbe(std::function<int64_t()> now_ns = {});
+
+  /// Starts a run: clears the ingest log; samples recorded while
+  /// `collect` is false are discarded (warmup).
+  void BeginRun(bool collect);
+
+  /// Logs the ingest wall time of the event with timestamp `event_time`.
+  /// Event times must be recorded in nondecreasing order (stream order).
+  void RecordIngest(Timestamp event_time);
+
+  /// Wraps `inner`: records the emission latency of every match, then
+  /// forwards it. The returned sink references this probe (not owned).
+  MatchSink Wrap(MatchSink inner);
+
+  LatencyStats Snapshot() const;
+  int64_t sample_count() const {
+    return static_cast<int64_t>(latencies_ns_.size());
+  }
+  void Reset();
+
+ private:
+  std::function<int64_t()> now_ns_;
+  bool collect_ = true;
+  /// (event timestamp, ingest wall ns), in stream order — binary-searched
+  /// by Match::end_time() on delivery.
+  std::vector<std::pair<Timestamp, int64_t>> ingest_;
+  std::vector<double> latencies_ns_;
+};
+
+/// Cadence of a measured case: how many runs, and when the run set counts
+/// as steady state.
+struct HarnessOptions {
+  /// Untimed runs before measurement starts (cache/allocator warmup).
+  int warmup_runs = 1;
+  /// Timed runs always performed.
+  int min_runs = 3;
+  /// Upper bound on timed runs when steady state is not reached.
+  int max_runs = 8;
+  /// Steady state: the coefficient of variation of the timed wall times is
+  /// at or below this after at least min_runs.
+  double cv_cutoff = 0.05;
+};
+
+/// Everything measured for one benchmark case; serialized by BenchReport
+/// into the schema documented at the top of this header.
+struct CaseResult {
+  std::string name;
+  int64_t items = 0;
+  int warmup_runs = 0;
+  int timed_runs = 0;
+  bool steady_state = false;
+  SampleStats wall_seconds;
+  SampleStats cpu_seconds;
+  double events_per_sec = 0;
+  LatencyStats latency;
+  int64_t peak_rss_kb = 0;
+  /// Bench-specific counters, in insertion order (last run wins).
+  std::vector<std::pair<std::string, int64_t>> counters;
+  /// Names of counters that are deterministic for this case —
+  /// tools/bench_compare fails the comparison when they differ at all.
+  std::vector<std::string> exact;
+
+  /// Value of a counter, or `fallback` when absent.
+  int64_t counter(std::string_view name, int64_t fallback = 0) const;
+};
+
+/// Per-run context handed to the case body.
+class CaseRun {
+ public:
+  bool warmup() const { return warmup_; }
+  /// 0-based index within warmup runs resp. timed runs.
+  int run_index() const { return index_; }
+  /// The case's latency probe; per-run lifecycle is managed by the harness.
+  LatencyProbe& latency() { return *probe_; }
+  /// Records a counter on the case (deterministic bodies overwrite the same
+  /// value each run). `exact` marks the counter for exact-equality gating
+  /// in tools/bench_compare; use it for values that must not drift
+  /// (match counts), not for timing-dependent ones (queue depths).
+  void SetCounter(const std::string& name, int64_t value, bool exact = false);
+
+ private:
+  friend class Harness;
+  CaseRun(bool warmup, int index, LatencyProbe* probe, CaseResult* result)
+      : warmup_(warmup), index_(index), probe_(probe), result_(result) {}
+  bool warmup_;
+  int index_;
+  LatencyProbe* probe_;
+  CaseResult* result_;
+};
+
+/// Runs case bodies under a fixed cadence: `warmup_runs` untimed runs, then
+/// timed runs until the wall-time CV drops to `cv_cutoff` (or `max_runs` is
+/// hit), recording wall + CPU time per run, pooled sink latencies, peak
+/// RSS, and the body's counters.
+class Harness {
+ public:
+  explicit Harness(HarnessOptions options = {}) : options_(options) {}
+
+  /// Measures one case. The body must perform exactly one complete,
+  /// repeatable run (engines: Reset + push stream + Flush).
+  CaseResult Run(const std::string& name, int64_t items,
+                 const std::function<void(CaseRun&)>& body) const;
+
+  /// One-shot variant: no warmup, a single timed run. For deterministic
+  /// counter experiments (instance counts, theorem bounds) where
+  /// repetition adds cost but no information.
+  CaseResult RunOnce(const std::string& name, int64_t items,
+                     const std::function<void(CaseRun&)>& body) const;
+
+  const HarnessOptions& options() const { return options_; }
+
+ private:
+  CaseResult RunWith(const HarnessOptions& options, const std::string& name,
+                     int64_t items,
+                     const std::function<void(CaseRun&)>& body) const;
+
+  HarnessOptions options_;
+};
+
+/// CPU seconds consumed by the whole process (user + system, all threads).
+double ProcessCpuSeconds();
+
+/// Peak resident set size of the process in KiB (ru_maxrss). Monotone over
+/// the process lifetime, so per-case values reflect "peak so far".
+int64_t PeakRssKb();
+
+/// Host identity recorded in every report.
+struct HostInfo {
+  std::string hostname;
+  std::string os;
+  std::string arch;
+  int hardware_threads = 0;
+};
+HostInfo QueryHostInfo();
+
+/// Git SHA recorded in every report: $SES_GIT_SHA when set (CI), else
+/// `git rev-parse --short=12 HEAD`, else "unknown".
+std::string QueryGitSha();
+
+/// Collects CaseResults and serializes the documented schema.
+class BenchReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(CaseResult result) { cases_.push_back(std::move(result)); }
+  const std::vector<CaseResult>& cases() const { return cases_; }
+  const std::string& bench_name() const { return bench_name_; }
+
+  Json ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<CaseResult> cases_;
+};
+
+}  // namespace ses::bench
+
+#endif  // SES_BENCH_HARNESS_H_

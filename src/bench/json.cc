@@ -1,0 +1,367 @@
+#include "bench/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ses::bench {
+
+namespace {
+
+void AppendEscaped(std::string_view text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendIndent(int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+/// Recursive-descent parser over a string_view with a position cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    SES_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return Status::Corruption("JSON parse error at offset " +
+                              std::to_string(pos_) + ": " +
+                              std::string(message));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      SES_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return Json(true);
+    if (ConsumeLiteral("false")) return Json(false);
+    if (ConsumeLiteral("null")) return Json();
+    return ParseNumber();
+  }
+
+  Result<Json> ParseObject() {
+    Consume('{');
+    Json object = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      SES_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SES_ASSIGN_OR_RETURN(Json value, ParseValue());
+      object[key] = std::move(value);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    Consume('[');
+    Json array = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      SES_ASSIGN_OR_RETURN(Json value, ParseValue());
+      array.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // The harness only emits \u escapes for control characters, so
+          // non-ASCII code points are encoded as UTF-8 here without
+          // surrogate-pair handling.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integer = true;
+    if (Consume('.')) {
+      integer = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integer = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return Error("invalid number");
+    if (integer) {
+      errno = 0;
+      char* end = nullptr;
+      long long value = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Json(static_cast<int64_t>(value));
+      }
+    }
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("invalid number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json& Json::operator[](std::string_view key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [name, value] : members_) {
+    if (name == key) return value;
+  }
+  members_.emplace_back(std::string(key), Json());
+  return members_.back().second;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Json::DumpTo(std::string* out, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber: {
+      if (is_integer_) {
+        out->append(std::to_string(int_));
+      } else if (!std::isfinite(number_)) {
+        // JSON has no Infinity/NaN; emit null rather than invalid output.
+        out->append("null");
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+        // Trim to the shortest representation that still round-trips.
+        for (int precision = 1; precision < 17; ++precision) {
+          char shorter[40];
+          std::snprintf(shorter, sizeof(shorter), "%.*g", precision, number_);
+          if (std::strtod(shorter, nullptr) == number_) {
+            std::snprintf(buf, sizeof(buf), "%s", shorter);
+            break;
+          }
+        }
+        out->append(buf);
+      }
+      break;
+    }
+    case Type::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->append("[\n");
+      for (size_t i = 0; i < array_.size(); ++i) {
+        AppendIndent(depth + 1, out);
+        array_[i].DumpTo(out, depth + 1);
+        if (i + 1 < array_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(depth, out);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->append("{\n");
+      for (size_t i = 0; i < members_.size(); ++i) {
+        AppendIndent(depth + 1, out);
+        AppendEscaped(members_[i].first, out);
+        out->append(": ");
+        members_[i].second.DumpTo(out, depth + 1);
+        if (i + 1 < members_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(depth, out);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace ses::bench

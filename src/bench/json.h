@@ -1,0 +1,94 @@
+#ifndef SES_BENCH_JSON_H_
+#define SES_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ses::bench {
+
+/// A minimal JSON document model for the benchmark harness: enough to emit
+/// the BENCH_*.json result schema (see bench/harness.h) and to read it back
+/// in tools/bench_compare — not a general-purpose JSON library. Objects
+/// preserve insertion order so emitted documents diff cleanly; integers are
+/// kept exact through a Dump/Parse round trip (doubles round-trip through
+/// a shortest-representation %.17g rendering). No external dependencies.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(int value) : Json(static_cast<int64_t>(value)) {}
+  Json(int64_t value)
+      : type_(Type::kNumber), is_integer_(true), int_(value),
+        number_(static_cast<double>(value)) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+
+  static Json Array() { return Json(Type::kArray); }
+  static Json Object() { return Json(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  /// True for numbers written without a fraction or exponent that fit
+  /// int64; such numbers round-trip exactly.
+  bool is_integer() const { return is_number() && is_integer_; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  int64_t int_value() const {
+    return is_integer_ ? int_ : static_cast<int64_t>(number_);
+  }
+  const std::string& string_value() const { return string_; }
+
+  /// Array element count / object member count; 0 for scalars.
+  size_t size() const {
+    return is_array() ? array_.size() : is_object() ? members_.size() : 0;
+  }
+  const Json& at(size_t index) const { return array_[index]; }
+  void Append(Json value) { array_.push_back(std::move(value)); }
+
+  /// Object access: inserts a null member when `key` is absent (the node
+  /// must be an object or null — a null node becomes an object, which makes
+  /// `doc["a"]["b"] = 1` work on a default-constructed document).
+  Json& operator[](std::string_view key);
+  /// Read-only lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serializes with 2-space indentation and a trailing newline at the top
+  /// level; `indent` is the current nesting depth.
+  std::string Dump() const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  explicit Json(Type type) : type_(type) {}
+  void DumpTo(std::string* out, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  bool is_integer_ = false;
+  int64_t int_ = 0;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace ses::bench
+
+#endif  // SES_BENCH_JSON_H_

@@ -93,6 +93,26 @@ void PartitionedMatcher::Flush(std::vector<Match>* out) {
       static_cast<int64_t>(out->size() - matches_before);
 }
 
+ExecutorStats PartitionedMatcher::AggregatedExecutorStats() const {
+  ExecutorStats total;
+  for (const auto& [key, matcher] : matchers_) {
+    const ExecutorStats& s = matcher.stats();
+    total.events_seen += s.events_seen;
+    total.events_filtered += s.events_filtered;
+    total.events_processed += s.events_processed;
+    total.instances_created += s.instances_created;
+    total.instances_expired += s.instances_expired;
+    total.transitions_evaluated += s.transitions_evaluated;
+    total.transitions_fired += s.transitions_fired;
+    total.conditions_evaluated += s.conditions_evaluated;
+    total.matches_emitted += s.matches_emitted;
+  }
+  // Per-partition peaks do not sum to a meaningful global peak; the
+  // partitioned matcher tracks the true global peak itself (stats()).
+  total.max_simultaneous_instances = stats_.max_simultaneous_instances;
+  return total;
+}
+
 void PartitionedMatcher::Reset() {
   // Dropping the per-key Matchers (rather than Reset()ing each) also
   // releases their instance memory; partitions repopulate on contact. The

@@ -88,6 +88,12 @@ class PartitionedMatcher {
   void Reset();
 
   const PartitionedStats& stats() const { return stats_; }
+
+  /// Sum of the per-partition executor statistics (filtered events,
+  /// instance churn, transition/condition work). O(num_partitions); meant
+  /// for end-of-run reporting, not the per-event hot path.
+  ExecutorStats AggregatedExecutorStats() const;
+
   int64_t num_partitions() const {
     return static_cast<int64_t>(matchers_.size());
   }

@@ -64,7 +64,15 @@ class SerialEngine : public Engine {
     stats_ = EngineStats{};
   }
 
-  EngineStats stats() const override { return stats_; }
+  EngineStats stats() const override {
+    EngineStats stats = stats_;
+    const ExecutorStats& executor = matcher_.stats();
+    stats.events_filtered = executor.events_filtered;
+    stats.instances_created = executor.instances_created;
+    stats.instances_pruned = executor.instances_expired;
+    stats.max_simultaneous_instances = executor.max_simultaneous_instances;
+    return stats;
+  }
 
  private:
   void Drain(bool early) {
@@ -115,6 +123,12 @@ class PartitionedEngine : public Engine {
   EngineStats stats() const override {
     EngineStats stats = stats_;
     stats.num_partitions = matcher_.num_partitions();
+    stats.max_simultaneous_instances =
+        matcher_.stats().max_simultaneous_instances;
+    const ExecutorStats aggregated = matcher_.AggregatedExecutorStats();
+    stats.events_filtered = aggregated.events_filtered;
+    stats.instances_created = aggregated.instances_created;
+    stats.instances_pruned = aggregated.instances_expired;
     return stats;
   }
 
@@ -175,6 +189,7 @@ class ParallelEngine : public Engine {
   Status Push(const Event& event) override {
     ++stats_.events_pushed;
     if (ingest_filter_ != nullptr && !ingest_filter_->ShouldProcess(event)) {
+      ++stats_.events_filtered;
       return Status::OK();
     }
     return matcher_->Push(event);
@@ -187,6 +202,8 @@ class ParallelEngine : public Engine {
     for (const Event& event : events) {
       if (ingest_filter_->ShouldProcess(event)) scratch_.push_back(event);
     }
+    stats_.events_filtered +=
+        static_cast<int64_t>(events.size() - scratch_.size());
     if (scratch_.empty()) return Status::OK();
     return matcher_->PushBatch(scratch_);
   }
@@ -198,6 +215,9 @@ class ParallelEngine : public Engine {
     const exec::ParallelStats& parallel_stats = matcher_->stats();
     stats_.max_buffered_matches = parallel_stats.max_buffered_matches;
     stats_.num_partitions = parallel_stats.partitions_created;
+    stats_.partitions_evicted = parallel_stats.partitions_evicted;
+    stats_.max_queue_depth = parallel_stats.max_queue_depth;
+    stats_.batches_enqueued = parallel_stats.batches_enqueued;
     return status;
   }
 
@@ -351,6 +371,24 @@ Status Engine::PushBatch(std::span<const Event> events) {
 
 MatchSink CollectInto(std::vector<Match>* out) {
   return [out](Match&& match) { out->push_back(std::move(match)); };
+}
+
+std::vector<std::pair<std::string, int64_t>> EngineCounters(
+    const EngineStats& stats) {
+  return {
+      {"events_pushed", stats.events_pushed},
+      {"matches_emitted", stats.matches_emitted},
+      {"matches_emitted_early", stats.matches_emitted_early},
+      {"max_buffered_matches", stats.max_buffered_matches},
+      {"num_partitions", stats.num_partitions},
+      {"events_filtered", stats.events_filtered},
+      {"instances_created", stats.instances_created},
+      {"instances_pruned", stats.instances_pruned},
+      {"max_simultaneous_instances", stats.max_simultaneous_instances},
+      {"partitions_evicted", stats.partitions_evicted},
+      {"max_queue_depth", stats.max_queue_depth},
+      {"batches_enqueued", stats.batches_enqueued},
+  };
 }
 
 Result<std::unique_ptr<Engine>> CreateSerialEngine(

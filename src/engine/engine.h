@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -56,7 +58,30 @@ struct EngineStats {
   /// Resident partitions (partition-pure engines; cumulative created for
   /// the parallel engine, whose resident set fluctuates with eviction).
   int64_t num_partitions = 0;
+  /// Events dropped by the §4.5 pre-filter before reaching any automaton
+  /// (executor-side for the serial engines, ingest-side for parallel).
+  int64_t events_filtered = 0;
+  /// Automaton instances created / reclaimed across all executors (the
+  /// paper's Experiments 1–2 currency; zero for the parallel engine, whose
+  /// shards do not export executor internals).
+  int64_t instances_created = 0;
+  int64_t instances_pruned = 0;
+  /// Peak simultaneously active instances (summed across partitions for
+  /// the partitioned engine).
+  int64_t max_simultaneous_instances = 0;
+  /// Parallel engine only: partitions reclaimed by idle eviction, peak
+  /// shard queue depth, and batches enqueued to worker shards.
+  int64_t partitions_evicted = 0;
+  int64_t max_queue_depth = 0;
+  int64_t batches_enqueued = 0;
 };
+
+/// Name → value snapshot of every EngineStats counter, in declaration
+/// order. The benchmark harness folds this into its machine-readable case
+/// records (see bench/harness.h), so counter names are part of the
+/// BENCH_*.json schema — extend, don't rename.
+std::vector<std::pair<std::string, int64_t>> EngineCounters(
+    const EngineStats& stats);
 
 /// A streaming SES evaluator behind a uniform push/flush interface. All
 /// four evaluation strategies of this repository — the global serial

@@ -1,0 +1,454 @@
+// Tests for the benchmark harness (src/bench/): percentile math against
+// known distributions, the fake-clock latency probe, the JSON document
+// model (exact round trips, parse errors), the BENCH_*.json report schema,
+// and the bench_compare verdict logic.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/compare.h"
+#include "bench/harness.h"
+#include "bench/json.h"
+#include "core/match.h"
+#include "event/event.h"
+
+namespace ses::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Quantile / Summarize
+
+TEST(QuantileTest, KnownDistribution) {
+  // R-7 on {1..5}: p50 is the middle element, p25 interpolates.
+  std::vector<double> v = {5, 3, 1, 4, 2};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  // Interpolated rank: h = 0.9 * 4 = 3.6 → 4 + 0.6 * (5 - 4).
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.9), 4.6);
+}
+
+TEST(QuantileTest, TwoElementInterpolation) {
+  std::vector<double> v = {10, 20};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.95), 19.5);
+}
+
+TEST(QuantileTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.99), 7.0);
+}
+
+TEST(SummarizeTest, KnownMoments) {
+  SampleStats stats = Summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(stats.count, 8);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+  // The textbook population-stddev example: exactly 2.
+  EXPECT_DOUBLE_EQ(stats.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(stats.cv, 0.4);
+}
+
+TEST(SummarizeTest, EmptyAndConstant) {
+  EXPECT_EQ(Summarize({}).count, 0);
+  SampleStats stats = Summarize({3, 3, 3});
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.cv, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyProbe with an injected clock
+
+Match MatchEndingAt(Timestamp end) {
+  return Match({Binding{0, Event(1, end, {})}});
+}
+
+MatchSink AppendTo(std::vector<Match>* out) {
+  return [out](Match&& match) { out->push_back(std::move(match)); };
+}
+
+TEST(LatencyProbeTest, MeasuresIngestToSinkDelay) {
+  int64_t now = 0;
+  LatencyProbe probe([&] { return now; });
+  std::vector<Match> delivered;
+  MatchSink sink = probe.Wrap(AppendTo(&delivered));
+
+  probe.BeginRun(/*collect=*/true);
+  now = 1000;
+  probe.RecordIngest(/*event_time=*/10);
+  now = 2000;
+  probe.RecordIngest(/*event_time=*/20);
+  now = 7000;
+  sink(MatchEndingAt(20));  // ingested at 2000 → latency 5000
+  now = 9500;
+  sink(MatchEndingAt(10));  // ingested at 1000 → latency 8500
+
+  LatencyStats stats = probe.Snapshot();
+  EXPECT_EQ(stats.count, 2);
+  EXPECT_DOUBLE_EQ(stats.max_ns, 8500.0);
+  EXPECT_DOUBLE_EQ(stats.p50_ns, (5000.0 + 8500.0) / 2);
+  ASSERT_EQ(delivered.size(), 2u);  // forwarded to the inner sink
+}
+
+TEST(LatencyProbeTest, WarmupSamplesDropped) {
+  int64_t now = 0;
+  LatencyProbe probe([&] { return now; });
+  std::vector<Match> delivered;
+  MatchSink sink = probe.Wrap(AppendTo(&delivered));
+
+  probe.BeginRun(/*collect=*/false);  // warmup
+  probe.RecordIngest(10);
+  now = 500;
+  sink(MatchEndingAt(10));
+  EXPECT_EQ(probe.sample_count(), 0);
+  EXPECT_EQ(delivered.size(), 1u);  // still forwarded
+
+  probe.BeginRun(/*collect=*/true);
+  now = 1000;
+  probe.RecordIngest(10);
+  now = 1250;
+  sink(MatchEndingAt(10));
+  EXPECT_EQ(probe.sample_count(), 1);
+  EXPECT_DOUBLE_EQ(probe.Snapshot().max_ns, 250.0);
+}
+
+TEST(LatencyProbeTest, SamplesPoolAcrossRuns) {
+  int64_t now = 0;
+  LatencyProbe probe([&] { return now; });
+  std::vector<Match> delivered;
+  MatchSink sink = probe.Wrap(AppendTo(&delivered));
+  for (int run = 0; run < 3; ++run) {
+    probe.BeginRun(true);
+    now += 100;
+    probe.RecordIngest(42);
+    now += 7;
+    sink(MatchEndingAt(42));
+  }
+  EXPECT_EQ(probe.Snapshot().count, 3);
+  probe.Reset();
+  EXPECT_EQ(probe.Snapshot().count, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Harness cadence
+
+TEST(HarnessTest, RunsWarmupThenTimedRuns) {
+  HarnessOptions options;
+  options.warmup_runs = 2;
+  options.min_runs = 3;
+  options.max_runs = 5;
+  options.cv_cutoff = 0;  // unreachable → always max_runs
+  Harness harness(options);
+  int warmups = 0, timed = 0;
+  CaseResult result = harness.Run("case", 100, [&](CaseRun& run) {
+    if (run.warmup()) {
+      ++warmups;
+    } else {
+      ++timed;
+      run.SetCounter("matches", 7, /*exact=*/true);
+    }
+  });
+  EXPECT_EQ(warmups, 2);
+  EXPECT_EQ(timed, 5);
+  EXPECT_EQ(result.warmup_runs, 2);
+  EXPECT_EQ(result.timed_runs, 5);
+  EXPECT_FALSE(result.steady_state);
+  EXPECT_EQ(result.counter("matches"), 7);
+  EXPECT_EQ(result.counter("absent", -1), -1);
+  ASSERT_EQ(result.exact.size(), 1u);
+  EXPECT_EQ(result.exact[0], "matches");
+  EXPECT_EQ(result.wall_seconds.count, 5);
+  EXPECT_GT(result.peak_rss_kb, 0);
+}
+
+TEST(HarnessTest, SteadyStateStopsEarly) {
+  HarnessOptions options;
+  options.warmup_runs = 0;
+  options.min_runs = 2;
+  options.max_runs = 100;
+  options.cv_cutoff = 1e9;  // any spread counts as steady
+  Harness harness(options);
+  int runs = 0;
+  CaseResult result = harness.Run("case", 1, [&](CaseRun&) { ++runs; });
+  EXPECT_EQ(runs, 2);
+  EXPECT_TRUE(result.steady_state);
+}
+
+TEST(HarnessTest, RunOnceIsSingleRun) {
+  Harness harness;
+  int runs = 0;
+  CaseResult result = harness.RunOnce("case", 1, [&](CaseRun& run) {
+    ++runs;
+    EXPECT_FALSE(run.warmup());
+  });
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(result.warmup_runs, 0);
+  EXPECT_EQ(result.timed_runs, 1);
+  EXPECT_TRUE(result.steady_state);
+}
+
+// ---------------------------------------------------------------------------
+// JSON document model
+
+TEST(JsonTest, IntegerRoundTripIsExact) {
+  Json doc = Json::Object();
+  doc["big"] = Json(int64_t{9007199254740993});  // not representable in double
+  doc["neg"] = Json(int64_t{-42});
+  Result<Json> parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->Find("big")->is_integer());
+  EXPECT_EQ(parsed->Find("big")->int_value(), 9007199254740993);
+  EXPECT_EQ(parsed->Find("neg")->int_value(), -42);
+}
+
+TEST(JsonTest, DoubleRoundTrip) {
+  Json doc = Json::Object();
+  doc["pi"] = Json(3.141592653589793);
+  doc["tiny"] = Json(1.5e-8);
+  Result<Json> parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->Find("pi")->number_value(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(parsed->Find("tiny")->number_value(), 1.5e-8);
+  EXPECT_FALSE(parsed->Find("pi")->is_integer());
+}
+
+TEST(JsonTest, PreservesInsertionOrderAndEscapes) {
+  Json doc = Json::Object();
+  doc["z"] = Json("line\nbreak \"quoted\"");
+  doc["a"] = Json(true);
+  std::string text = doc.Dump();
+  EXPECT_LT(text.find("\"z\""), text.find("\"a\""));
+  Result<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("z")->string_value(), "line\nbreak \"quoted\"");
+  EXPECT_EQ(parsed->members()[0].first, "z");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\": }").ok());
+  EXPECT_FALSE(Json::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("{} trailing").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, ParseAcceptsSchemaShapes) {
+  Result<Json> parsed = Json::Parse(
+      "{\"a\": [1, 2.5, \"s\", null, true, false], \"b\": {\"c\": -3}}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("a")->size(), 6u);
+  EXPECT_EQ(parsed->Find("b")->Find("c")->int_value(), -3);
+}
+
+// ---------------------------------------------------------------------------
+// BenchReport schema
+
+TEST(BenchReportTest, EmitsDocumentedSchema) {
+  BenchReport report("unit");
+  Harness harness(HarnessOptions{.warmup_runs = 0, .min_runs = 1,
+                                 .max_runs = 1});
+  report.Add(harness.Run("sweep/case", 123, [](CaseRun& run) {
+    run.SetCounter("matches", 5, /*exact=*/true);
+    run.SetCounter("queue_depth", 2);
+  }));
+  Json doc = report.ToJson();
+  EXPECT_EQ(doc.Find("schema_version")->int_value(),
+            BenchReport::kSchemaVersion);
+  EXPECT_EQ(doc.Find("bench")->string_value(), "unit");
+  EXPECT_TRUE(doc.Find("git_sha")->is_string());
+  EXPECT_TRUE(doc.Find("timestamp")->is_string());
+  ASSERT_NE(doc.Find("host"), nullptr);
+  EXPECT_TRUE(doc.Find("host")->Find("hardware_threads")->is_integer());
+  ASSERT_EQ(doc.Find("cases")->size(), 1u);
+  const Json& c = doc.Find("cases")->at(0);
+  EXPECT_EQ(c.Find("name")->string_value(), "sweep/case");
+  EXPECT_EQ(c.Find("items")->int_value(), 123);
+  EXPECT_NE(c.Find("wall_seconds")->Find("mean"), nullptr);
+  EXPECT_NE(c.Find("cpu_seconds")->Find("cv"), nullptr);
+  EXPECT_NE(c.Find("latency_ns")->Find("p99"), nullptr);
+  EXPECT_EQ(c.Find("counters")->Find("matches")->int_value(), 5);
+  EXPECT_EQ(c.Find("counters")->Find("queue_depth")->int_value(), 2);
+  ASSERT_EQ(c.Find("exact")->size(), 1u);
+  EXPECT_EQ(c.Find("exact")->at(0).string_value(), "matches");
+
+  // The document survives a serialization round trip.
+  Result<Json> parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("cases")->at(0).Find("items")->int_value(), 123);
+}
+
+// ---------------------------------------------------------------------------
+// bench_compare verdicts
+
+/// Builds a minimal schema-valid report document with one case.
+Json ReportDoc(double wall_mean, double events_per_sec, int64_t matches,
+               const std::string& case_name = "sweep/case") {
+  Json doc = Json::Object();
+  doc["schema_version"] = Json(BenchReport::kSchemaVersion);
+  doc["bench"] = Json("unit");
+  Json c = Json::Object();
+  c["name"] = Json(case_name);
+  Json wall = Json::Object();
+  wall["mean"] = Json(wall_mean);
+  wall["min"] = Json(wall_mean);  // the gated metric (see CompareThresholds)
+  c["wall_seconds"] = std::move(wall);
+  c["events_per_sec"] = Json(events_per_sec);
+  Json counters = Json::Object();
+  counters["matches"] = Json(matches);
+  c["counters"] = std::move(counters);
+  Json exact = Json::Array();
+  exact.Append(Json("matches"));
+  c["exact"] = std::move(exact);
+  Json cases = Json::Array();
+  cases.Append(std::move(c));
+  doc["cases"] = std::move(cases);
+  return doc;
+}
+
+TEST(CompareTest, PassWithinThresholds) {
+  Result<CompareReport> report = CompareBenchReports(
+      ReportDoc(1.0, 1000, 5), ReportDoc(1.2, 900, 5), CompareThresholds{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  ASSERT_EQ(report->cases.size(), 1u);
+  EXPECT_EQ(report->cases[0].verdict, CaseVerdict::kPass);
+}
+
+TEST(CompareTest, WallRegression) {
+  Result<CompareReport> report = CompareBenchReports(
+      ReportDoc(1.0, 1000, 5), ReportDoc(2.0, 500, 5), CompareThresholds{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  EXPECT_EQ(report->cases[0].verdict, CaseVerdict::kRegress);
+  EXPECT_EQ(report->regressions, 1);
+}
+
+TEST(CompareTest, Improvement) {
+  Result<CompareReport> report = CompareBenchReports(
+      ReportDoc(1.0, 1000, 5), ReportDoc(0.5, 2000, 5), CompareThresholds{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->cases[0].verdict, CaseVerdict::kImprove);
+  EXPECT_EQ(report->improvements, 1);
+}
+
+TEST(CompareTest, ExactCounterDriftIsRegression) {
+  // Identical timing, but the deterministic match count changed.
+  Result<CompareReport> report = CompareBenchReports(
+      ReportDoc(1.0, 1000, 5), ReportDoc(1.0, 1000, 6), CompareThresholds{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  EXPECT_EQ(report->cases[0].verdict, CaseVerdict::kRegress);
+  ASSERT_FALSE(report->cases[0].notes.empty());
+  EXPECT_NE(report->cases[0].notes[0].find("matches"), std::string::npos);
+}
+
+TEST(CompareTest, MissingBaselineCasePassesWithNote) {
+  Json baseline = ReportDoc(1.0, 1000, 5);
+  Json candidate = ReportDoc(1.0, 1000, 5);
+  // Add a second, new case to the candidate only.
+  Json extra = Json::Object();
+  extra["name"] = Json("sweep/new-case");
+  candidate["cases"].Append(std::move(extra));
+  Result<CompareReport> report =
+      CompareBenchReports(baseline, candidate, CompareThresholds{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->missing_baseline, 1);
+  ASSERT_EQ(report->cases.size(), 2u);
+  EXPECT_EQ(report->cases[1].verdict, CaseVerdict::kMissingBaseline);
+}
+
+TEST(CompareTest, MissingCandidateCaseIsRegression) {
+  Json baseline = ReportDoc(1.0, 1000, 5);
+  Json candidate = ReportDoc(1.0, 1000, 5, "sweep/other");
+  Result<CompareReport> report =
+      CompareBenchReports(baseline, candidate, CompareThresholds{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  // sweep/case missing from candidate (regress), sweep/other new (pass).
+  EXPECT_EQ(report->regressions, 1);
+  EXPECT_EQ(report->missing_baseline, 1);
+}
+
+Json WithLatency(Json doc, int64_t count, double p50) {
+  Json latency = Json::Object();
+  latency["count"] = Json(count);
+  latency["p50"] = Json(p50);
+  latency["p99"] = Json(p50 * 2);
+  Json c = doc.Find("cases")->at(0);  // copy, then rebuild the array
+  c["latency_ns"] = std::move(latency);
+  Json cases = Json::Array();
+  cases.Append(std::move(c));
+  doc["cases"] = std::move(cases);
+  return doc;
+}
+
+TEST(CompareTest, LatencyGateNeedsSampleFloor) {
+  CompareThresholds thresholds;
+  // 10x p99 growth, but only 10 samples on each side: below the floor, the
+  // latency gate is skipped and the case passes.
+  Result<CompareReport> sparse = CompareBenchReports(
+      WithLatency(ReportDoc(1.0, 1000, 5), 10, 1000.0),
+      WithLatency(ReportDoc(1.0, 1000, 5), 10, 10000.0), thresholds);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_TRUE(sparse->ok());
+
+  // Same growth with enough samples: regression.
+  Result<CompareReport> dense = CompareBenchReports(
+      WithLatency(ReportDoc(1.0, 1000, 5), 500, 1000.0),
+      WithLatency(ReportDoc(1.0, 1000, 5), 500, 10000.0), thresholds);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_FALSE(dense->ok());
+}
+
+TEST(CompareTest, CustomThresholds) {
+  CompareThresholds tight;
+  tight.wall_ratio = 1.05;
+  Result<CompareReport> report = CompareBenchReports(
+      ReportDoc(1.0, 1000, 5), ReportDoc(1.2, 900, 5), tight);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+}
+
+TEST(CompareTest, SchemaViolationsAreErrors) {
+  Json bad_version = ReportDoc(1.0, 1000, 5);
+  bad_version["schema_version"] = Json(999);
+  EXPECT_FALSE(CompareBenchReports(bad_version, ReportDoc(1, 1, 1),
+                                   CompareThresholds{})
+                   .ok());
+
+  Json no_cases = Json::Object();
+  no_cases["schema_version"] = Json(BenchReport::kSchemaVersion);
+  EXPECT_FALSE(CompareBenchReports(no_cases, ReportDoc(1, 1, 1),
+                                   CompareThresholds{})
+                   .ok());
+
+  Json other_bench = ReportDoc(1.0, 1000, 5);
+  other_bench["bench"] = Json("different");
+  EXPECT_FALSE(CompareBenchReports(ReportDoc(1, 1, 1), other_bench,
+                                   CompareThresholds{})
+                   .ok());
+}
+
+TEST(CompareTest, MarkdownTableShape) {
+  Result<CompareReport> report = CompareBenchReports(
+      ReportDoc(1.0, 1000, 5), ReportDoc(2.0, 500, 5), CompareThresholds{});
+  ASSERT_TRUE(report.ok());
+  std::string markdown = report->ToMarkdown();
+  EXPECT_NE(markdown.find("| case |"), std::string::npos);
+  EXPECT_NE(markdown.find("sweep/case"), std::string::npos);
+  EXPECT_NE(markdown.find("REGRESS"), std::string::npos);
+  EXPECT_NE(markdown.find("1 regression(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ses::bench

@@ -1,0 +1,123 @@
+// bench_compare: gates CI on benchmark regressions.
+//
+//   bench_compare [options] <baseline.json> <candidate.json>
+//
+// Both files use the BENCH_*.json schema written by the bench/ binaries'
+// --json mode (see src/bench/harness.h). Prints a markdown delta table and
+// exits 0 when no metric regressed, 1 on any regression (including a
+// baseline case missing from the candidate, or an exact counter drifting),
+// 2 on usage or file/schema errors. Thresholds are candidate/baseline
+// ratios; see src/bench/compare.h for the semantics and defaults.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/compare.h"
+#include "bench/json.h"
+
+namespace {
+
+using ses::Result;
+using ses::bench::CompareBenchReports;
+using ses::bench::CompareReport;
+using ses::bench::CompareThresholds;
+using ses::bench::Json;
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <baseline.json> <candidate.json>\n"
+      "  --wall-ratio R        regress when mean wall time ratio > R "
+      "(default 1.50)\n"
+      "  --throughput-ratio R  regress when events/s ratio < R "
+      "(default 0.67)\n"
+      "  --latency-ratio R     regress when p99 latency ratio > R "
+      "(default 2.00)\n"
+      "exit status: 0 no regressions, 1 regressions, 2 usage/file error\n",
+      argv0);
+}
+
+Result<Json> LoadJson(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ses::Status::IoError(std::string("cannot open ") + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Json::Parse(buffer.str());
+}
+
+double ParseRatio(const char* flag, const char* value) {
+  char* end = nullptr;
+  double ratio = std::strtod(value, &end);
+  if (end == value || *end != '\0' || ratio <= 0) {
+    std::fprintf(stderr, "%s: not a positive number: %s\n", flag, value);
+    std::exit(2);
+  }
+  return ratio;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CompareThresholds thresholds;
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wall-ratio") == 0 && i + 1 < argc) {
+      thresholds.wall_ratio = ParseRatio(argv[i], argv[i + 1]);
+      ++i;
+    } else if (std::strcmp(argv[i], "--throughput-ratio") == 0 &&
+               i + 1 < argc) {
+      thresholds.throughput_ratio = ParseRatio(argv[i], argv[i + 1]);
+      ++i;
+    } else if (std::strcmp(argv[i], "--latency-ratio") == 0 && i + 1 < argc) {
+      thresholds.latency_ratio = ParseRatio(argv[i], argv[i + 1]);
+      ++i;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      Usage(argv[0]);
+      return 2;
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (candidate_path == nullptr) {
+      candidate_path = argv[i];
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || candidate_path == nullptr) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  Result<Json> baseline = LoadJson(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline %s: %s\n", baseline_path,
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  Result<Json> candidate = LoadJson(candidate_path);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "candidate %s: %s\n", candidate_path,
+                 candidate.status().ToString().c_str());
+    return 2;
+  }
+
+  Result<CompareReport> report =
+      CompareBenchReports(*baseline, *candidate, thresholds);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::fputs(report->ToMarkdown().c_str(), stdout);
+  return report->ok() ? 0 : 1;
+}

@@ -2,10 +2,10 @@
 # Doc-comment lint for the runtime's public headers.
 #
 # Fails (exit 1) if a public header under src/exec/, src/metrics/,
-# src/plan/, or src/engine/ declares a top-level class or struct that is
-# not immediately preceded by a `///` doc comment. These are the headers
-# an operator reads first (see docs/RUNTIME.md), so every public type must
-# say what it is for.
+# src/plan/, src/engine/, or src/bench/ declares a top-level class or
+# struct that is not immediately preceded by a `///` doc comment. These
+# are the headers an operator reads first (see docs/RUNTIME.md and
+# EXPERIMENTS.md), so every public type must say what it is for.
 #
 # Heuristics, kept deliberately simple (grep/awk only):
 #   * only column-0 `class X {` / `struct X {` declarations are checked
@@ -19,7 +19,8 @@ set -u
 
 fail=0
 shopt -s nullglob
-for header in src/exec/*.h src/metrics/*.h src/plan/*.h src/engine/*.h; do
+for header in src/exec/*.h src/metrics/*.h src/plan/*.h src/engine/*.h \
+              src/bench/*.h; do
   out=$(awk '
     /^(class|struct)[ \t]+[A-Za-z_]/ {
       # Skip pure forward declarations: "class X;" with no brace.
@@ -39,7 +40,7 @@ for header in src/exec/*.h src/metrics/*.h src/plan/*.h src/engine/*.h; do
 done
 
 if [ "$fail" -ne 0 ]; then
-  echo "error: public types in src/exec/, src/metrics/, src/plan/, and src/engine/ need /// doc comments" >&2
+  echo "error: public types in src/exec/, src/metrics/, src/plan/, src/engine/, and src/bench/ need /// doc comments" >&2
   exit 1
 fi
 echo "doc-comment lint: OK"
