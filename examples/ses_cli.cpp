@@ -58,6 +58,10 @@ struct CliArgs {
   int batch = 0;
   /// Enables adaptive shard rebalancing (parallel engine only).
   bool rebalance = false;
+  /// Migration policy when rebalancing: "v1"/"idle-deepest" or
+  /// "v2"/"cost-model" (the default).
+  exec::RebalancePolicyKind rebalance_policy =
+      exec::RebalancePolicyKind::kCostModel;
 };
 
 void PrintUsage() {
@@ -66,7 +70,7 @@ void PrintUsage() {
       "               [--query TEXT | --query-file FILE] [--engine NAME]\n"
       "               [--no-filter] [--shared-const] [--stats] [--dot]\n"
       "               [--threads N] [--batch N] [--rebalance]\n"
-      "               [--list-engines]\n"
+      "               [--rebalance-policy v1|v2] [--list-engines]\n"
       "  --demo         run the paper's running example (Figure 1 + Q1)\n"
       "  --schema       attribute list for CSV input (TYPE: INT, DOUBLE,\n"
       "                 STRING); .sestbl tables are self-describing\n"
@@ -89,7 +93,11 @@ void PrintUsage() {
       "                 (ingest enqueues whole slabs; default 256)\n"
       "  --rebalance    adaptively migrate idle partition keys off the\n"
       "                 hottest shard (parallel engine; output unchanged,\n"
-      "                 see docs/RUNTIME.md)\n");
+      "                 see docs/RUNTIME.md)\n"
+      "  --rebalance-policy v1|v2\n"
+      "                 migration policy: v1 = idle-deepest heuristic,\n"
+      "                 v2 = cost-model engine with hysteresis and hot-key\n"
+      "                 splitting (default; implies --rebalance)\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -139,6 +147,11 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
         return Status::InvalidArgument("--batch needs a positive integer");
       }
     } else if (std::strcmp(argv[i], "--rebalance") == 0) {
+      args.rebalance = true;
+    } else if (std::strcmp(argv[i], "--rebalance-policy") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
+      SES_ASSIGN_OR_RETURN(args.rebalance_policy,
+                           exec::ParseRebalancePolicy(value));
       args.rebalance = true;
     } else if (std::strcmp(argv[i], "--no-filter") == 0) {
       args.no_filter = true;
@@ -251,6 +264,7 @@ Status Run(const CliArgs& args) {
     engine_options.batch_size = static_cast<size_t>(args.batch);
   }
   engine_options.rebalance.enabled = args.rebalance;
+  engine_options.rebalance.policy = args.rebalance_policy;
   std::vector<Match> matches;
   engine_options.sink = engine::CollectInto(&matches);
   SES_ASSIGN_OR_RETURN(
@@ -299,6 +313,18 @@ Status Run(const CliArgs& args) {
         static_cast<long long>(stats.matches_emitted_early),
         static_cast<long long>(stats.max_buffered_matches),
         static_cast<long long>(stats.num_partitions));
+    if (args.rebalance) {
+      std::printf(
+          "rebalancer [%s]: %lld round(s), %lld key(s) migrated, %lld "
+          "override(s) active, %lld hot-key round(s), %lld cooldown-blocked\n",
+          std::string(exec::RebalancePolicyName(args.rebalance_policy))
+              .c_str(),
+          static_cast<long long>(stats.rebalancer.rounds),
+          static_cast<long long>(stats.rebalancer.keys_migrated),
+          static_cast<long long>(stats.rebalancer.overrides_active),
+          static_cast<long long>(stats.rebalancer.hot_key_rounds),
+          static_cast<long long>(stats.rebalancer.cooldown_blocked));
+    }
   }
   return Status::OK();
 }

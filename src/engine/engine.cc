@@ -218,6 +218,7 @@ class ParallelEngine : public Engine {
     stats_.partitions_evicted = parallel_stats.partitions_evicted;
     stats_.max_queue_depth = parallel_stats.max_queue_depth;
     stats_.batches_enqueued = parallel_stats.batches_enqueued;
+    stats_.rebalancer = parallel_stats.rebalancer;
     return status;
   }
 

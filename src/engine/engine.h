@@ -74,6 +74,9 @@ struct EngineStats {
   int64_t partitions_evicted = 0;
   int64_t max_queue_depth = 0;
   int64_t batches_enqueued = 0;
+  /// Parallel engine only: what the adaptive shard rebalancer did (all
+  /// zero when `EngineOptions::rebalance.enabled` is false).
+  exec::RebalancerStats rebalancer;
 };
 
 /// Name → value snapshot of every EngineStats counter, in declaration

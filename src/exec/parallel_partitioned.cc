@@ -60,6 +60,14 @@ struct ParallelPartitionedMatcher::Impl {
     Timestamp last_seen = 0;
   };
 
+  /// One key's accumulated load since the ingest thread last drained it:
+  /// automaton work units (instances touched while pushing the key's
+  /// events) and the key's current open-instance count.
+  struct KeyLoadDelta {
+    int64_t work = 0;
+    int64_t open_instances = 0;
+  };
+
   /// Worker-owned state is only touched by the shard's thread; the ingest
   /// thread reads or mutates it exclusively between a barrier
   /// acknowledgement (happens-before via `mu`) and the next queue Push
@@ -74,6 +82,13 @@ struct ParallelPartitionedMatcher::Impl {
     /// the worker, read live by the ingest thread's rebalancer sampling —
     /// hence atomic, unlike the barrier-synchronized `stats`.
     AtomicCounter busy_nanos;
+
+    /// Per-key load deltas for the rebalancer's cost model, merged in by
+    /// the worker after each batch and drained (swapped out) by the ingest
+    /// thread before each rebalancer sample. Only populated when
+    /// rebalancing is enabled.
+    std::mutex key_load_mu;
+    std::map<Value, KeyLoadDelta, ValueOrderLess> key_load;
 
     // Worker-owned.
     std::map<Value, Partition, ValueOrderLess> partitions;
@@ -109,6 +124,9 @@ struct ParallelPartitionedMatcher::Impl {
   /// True when a sink is installed AND eviction is enabled: workers seal
   /// per-batch runs and the ingest thread emits below the safety watermark.
   bool incremental = false;
+  /// True when the rebalancer is on: workers sample per-key work and
+  /// open-instance counts for the migration cost model.
+  bool track_key_load = false;
 
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<std::vector<Event>> pending;  // per-shard ingest buffers
@@ -179,6 +197,10 @@ struct ParallelPartitionedMatcher::Impl {
             std::lock_guard<std::mutex> lock(shard.runs_mu);
             shard.sealed_runs.clear();
           }
+          {
+            std::lock_guard<std::mutex> lock(shard.key_load_mu);
+            shard.key_load.clear();
+          }
           shard.published.store(kNoWatermark, std::memory_order_release);
           shard.stats = ShardStats{};
           shard.busy_nanos.Reset();
@@ -194,6 +216,9 @@ struct ParallelPartitionedMatcher::Impl {
   void ProcessBatch(Shard& shard, EventBatch& batch) {
     ++shard.stats.batches_processed;
     size_t matches_before = shard.matches.size();
+    // Batch-local per-key work accumulation (merged under the lock once at
+    // the end, so the common path stays lock-free).
+    std::map<Value, KeyLoadDelta, ValueOrderLess> key_load;
     for (Event& event : batch.events) {
       ++shard.stats.events_processed;
       if (!shard.status.ok()) continue;  // drain after an error
@@ -214,9 +239,33 @@ struct ParallelPartitionedMatcher::Impl {
       partition.last_seen = event.timestamp();
       Status status = partition.matcher.Push(event, &shard.matches);
       if (!status.ok()) shard.status = std::move(status);
+      if (track_key_load) {
+        // Matching cost per event is proportional to the partition's live
+        // instance count — the paper's per-partition cost currency — so
+        // instances-after-push is the work unit the cost model smooths.
+        key_load[key].work += static_cast<int64_t>(
+            partition.matcher.num_active_instances());
+      }
     }
     if (effective_timeout >= 0) {
-      EvictIdle(shard, batch.watermark);
+      EvictIdle(shard, batch.watermark, track_key_load ? &key_load : nullptr);
+    }
+    if (track_key_load && !key_load.empty()) {
+      // Record each touched key's residual instance count (evicted keys
+      // were zeroed by EvictIdle above), then publish the deltas.
+      for (auto& [key, load] : key_load) {
+        auto it = shard.partitions.find(key);
+        load.open_instances =
+            it != shard.partitions.end()
+                ? static_cast<int64_t>(it->second.matcher.num_active_instances())
+                : 0;
+      }
+      std::lock_guard<std::mutex> lock(shard.key_load_mu);
+      for (auto& [key, load] : key_load) {
+        KeyLoadDelta& sink_delta = shard.key_load[key];
+        sink_delta.work += load.work;
+        sink_delta.open_instances = load.open_instances;
+      }
     }
     shard.stats.matches_emitted +=
         static_cast<int64_t>(shard.matches.size() - matches_before);
@@ -242,11 +291,15 @@ struct ParallelPartitionedMatcher::Impl {
   /// min_timestamp ≤ last_seen, and any future event of the key arrives at
   /// t > watermark, so t − min_timestamp > τe ≥ window: the instance has
   /// logically expired, and Flush emits exactly the matches the serial
-  /// matcher would emit at that expiry.
-  void EvictIdle(Shard& shard, Timestamp shard_watermark) {
+  /// matcher would emit at that expiry. When `key_load` is non-null
+  /// (rebalancer cost model on), evicted keys are recorded with zero open
+  /// instances so the policy sees their state die.
+  void EvictIdle(Shard& shard, Timestamp shard_watermark,
+                 std::map<Value, KeyLoadDelta, ValueOrderLess>* key_load) {
     for (auto it = shard.partitions.begin(); it != shard.partitions.end();) {
       if (it->second.last_seen < shard_watermark - effective_timeout) {
         it->second.matcher.Flush(&shard.matches);
+        if (key_load != nullptr) (*key_load)[it->first].open_instances = 0;
         it = shard.partitions.erase(it);
         ++shard.stats.partitions_evicted;
       } else {
@@ -443,8 +496,9 @@ struct ParallelPartitionedMatcher::Impl {
         max_queue_depth, static_cast<int64_t>(shard.queue.depth()));
   }
 
-  /// Every rebalance.interval_events ingested events: sample queue depth
-  /// and busy time per shard and let the rebalancer migrate idle keys.
+  /// Every rebalance.interval_events ingested events: drain the workers'
+  /// per-key load samples, sample queue depth and busy time per shard, and
+  /// let the rebalancer's policy plan and apply key migrations.
   void MaybeSampleLoad() {
     if (rebalancer == nullptr || !rebalancer->SampleDue(events_ingested)) {
       return;
@@ -452,6 +506,14 @@ struct ParallelPartitionedMatcher::Impl {
     std::vector<ShardRebalancer::ShardLoad> loads;
     loads.reserve(shards.size());
     for (auto& shard : shards) {
+      std::map<Value, KeyLoadDelta, ValueOrderLess> key_load;
+      {
+        std::lock_guard<std::mutex> lock(shard->key_load_mu);
+        key_load.swap(shard->key_load);
+      }
+      for (const auto& [key, load] : key_load) {
+        rebalancer->ObserveKeyLoad(key, load.work, load.open_instances);
+      }
       loads.push_back(ShardRebalancer::ShardLoad{
           static_cast<int64_t>(shard->queue.depth()),
           shard->busy_nanos.value()});
@@ -606,6 +668,7 @@ Result<ParallelPartitionedMatcher> ParallelPartitionedMatcher::Create(
     impl->rebalancer = std::make_unique<ShardRebalancer>(
         impl->options.num_shards, impl->automaton->window(),
         impl->options.rebalance);
+    impl->track_key_load = true;
   }
   impl->Start();
   return ParallelPartitionedMatcher(std::move(impl));

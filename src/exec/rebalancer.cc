@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/strings.h"
+
 namespace ses::exec {
 
 namespace {
@@ -20,23 +22,31 @@ ShardRebalancer::ShardRebalancer(int num_shards, Duration window,
       next_sample_at_(std::max<int64_t>(options.interval_events, 1)) {
   options_.interval_events = std::max<int64_t>(options_.interval_events, 1);
   options_.max_moves_per_round = std::max(options_.max_moves_per_round, 1);
-  depth_ewma_.assign(static_cast<size_t>(num_shards_),
-                     EwmaGauge(options_.depth_alpha));
-  busy_ewma_.assign(static_cast<size_t>(num_shards_),
-                    EwmaGauge(options_.busy_alpha));
   prev_busy_nanos_.assign(static_cast<size_t>(num_shards_), 0);
+  policy_ = MakeMigrationPolicy(num_shards_, window_, options_);
 }
 
 int ShardRebalancer::RouteAndObserve(const Value& key, size_t hash,
                                      Timestamp timestamp) {
   int home = static_cast<int>(hash % static_cast<size_t>(num_shards_));
   auto [it, inserted] =
-      keys_.try_emplace(key, KeyState{home, home, timestamp, 0});
+      keys_.try_emplace(key, KeyState{home, home, timestamp, 0, 0, 0});
   KeyState& state = it->second;
   state.last_seen = timestamp;
   ++state.events;
+  // One routed event is one unit of baseline work; the workers add the
+  // instance-proportional matching work on top via ObserveKeyLoad.
+  ++state.work_delta;
   if (inserted) stats_.keys_tracked = static_cast<int64_t>(keys_.size());
   return state.shard;
+}
+
+void ShardRebalancer::ObserveKeyLoad(const Value& key, int64_t work,
+                                     int64_t open_instances) {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return;  // pruned since the worker sampled it
+  it->second.work_delta += std::max<int64_t>(work, 0);
+  it->second.open_instances = std::max<int64_t>(open_instances, 0);
 }
 
 void ShardRebalancer::Sample(const std::vector<ShardLoad>& loads,
@@ -44,78 +54,62 @@ void ShardRebalancer::Sample(const std::vector<ShardLoad>& loads,
   ++stats_.rounds;
   next_sample_at_ += options_.interval_events;
 
-  double total_depth = 0;
-  double total_busy = 0;
-  for (size_t i = 0; i < loads.size() && i < depth_ewma_.size(); ++i) {
-    depth_ewma_[i].Observe(static_cast<double>(loads[i].queue_depth));
-    int64_t delta = loads[i].busy_nanos - prev_busy_nanos_[i];
-    prev_busy_nanos_[i] = loads[i].busy_nanos;
-    busy_ewma_[i].Observe(static_cast<double>(std::max<int64_t>(delta, 0)));
-    total_depth += depth_ewma_[i].value();
-    total_busy += busy_ewma_[i].value();
+  LoadSnapshot snapshot;
+  snapshot.watermark = watermark;
+  snapshot.window = window_;
+  snapshot.shards.reserve(static_cast<size_t>(num_shards_));
+  for (size_t i = 0; i < static_cast<size_t>(num_shards_); ++i) {
+    int64_t busy = i < loads.size() ? loads[i].busy_nanos : 0;
+    int64_t delta = busy - prev_busy_nanos_[i];
+    prev_busy_nanos_[i] = busy;
+    snapshot.shards.push_back(ShardSample{
+        static_cast<double>(i < loads.size() ? loads[i].queue_depth : 0),
+        static_cast<double>(std::max<int64_t>(delta, 0))});
+  }
+  snapshot.keys.reserve(keys_.size());
+  for (const auto& [key, state] : keys_) {
+    snapshot.keys.push_back(KeyLoad{key, state.shard, state.home,
+                                    state.last_seen, state.events,
+                                    state.work_delta, state.open_instances});
   }
 
-  // Scale-free load score: each shard's share of the smoothed queue depth
-  // plus its share of the smoothed busy time. Depth dominates when queues
-  // back up; busy time discriminates when queues drain fast.
-  int deepest = 0;
-  int shallowest = 0;
-  double max_score = -1;
-  double min_score = -1;
-  for (int i = 0; i < num_shards_; ++i) {
-    size_t s = static_cast<size_t>(i);
-    double score =
-        (total_depth > 0 ? depth_ewma_[s].value() / total_depth : 0) +
-        (total_busy > 0 ? busy_ewma_[s].value() / total_busy : 0);
-    if (max_score < 0 || score > max_score) {
-      max_score = score;
-      deepest = i;
+  MigrationPlan plan = policy_->PlanMigrations(snapshot);
+
+  int applied = 0;
+  for (const Migration& move : plan.moves) {
+    auto it = keys_.find(move.key);
+    if (it == keys_.end()) continue;
+    KeyState& state = it->second;
+    if (state.shard != move.from || move.to < 0 || move.to >= num_shards_ ||
+        move.to == state.shard) {
+      ++stats_.moves_rejected;
+      continue;
     }
-    if (min_score < 0 || score < min_score) {
-      min_score = score;
-      shallowest = i;
+    // Correctness re-check, independent of the policy: a key may move only
+    // when provably idle — its newest event more than one full pattern
+    // window behind the watermark, so no live automaton instance can still
+    // consume a future event of this key.
+    if (state.last_seen + window_ >= watermark) {
+      ++stats_.moves_rejected;
+      continue;
     }
-  }
-
-  if (deepest != shallowest &&
-      max_score > options_.min_imbalance * min_score + 1e-12) {
-    MigrateIdleKeys(deepest, shallowest, watermark);
-  }
-  PruneIdleKeys(watermark);
-  stats_.keys_tracked = static_cast<int64_t>(keys_.size());
-}
-
-void ShardRebalancer::MigrateIdleKeys(int source, int target,
-                                      Timestamp watermark) {
-  // A key may move only when provably idle: its newest event is more than
-  // one full pattern window behind the watermark, so no live automaton
-  // instance can still consume a future event of this key.
-  std::vector<std::map<Value, KeyState, ValueOrderLess>::iterator> candidates;
-  for (auto it = keys_.begin(); it != keys_.end(); ++it) {
-    const KeyState& state = it->second;
-    if (state.shard == source && state.last_seen + window_ < watermark) {
-      candidates.push_back(it);
-    }
-  }
-  if (candidates.empty()) return;
-
-  // Move the historically busiest keys first: they are the likeliest to
-  // contribute load when they wake up again.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const auto& a, const auto& b) {
-              return a->second.events > b->second.events;
-            });
-  size_t moves = std::min(candidates.size(),
-                          static_cast<size_t>(options_.max_moves_per_round));
-  for (size_t i = 0; i < moves; ++i) {
-    KeyState& state = candidates[i]->second;
     bool was_override = state.shard != state.home;
-    state.shard = target;
+    state.shard = move.to;
     bool is_override = state.shard != state.home;
     stats_.overrides_active += (is_override ? 1 : 0) - (was_override ? 1 : 0);
     ++stats_.keys_migrated;
+    ++applied;
   }
-  ++stats_.rebalances;
+  if (applied > 0) ++stats_.rebalances;
+  if (plan.migrating) ++stats_.migrating_rounds;
+  if (plan.hot_key_mode) ++stats_.hot_key_rounds;
+  stats_.cooldown_blocked += plan.cooldown_blocked;
+
+  // The snapshot consumed this interval's deltas; open-instance counts are
+  // level samples and carry over until the workers report fresh ones.
+  for (auto& [key, state] : keys_) state.work_delta = 0;
+  PruneIdleKeys(watermark);
+  stats_.keys_tracked = static_cast<int64_t>(keys_.size());
 }
 
 void ShardRebalancer::PruneIdleKeys(Timestamp watermark) {
@@ -135,11 +129,46 @@ void ShardRebalancer::PruneIdleKeys(Timestamp watermark) {
 
 void ShardRebalancer::Reset() {
   keys_.clear();
-  for (EwmaGauge& g : depth_ewma_) g.Reset();
-  for (EwmaGauge& g : busy_ewma_) g.Reset();
   std::fill(prev_busy_nanos_.begin(), prev_busy_nanos_.end(), 0);
+  policy_->Reset();
   stats_ = RebalancerStats{};
   next_sample_at_ = options_.interval_events;
+}
+
+std::string ShardRebalancer::DebugString() const {
+  std::string out = strings::Format(
+      "rebalancer{shards=%d window=%lld next=%lld policy=%s\n", num_shards_,
+      static_cast<long long>(window_),
+      static_cast<long long>(next_sample_at_),
+      std::string(RebalancePolicyName(options_.policy)).c_str());
+  out += strings::Format(
+      " stats{rounds=%lld rebalances=%lld migrated=%lld overrides=%lld "
+      "tracked=%lld migrating=%lld hot=%lld cooldown=%lld rejected=%lld}\n",
+      static_cast<long long>(stats_.rounds),
+      static_cast<long long>(stats_.rebalances),
+      static_cast<long long>(stats_.keys_migrated),
+      static_cast<long long>(stats_.overrides_active),
+      static_cast<long long>(stats_.keys_tracked),
+      static_cast<long long>(stats_.migrating_rounds),
+      static_cast<long long>(stats_.hot_key_rounds),
+      static_cast<long long>(stats_.cooldown_blocked),
+      static_cast<long long>(stats_.moves_rejected));
+  for (size_t i = 0; i < prev_busy_nanos_.size(); ++i) {
+    out += strings::Format(" busy%zu=%lld", i,
+                           static_cast<long long>(prev_busy_nanos_[i]));
+  }
+  out += "\n";
+  for (const auto& [key, state] : keys_) {
+    out += strings::Format(
+        " key%s{home=%d shard=%d seen=%lld events=%lld work=%lld open=%lld}\n",
+        key.ToString().c_str(), state.home, state.shard,
+        static_cast<long long>(state.last_seen),
+        static_cast<long long>(state.events),
+        static_cast<long long>(state.work_delta),
+        static_cast<long long>(state.open_instances));
+  }
+  out += " " + policy_->DebugString() + "}";
+  return out;
 }
 
 }  // namespace ses::exec

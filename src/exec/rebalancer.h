@@ -3,37 +3,16 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/time.h"
 #include "event/value.h"
+#include "exec/rebalance_policy.h"
 #include "metrics/metrics.h"
 
 namespace ses::exec {
-
-/// Knobs for the adaptive shard rebalancer (see ShardRebalancer below and
-/// docs/RUNTIME.md). The defaults favour stability: a migration round only
-/// fires when one shard's smoothed load exceeds the lightest shard's by
-/// min_imbalance, and each round moves at most max_moves_per_round keys.
-struct RebalanceOptions {
-  /// Master switch; when false the runtime routes by hash only and the
-  /// rebalancer is never constructed.
-  bool enabled = false;
-  /// Ingested events between load samples (and hence between migration
-  /// opportunities).
-  int64_t interval_events = 4096;
-  /// EWMA weight for queue-depth samples, in (0, 1].
-  double depth_alpha = 0.4;
-  /// EWMA weight for busy-time samples, in (0, 1].
-  double busy_alpha = 0.4;
-  /// A migration round fires only when max shard load > min_imbalance ×
-  /// min shard load (load = normalized depth + busy share, so 2.0 means
-  /// "the deepest shard carries twice the lightest's share").
-  double min_imbalance = 1.5;
-  /// Upper bound on keys migrated per round; bounds the routing-table
-  /// churn a single skewed sample can cause.
-  int max_moves_per_round = 64;
-};
 
 /// Counters describing what the rebalancer has done; snapshotted into
 /// ParallelStats at Flush().
@@ -48,23 +27,30 @@ struct RebalancerStats {
   int64_t overrides_active = 0;
   /// Keys currently tracked (override table + recently-seen keys).
   int64_t keys_tracked = 0;
-};
-
-/// Strict weak ordering over Values, shared by the exec-layer key tables.
-struct ValueOrderLess {
-  bool operator()(const Value& a, const Value& b) const {
-    return Compare(a, b) < 0;
-  }
+  /// Rounds the policy spent in the migrating hysteresis state (for the
+  /// idle-deepest policy: rounds that moved keys).
+  int64_t migrating_rounds = 0;
+  /// Rounds where the source shard was dominated by one hot key and the
+  /// plan split its cold co-resident keys off instead (cost-model only).
+  int64_t hot_key_rounds = 0;
+  /// Otherwise-admissible migrations suppressed by the one-window per-key
+  /// cooldown (cost-model only).
+  int64_t cooldown_blocked = 0;
+  /// Planned moves the rebalancer refused at application time because the
+  /// key was no longer provably idle (stale plan; defense in depth).
+  int64_t moves_rejected = 0;
 };
 
 /// Adaptive shard rebalancer for the parallel partitioned runtime.
 ///
 /// Static hash sharding hot-spots one worker when the key distribution is
-/// skewed. This class tracks per-shard load (queue-depth and busy-time
-/// EWMAs, fed by the ingest thread every `interval_events` events) and
-/// migrates partition keys from the most loaded to the least loaded shard
-/// through an explicit key→shard override table that the ingest thread
-/// consults *before* the hash.
+/// skewed. This class tracks per-shard load (queue depth and busy time,
+/// fed by the ingest thread every `interval_events` events) and per-key
+/// load (events routed, work units and open-instance counts sampled by the
+/// workers), assembles them into a LoadSnapshot, and asks a pluggable
+/// MigrationPolicy (exec/rebalance_policy.h) which keys to re-route. The
+/// returned plan is applied to an explicit key→shard override table the
+/// ingest thread consults *before* the hash.
 ///
 /// Only **idle** keys migrate: a key whose newest event is at least the
 /// pattern window τ older than the ingest watermark. Such a key has no
@@ -72,13 +58,16 @@ struct ValueOrderLess {
 /// consuming any future event — so re-routing it cannot change the match
 /// set, and the per-key ordering invariant ("all events of a key that can
 /// co-occur in a match are processed by one shard, in order") is
-/// preserved. docs/SEMANTICS.md §7 spells out the argument; the
-/// skew-equivalence tests in tests/rebalance_test.cc enforce it for every
-/// thread count with rebalancing on and off.
+/// preserved. docs/SEMANTICS.md §7 spells out the argument. The policies
+/// plan only idle keys, and Sample() re-validates idleness before applying
+/// each move, so a policy bug can cost performance but never correctness.
+/// The skew-equivalence and churn tests in tests/rebalance_test.cc enforce
+/// it for every thread count with both policies.
 ///
 /// Single-threaded by design: every method is called from the ingest
 /// thread only. Worker load reaches it through the cumulative busy-nanos
-/// counters the runtime samples (those are atomics owned by the workers).
+/// counters and the per-key load samples the runtime drains from the
+/// workers before each Sample() (see ParallelPartitionedMatcher).
 class ShardRebalancer {
  public:
   /// One shard's load sample: instantaneous queue depth plus the worker's
@@ -89,33 +78,45 @@ class ShardRebalancer {
   };
 
   /// `window` is the compiled pattern's τ — the idleness horizon below
-  /// which a key may never migrate.
+  /// which a key may never migrate, and the per-key migration cooldown.
   ShardRebalancer(int num_shards, Duration window, RebalanceOptions options);
 
   /// Routes `key` (whose precomputed hash is `hash`) to a shard, records
-  /// the observation (last-seen timestamp, per-key event count), and
-  /// returns the shard index. Consults the override table first; falls
-  /// back to hash % num_shards.
+  /// the observation (last-seen timestamp, per-key event count and one
+  /// work unit), and returns the shard index. Consults the override table
+  /// first; falls back to hash % num_shards.
   int RouteAndObserve(const Value& key, size_t hash, Timestamp timestamp);
+
+  /// Folds a worker-side per-key load sample into the key's pending
+  /// observation: `work` automaton work units since the last drain and the
+  /// key's current open-instance count. Unknown (already pruned) keys are
+  /// ignored.
+  void ObserveKeyLoad(const Value& key, int64_t work, int64_t open_instances);
 
   /// True when `events_ingested` has crossed the next sampling boundary.
   bool SampleDue(int64_t events_ingested) const {
     return events_ingested >= next_sample_at_;
   }
 
-  /// Feeds one load sample per shard, updates the EWMAs, and — when the
-  /// smoothed imbalance exceeds min_imbalance — migrates up to
-  /// max_moves_per_round idle keys from the deepest to the shallowest
-  /// shard. Also prunes long-idle table entries (reverting their routing
-  /// to the hash shard, which is safe for the same idleness reason).
+  /// Feeds one load sample per shard, assembles the LoadSnapshot, runs the
+  /// policy, and applies the planned migrations to the override table
+  /// (re-validating each key's idleness first). Also prunes long-idle
+  /// table entries (reverting their routing to the hash shard, which is
+  /// safe for the same idleness reason).
   void Sample(const std::vector<ShardLoad>& loads, Timestamp watermark);
 
   /// Drops all routing state and statistics (used by Reset(): a new
   /// relation starts from pure hash routing).
   void Reset();
 
+  /// Deterministic serialization of the complete rebalancer state,
+  /// including the policy's. Equal strings mean equal state; a Reset()
+  /// rebalancer serializes identically to a freshly constructed one.
+  std::string DebugString() const;
+
   const RebalancerStats& stats() const { return stats_; }
   const RebalanceOptions& options() const { return options_; }
+  const MigrationPolicy& policy() const { return *policy_; }
 
  private:
   struct KeyState {
@@ -123,9 +124,13 @@ class ShardRebalancer {
     int shard = 0;  // current route
     Timestamp last_seen = 0;
     int64_t events = 0;
+    /// Work units accumulated since the last Sample() (routed events plus
+    /// worker-reported automaton work).
+    int64_t work_delta = 0;
+    /// Open-instance count at the worker's most recent per-key sample.
+    int64_t open_instances = 0;
   };
 
-  void MigrateIdleKeys(int source, int target, Timestamp watermark);
   void PruneIdleKeys(Timestamp watermark);
 
   int num_shards_;
@@ -134,9 +139,8 @@ class ShardRebalancer {
   int64_t next_sample_at_;
 
   std::map<Value, KeyState, ValueOrderLess> keys_;
-  std::vector<EwmaGauge> depth_ewma_;
-  std::vector<EwmaGauge> busy_ewma_;
   std::vector<int64_t> prev_busy_nanos_;
+  std::unique_ptr<MigrationPolicy> policy_;
   RebalancerStats stats_;
 };
 

@@ -174,6 +174,28 @@ TEST(EngineEquivalence, DifferentialOverRandomizedWorkloads) {
                   expected)
             << "engine " << name << " seed " << seed << " skew " << skew;
       }
+      // The parallel engine again with adaptive rebalancing on, once per
+      // migration policy: key migrations must never change the match set.
+      for (exec::RebalancePolicyKind policy :
+           {exec::RebalancePolicyKind::kIdleDeepest,
+            exec::RebalancePolicyKind::kCostModel}) {
+        EngineOptions options;
+        options.num_shards = 4;
+        options.batch_size = 64;
+        options.rebalance.enabled = true;
+        options.rebalance.policy = policy;
+        // Aggressive cadence and thresholds so migrations actually fire
+        // within 1200 events.
+        options.rebalance.interval_events = 128;
+        options.rebalance.min_imbalance = 1.1;
+        options.rebalance.hi_imbalance = 1.2;
+        options.rebalance.lo_imbalance = 1.05;
+        EXPECT_EQ(
+            NormalizedKeys(RunEngine("parallel", *plan, stream, options)),
+            expected)
+            << "parallel+" << exec::RebalancePolicyName(policy) << " seed "
+            << seed << " skew " << skew;
+      }
     }
   }
 }

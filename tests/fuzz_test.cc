@@ -8,7 +8,9 @@
 #include <fstream>
 
 #include "common/random.h"
+#include "engine/registry.h"
 #include "event/csv.h"
+#include "plan/compiled_plan.h"
 #include "query/parser.h"
 #include "query/unparse.h"
 #include "storage/table_reader.h"
@@ -85,6 +87,75 @@ TEST(ParserFuzz, ValidPatternsSurviveUnparseRoundTrip) {
     EXPECT_EQ(second->conditions().size(), first->conditions().size());
     EXPECT_EQ(second->window(), first->window());
     EXPECT_EQ(second->ToString(), first->ToString());
+  }
+}
+
+TEST(EngineFuzz, RandomizedRebalanceConfigsPreserveTheMatchSet) {
+  // Randomized differential grid over the parallel engine with the
+  // adaptive rebalancer on: stream shape, shard count, batch size, policy
+  // (v1 idle-deepest and v2 cost-model), sampling cadence, and every
+  // cost-model knob are drawn at random, and the normalized match set must
+  // equal the serial engine's every time. Migration decisions depend on
+  // thread timing, so each trial also probes a different interleaving.
+  Result<Pattern> pattern = ParsePattern(
+      "PATTERN {a, b} -> {x} WHERE a.L = 'A' AND b.L = 'B' AND x.L = 'X' "
+      "AND a.ID = b.ID AND a.ID = x.ID AND b.ID = x.ID WITHIN 5h",
+      ChemotherapySchema());
+  ASSERT_TRUE(pattern.ok());
+  Result<std::shared_ptr<const plan::CompiledPlan>> compiled =
+      plan::CompilePlan(*pattern);
+  ASSERT_TRUE(compiled.ok());
+
+  auto run = [&](const char* name, engine::EngineOptions options,
+                 const EventRelation& stream) {
+    std::vector<Match> matches;
+    options.sink = engine::CollectInto(&matches);
+    Result<std::unique_ptr<engine::Engine>> eng =
+        engine::CreateEngine(name, *compiled, std::move(options));
+    EXPECT_TRUE(eng.ok()) << eng.status().ToString();
+    EXPECT_TRUE(
+        (*eng)->PushBatch(std::span<const Event>(stream.events())).ok());
+    EXPECT_TRUE((*eng)->Flush().ok());
+    SortMatches(&matches);
+    std::vector<std::vector<std::pair<VariableId, EventId>>> keys;
+    for (const Match& match : matches) keys.push_back(match.SubstitutionKey());
+    return keys;
+  };
+
+  Random random(2026);
+  const double kSkews[] = {0.0, 0.8, 1.2};
+  for (int trial = 0; trial < 12; ++trial) {
+    workload::StreamOptions so;
+    so.num_events = 600 + random.UniformInt(0, 600);
+    so.num_partitions = static_cast<int>(8 << random.UniformInt(0, 2));
+    so.key_skew = kSkews[random.Index(3)];
+    so.type_weights = {{"A", 1}, {"B", 1}, {"X", 1}, {"N", 1}};
+    so.min_gap = duration::Minutes(1);
+    so.max_gap = duration::Minutes(10);
+    so.seed = random.Next();
+    EventRelation stream = workload::GenerateStream(so);
+    auto expected = run("serial", {}, stream);
+
+    engine::EngineOptions options;
+    options.num_shards = static_cast<int>(random.UniformInt(2, 8));
+    options.batch_size = static_cast<int>(int64_t{1} << random.UniformInt(3, 7));
+    options.rebalance.enabled = true;
+    options.rebalance.policy = random.Bernoulli(0.5)
+                                   ? exec::RebalancePolicyKind::kIdleDeepest
+                                   : exec::RebalancePolicyKind::kCostModel;
+    options.rebalance.interval_events = 32 << random.UniformInt(0, 3);
+    options.rebalance.min_imbalance = 1.0 + random.UniformDouble() * 0.5;
+    options.rebalance.hi_imbalance = 1.05 + random.UniformDouble() * 0.6;
+    options.rebalance.lo_imbalance =
+        1.0 + random.UniformDouble() * (options.rebalance.hi_imbalance - 1.0);
+    options.rebalance.hot_key_fraction = 0.3 + random.UniformDouble() * 0.6;
+    options.rebalance.move_cost = random.UniformDouble();
+    options.rebalance.table_cost = random.UniformDouble();
+    options.rebalance.warmup_weight = random.UniformDouble();
+    EXPECT_EQ(run("parallel", options, stream), expected)
+        << "trial " << trial << " policy "
+        << exec::RebalancePolicyName(options.rebalance.policy) << " shards "
+        << options.num_shards << " skew " << so.key_skew;
   }
 }
 

@@ -1,0 +1,449 @@
+// Deterministic load-replay tests for the migration policy engine
+// (exec/rebalance_policy.h). Scripted LoadSnapshot sequences — uniform,
+// hot key, flash crowd, decaying/flipping skew — are replayed through
+// MigrationPolicy::PlanMigrations with a fake clock (snapshot watermarks),
+// zero threads and zero sleeps, asserting plan contents, hysteresis
+// transitions through the dead band in both directions, the one-window
+// per-key migration cooldown, and the cost model's warmup term. Property
+// tests at the ShardRebalancer level check that the override table never
+// outgrows the tracked-key table and that Reset() restores bit-identical
+// fresh state after an arbitrary migration history. CI runs this suite
+// under `ctest --repeat until-fail:100`; determinism is also asserted
+// directly by replaying a mixed script against two fresh policies.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "common/time.h"
+#include "event/value.h"
+#include "exec/rebalance_policy.h"
+#include "exec/rebalancer.h"
+
+namespace ses {
+namespace {
+
+using ::ses::exec::KeyLoad;
+using ::ses::exec::LoadSnapshot;
+using ::ses::exec::MakeMigrationPolicy;
+using ::ses::exec::Migration;
+using ::ses::exec::MigrationPlan;
+using ::ses::exec::MigrationPolicy;
+using ::ses::exec::RebalanceOptions;
+using ::ses::exec::RebalancePolicyKind;
+using ::ses::exec::ShardRebalancer;
+using ::ses::exec::ShardSample;
+
+constexpr Duration kWindow = 100;
+
+/// Alpha = 1 everywhere: EWMAs track the latest sample exactly, so every
+/// scenario's arithmetic is closed-form.
+RebalanceOptions CrispOptions(RebalancePolicyKind kind) {
+  RebalanceOptions options;
+  options.enabled = true;
+  options.policy = kind;
+  options.depth_alpha = 1.0;
+  options.busy_alpha = 1.0;
+  options.work_alpha = 1.0;
+  return options;
+}
+
+KeyLoad Key(int64_t id, int shard, int home, Timestamp last_seen,
+            int64_t work, int64_t open_instances = 0, int64_t events = 1) {
+  return KeyLoad{Value(id), shard, home, last_seen,
+                 events,    work,  open_instances};
+}
+
+LoadSnapshot Snap(Timestamp watermark, std::vector<ShardSample> shards,
+                  std::vector<KeyLoad> keys) {
+  LoadSnapshot snapshot;
+  snapshot.watermark = watermark;
+  snapshot.window = kWindow;
+  snapshot.shards = std::move(shards);
+  snapshot.keys = std::move(keys);
+  return snapshot;
+}
+
+/// Canonical serialization of a plan for determinism comparisons.
+std::string PlanToString(const MigrationPlan& plan) {
+  std::string out = strings::Format(
+      "mig=%d imb=%.17g src=%d hot=%d cd=%d:", plan.migrating ? 1 : 0,
+      plan.imbalance, plan.source_shard, plan.hot_key_mode ? 1 : 0,
+      plan.cooldown_blocked);
+  for (const Migration& move : plan.moves) {
+    out += strings::Format(" %s@%d->%d", move.key.ToString().c_str(),
+                           move.from, move.to);
+  }
+  return out;
+}
+
+std::set<int64_t> MovedKeys(const MigrationPlan& plan) {
+  std::set<int64_t> keys;
+  for (const Migration& move : plan.moves) {
+    keys.insert(move.key.int64());
+  }
+  return keys;
+}
+
+// ---- Scenario 1: uniform load ---------------------------------------------
+
+TEST(CostModelPolicy, UniformLoadNeverMigrates) {
+  auto policy = MakeMigrationPolicy(
+      4, kWindow, CrispOptions(RebalancePolicyKind::kCostModel));
+  for (int round = 0; round < 5; ++round) {
+    Timestamp watermark = 1000 + 100 * round;
+    std::vector<KeyLoad> keys;
+    for (int64_t id = 1; id <= 8; ++id) {
+      int shard = static_cast<int>(id % 4);
+      // All idle — migration *would* be admissible if the load justified it.
+      keys.push_back(Key(id, shard, shard, watermark - 2 * kWindow, 5));
+    }
+    MigrationPlan plan = policy->PlanMigrations(
+        Snap(watermark, {{10, 0}, {10, 0}, {10, 0}, {10, 0}}, keys));
+    EXPECT_TRUE(plan.moves.empty()) << "round " << round;
+    EXPECT_FALSE(plan.migrating);
+    EXPECT_NEAR(plan.imbalance, 1.0, 1e-9);
+    EXPECT_EQ(plan.source_shard, -1);
+    EXPECT_FALSE(plan.hot_key_mode);
+    EXPECT_EQ(plan.cooldown_blocked, 0);
+  }
+}
+
+// ---- Scenario 2: hot key, cold co-residents --------------------------------
+
+TEST(CostModelPolicy, HotKeySplitsColdNeighborsAndNeverMovesItself) {
+  auto policy = MakeMigrationPolicy(
+      4, kWindow, CrispOptions(RebalancePolicyKind::kCostModel));
+
+  // Shard 0: hot key 1 (still active, 100 work units) plus six idle cold
+  // keys worth 2 each. Shards 1-3 nearly empty.
+  std::vector<KeyLoad> keys = {Key(1, 0, 0, /*last_seen=*/950, 100,
+                                   /*open_instances=*/5)};
+  for (int64_t id = 2; id <= 7; ++id) {
+    keys.push_back(Key(id, 0, 0, /*last_seen=*/800, 2));
+  }
+  keys.push_back(Key(10, 1, 1, 950, 1));
+  keys.push_back(Key(11, 2, 2, 950, 1));
+  keys.push_back(Key(12, 3, 3, 950, 1));
+
+  MigrationPlan plan =
+      policy->PlanMigrations(Snap(1000, {{40, 0}, {2, 0}, {2, 0}, {2, 0}},
+                                  keys));
+  EXPECT_TRUE(plan.migrating);
+  EXPECT_TRUE(plan.hot_key_mode);
+  EXPECT_EQ(plan.source_shard, 0);
+  // The hot key holds >= 50% of the shard's work: every cold co-resident
+  // is shed instead, and the hot key itself is never planned.
+  EXPECT_EQ(plan.moves.size(), 6u);
+  std::set<int64_t> moved = MovedKeys(plan);
+  EXPECT_EQ(moved, (std::set<int64_t>{2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(moved.count(1), 0u);
+  // Greedy placement spreads the cold keys across *all* other shards
+  // instead of dogpiling the single shallowest one.
+  std::set<int> destinations;
+  for (const Migration& move : plan.moves) {
+    EXPECT_EQ(move.from, 0);
+    destinations.insert(move.to);
+  }
+  EXPECT_EQ(destinations, (std::set<int>{1, 2, 3}));
+
+  // Next round: the cold keys are gone, only the hot key remains on the
+  // overloaded shard. The plan must stay empty — there is nothing left
+  // that may move.
+  std::vector<KeyLoad> after = {Key(1, 0, 0, 1050, 100, 5)};
+  int dest = 1;
+  for (int64_t id = 2; id <= 7; ++id) {
+    after.push_back(Key(id, dest, 0, 800, 0));
+    dest = dest % 3 + 1;
+  }
+  MigrationPlan plan2 = policy->PlanMigrations(
+      Snap(1100, {{40, 0}, {4, 0}, {4, 0}, {4, 0}}, after));
+  EXPECT_TRUE(plan2.migrating);
+  EXPECT_TRUE(plan2.hot_key_mode);
+  EXPECT_TRUE(plan2.moves.empty());
+}
+
+// ---- Scenario 3: flash crowd & hysteresis dead band ------------------------
+
+TEST(CostModelPolicy, FlashCrowdHysteresisHoldsThroughTheDeadBand) {
+  // Defaults: hi = 1.6, lo = 1.15. Depth pairs chosen so the imbalance
+  // ratio R = max_share / mean lands exactly where each step needs it.
+  auto policy = MakeMigrationPolicy(
+      2, kWindow, CrispOptions(RebalancePolicyKind::kCostModel));
+  auto step = [&](double d0, double d1) {
+    return policy->PlanMigrations(Snap(1000, {{d0, 0}, {d1, 0}}, {}));
+  };
+
+  MigrationPlan plan = step(10, 10);  // R = 1.0: balanced
+  EXPECT_FALSE(plan.migrating);
+  EXPECT_NEAR(plan.imbalance, 1.0, 1e-9);
+
+  plan = step(13, 7);  // R = 1.3: dead band, approached from below -> stay off
+  EXPECT_FALSE(plan.migrating);
+  EXPECT_NEAR(plan.imbalance, 1.3, 1e-9);
+
+  plan = step(30, 2);  // R = 1.875 > hi: flash crowd flips migration on
+  EXPECT_TRUE(plan.migrating);
+  EXPECT_NEAR(plan.imbalance, 1.875, 1e-9);
+
+  plan = step(13, 7);  // R = 1.3: dead band, approached from above -> stay on
+  EXPECT_TRUE(plan.migrating);
+
+  plan = step(12, 8);  // R = 1.2: still inside the band -> stay on
+  EXPECT_TRUE(plan.migrating);
+
+  plan = step(10, 10);  // R = 1.0 < lo: settle, migration off
+  EXPECT_FALSE(plan.migrating);
+
+  plan = step(13, 7);  // R = 1.3 again: off stays off (no thrash)
+  EXPECT_FALSE(plan.migrating);
+}
+
+// ---- Scenario 4: decaying/flipping skew & per-key cooldown -----------------
+
+TEST(CostModelPolicy, CooldownBlocksASecondMigrationWithinOneWindow) {
+  auto policy = MakeMigrationPolicy(
+      2, kWindow, CrispOptions(RebalancePolicyKind::kCostModel));
+
+  // Round 1 (watermark 1000): shard 0 overloaded, three equal idle keys on
+  // it (no hot key). The plan sheds enough to reach the mean: two keys.
+  std::vector<KeyLoad> keys = {
+      Key(7, 0, 0, 800, 5), Key(8, 0, 0, 800, 5), Key(9, 0, 0, 800, 5),
+      Key(20, 1, 1, 995, 1)};
+  MigrationPlan plan =
+      policy->PlanMigrations(Snap(1000, {{20, 0}, {2, 0}}, keys));
+  EXPECT_TRUE(plan.migrating);
+  EXPECT_FALSE(plan.hot_key_mode);
+  EXPECT_EQ(MovedKeys(plan), (std::set<int64_t>{7, 8}));
+  EXPECT_EQ(plan.cooldown_blocked, 0);
+
+  // Round 2 (watermark 1050, half a window later): the skew flipped to
+  // shard 1. Keys 7 and 8 are idle there and otherwise admissible, but
+  // they migrated 50 < tau ticks ago — the cooldown pins them.
+  keys = {Key(7, 1, 0, 800, 5), Key(8, 1, 0, 800, 5), Key(9, 0, 0, 800, 5),
+          Key(20, 1, 1, 995, 1)};
+  plan = policy->PlanMigrations(Snap(1050, {{2, 0}, {20, 0}}, keys));
+  EXPECT_TRUE(plan.migrating);
+  EXPECT_EQ(plan.source_shard, 1);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_EQ(plan.cooldown_blocked, 2);
+
+  // Round 3 (watermark 1100, exactly one window after the move): the
+  // cooldown has expired and key 7 may move again — back to its home
+  // shard, which shrinks the override table.
+  plan = policy->PlanMigrations(Snap(1100, {{2, 0}, {20, 0}}, keys));
+  EXPECT_TRUE(plan.migrating);
+  EXPECT_EQ(plan.cooldown_blocked, 0);
+  ASSERT_EQ(plan.moves.size(), 1u);
+  EXPECT_EQ(plan.moves[0].key.int64(), 7);
+  EXPECT_EQ(plan.moves[0].from, 1);
+  EXPECT_EQ(plan.moves[0].to, 0);
+}
+
+// ---- Cost model: the warmup term ------------------------------------------
+
+TEST(CostModelPolicy, WarmupCostDefersFreshlyIdleKeysWithOpenInstances) {
+  auto policy = MakeMigrationPolicy(
+      2, kWindow, CrispOptions(RebalancePolicyKind::kCostModel));
+
+  // Key 5 is barely idle (warmth 0.5) and carries 4 smoothed open
+  // instances: warmup cost 0.5 * 4 * 0.5 = 1.0 dwarfs its 1 unit of work,
+  // so the cost model refuses the move. Its stone-cold peers (8, 9) move.
+  std::vector<KeyLoad> keys = {
+      Key(5, 0, 0, /*last_seen=*/850, 1, /*open_instances=*/4),
+      Key(8, 0, 0, 850, 1), Key(9, 0, 0, 850, 1),
+      Key(10, 0, 0, 950, 1), Key(11, 0, 0, 950, 1),
+      Key(20, 1, 1, 995, 1)};
+  MigrationPlan plan =
+      policy->PlanMigrations(Snap(1000, {{20, 0}, {2, 0}}, keys));
+  EXPECT_TRUE(plan.migrating);
+  EXPECT_EQ(MovedKeys(plan), (std::set<int64_t>{8, 9}));
+
+  // Two windows later key 5 is stone cold (warmth 0): the warmup term
+  // vanishes and the same key is now worth moving.
+  keys = {Key(5, 0, 0, 850, 1, 4),  Key(8, 1, 0, 850, 1),
+          Key(9, 1, 0, 850, 1),     Key(10, 0, 0, 1050, 1),
+          Key(11, 0, 0, 1050, 1),   Key(20, 1, 1, 1195, 1)};
+  plan = policy->PlanMigrations(Snap(1200, {{20, 0}, {2, 0}}, keys));
+  EXPECT_TRUE(plan.migrating);
+  EXPECT_EQ(MovedKeys(plan).count(5), 1u);
+}
+
+// ---- Correctness gate: only idle keys are ever planned ---------------------
+
+TEST(MigrationPolicies, NonIdleKeysAreNeverPlanned) {
+  for (RebalancePolicyKind kind : {RebalancePolicyKind::kIdleDeepest,
+                                   RebalancePolicyKind::kCostModel}) {
+    RebalanceOptions options = CrispOptions(kind);
+    options.min_imbalance = 1.0;
+    auto policy = MakeMigrationPolicy(2, kWindow, options);
+    // Massive skew, but every key on the deep shard was seen within the
+    // window: nothing may move, however tempting.
+    std::vector<KeyLoad> keys = {
+        Key(1, 0, 0, /*last_seen=*/950, 50), Key(2, 0, 0, 990, 50),
+        Key(3, 0, 0, 999, 50)};
+    for (int round = 0; round < 3; ++round) {
+      MigrationPlan plan =
+          policy->PlanMigrations(Snap(1000, {{50, 0}, {1, 0}}, keys));
+      EXPECT_TRUE(plan.moves.empty())
+          << RebalancePolicyName(kind) << " round " << round;
+    }
+  }
+}
+
+// ---- v1 parity: single threshold, single target, no memory -----------------
+
+TEST(IdleDeepestPolicy, MovesBusiestIdleKeysDeepestToShallowestWithoutMemory) {
+  auto policy = MakeMigrationPolicy(
+      2, kWindow, CrispOptions(RebalancePolicyKind::kIdleDeepest));
+  std::vector<KeyLoad> keys = {
+      Key(3, 0, 0, 800, 5, 0, /*events=*/50),
+      Key(4, 0, 0, 800, 5, 0, /*events=*/10)};
+  MigrationPlan plan =
+      policy->PlanMigrations(Snap(1000, {{20, 0}, {2, 0}}, keys));
+  EXPECT_TRUE(plan.migrating);
+  ASSERT_EQ(plan.moves.size(), 2u);
+  // Busiest (most historical events) first, every move onto the single
+  // shallowest shard.
+  EXPECT_EQ(plan.moves[0].key.int64(), 3);
+  EXPECT_EQ(plan.moves[1].key.int64(), 4);
+  EXPECT_EQ(plan.moves[0].to, 1);
+  EXPECT_EQ(plan.moves[1].to, 1);
+
+  // No hysteresis: one balanced sample and the next round is quiet. (The
+  // v2 policy would still be in its migrating state here.)
+  plan = policy->PlanMigrations(Snap(1100, {{10, 0}, {10, 0}}, {}));
+  EXPECT_FALSE(plan.migrating);
+  EXPECT_NEAR(plan.imbalance, 1.0, 1e-9);
+}
+
+// ---- Determinism: identical scripts yield identical plans ------------------
+
+TEST(MigrationPolicies, ScriptedReplayIsDeterministic) {
+  for (RebalancePolicyKind kind : {RebalancePolicyKind::kIdleDeepest,
+                                   RebalancePolicyKind::kCostModel}) {
+    // Smoothing on (defaults), so EWMA state also has to replay exactly.
+    RebalanceOptions options;
+    options.enabled = true;
+    options.policy = kind;
+    options.min_imbalance = 1.1;
+    auto a = MakeMigrationPolicy(4, kWindow, options);
+    auto b = MakeMigrationPolicy(4, kWindow, options);
+
+    Random random(99);
+    for (int round = 0; round < 50; ++round) {
+      Timestamp watermark = 500 + 40 * round;
+      std::vector<ShardSample> shards;
+      for (int i = 0; i < 4; ++i) {
+        shards.push_back(
+            ShardSample{static_cast<double>(random.UniformInt(0, 50)),
+                        static_cast<double>(random.UniformInt(0, 1000))});
+      }
+      std::vector<KeyLoad> keys;
+      for (int64_t id = 1; id <= 16; ++id) {
+        keys.push_back(Key(id, static_cast<int>(id % 4),
+                           static_cast<int>(id % 4),
+                           watermark - random.UniformInt(0, 4 * kWindow),
+                           random.UniformInt(0, 20),
+                           random.UniformInt(0, 3)));
+      }
+      LoadSnapshot snapshot = Snap(watermark, shards, keys);
+      EXPECT_EQ(PlanToString(a->PlanMigrations(snapshot)),
+                PlanToString(b->PlanMigrations(snapshot)))
+          << RebalancePolicyName(kind) << " round " << round;
+      EXPECT_EQ(a->DebugString(), b->DebugString());
+    }
+  }
+}
+
+// ---- Property tests at the rebalancer level --------------------------------
+
+/// Drives a ShardRebalancer through a random churning history: keys are
+/// routed with advancing timestamps, worker load reports arrive, and load
+/// samples fire — all on the fake clock.
+void DriveRandomHistory(ShardRebalancer* rebalancer, Random* random,
+                        int steps, bool check_invariant) {
+  std::vector<int64_t> busy(4, 0);
+  Timestamp now = 0;
+  for (int step = 0; step < steps; ++step) {
+    now += random->UniformInt(1, 30);
+    // Working set of 20 keys that shifts every 100 steps, so earlier keys
+    // go idle, migrate, and are eventually pruned.
+    int64_t id = random->UniformInt(1, 20) + (step / 100) * 10;
+    Value key(id);
+    rebalancer->RouteAndObserve(key, static_cast<size_t>(id), now);
+    if (random->Bernoulli(0.3)) {
+      rebalancer->ObserveKeyLoad(key, random->UniformInt(0, 10),
+                                 random->UniformInt(0, 5));
+    }
+    if (step % 4 == 3) {
+      std::vector<ShardRebalancer::ShardLoad> loads;
+      for (size_t i = 0; i < busy.size(); ++i) {
+        busy[i] += random->UniformInt(0, 1000);
+        loads.push_back(
+            ShardRebalancer::ShardLoad{random->UniformInt(0, 50), busy[i]});
+      }
+      rebalancer->Sample(loads, now);
+    }
+    if (check_invariant) {
+      ASSERT_LE(rebalancer->stats().overrides_active,
+                rebalancer->stats().keys_tracked)
+          << "step " << step;
+      ASSERT_GE(rebalancer->stats().overrides_active, 0) << "step " << step;
+    }
+  }
+}
+
+RebalanceOptions AggressiveOptions(RebalancePolicyKind kind) {
+  RebalanceOptions options;
+  options.enabled = true;
+  options.policy = kind;
+  options.min_imbalance = 1.01;
+  options.hi_imbalance = 1.05;
+  options.lo_imbalance = 1.01;
+  return options;
+}
+
+TEST(RebalancerProperty, OverrideTableNeverExceedsTrackedLiveKeys) {
+  for (RebalancePolicyKind kind : {RebalancePolicyKind::kIdleDeepest,
+                                   RebalancePolicyKind::kCostModel}) {
+    int64_t migrated = 0;
+    for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+      ShardRebalancer rebalancer(4, kWindow, AggressiveOptions(kind));
+      Random random(seed);
+      DriveRandomHistory(&rebalancer, &random, 400, /*check_invariant=*/true);
+      migrated += rebalancer.stats().keys_migrated;
+    }
+    // The histories must actually exercise migration for the invariant
+    // check to mean anything.
+    EXPECT_GT(migrated, 0) << RebalancePolicyName(kind);
+  }
+}
+
+TEST(RebalancerProperty, ResetRestoresBitIdenticalFreshState) {
+  for (RebalancePolicyKind kind : {RebalancePolicyKind::kIdleDeepest,
+                                   RebalancePolicyKind::kCostModel}) {
+    for (uint64_t seed : {11u, 12u, 13u}) {
+      RebalanceOptions options = AggressiveOptions(kind);
+      ShardRebalancer fresh(4, kWindow, options);
+      ShardRebalancer used(4, kWindow, options);
+      Random random(seed);
+      DriveRandomHistory(&used, &random, 300, /*check_invariant=*/false);
+      EXPECT_NE(used.DebugString(), fresh.DebugString());
+      used.Reset();
+      // DebugString covers the routing table, statistics, busy-time
+      // baselines, and the policy's own EWMAs/cooldowns: equality means
+      // the entire state machine is back to its initial configuration.
+      EXPECT_EQ(used.DebugString(), fresh.DebugString())
+          << RebalancePolicyName(kind) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ses

@@ -28,6 +28,7 @@ using ::ses::exec::ParallelOptions;
 using ::ses::exec::ParallelPartitionedMatcher;
 using ::ses::exec::ParallelStats;
 using ::ses::exec::RebalanceOptions;
+using ::ses::exec::RebalancePolicyKind;
 using ::ses::exec::ShardRebalancer;
 using ::ses::workload::ChemotherapySchema;
 
@@ -97,6 +98,77 @@ TEST(BatchedIngest, SkewEquivalenceAcrossThreadCountsAndRebalancing) {
             << "skew " << skew << " threads " << threads << " rebalance "
             << rebalance;
       }
+    }
+  }
+}
+
+/// Stream whose working key set turns over completely every phase: phase p
+/// draws keys Zipf-skewed from [p*churn+1, p*churn+live], so keys are born
+/// hot, cool off within one phase, slip past the pattern window, and become
+/// migration (then pruning) candidates while the stream keeps flowing.
+EventRelation ChurnStream(uint64_t seed, int phases, int live, int churn,
+                          int64_t events_per_phase) {
+  EventRelation stream(ChemotherapySchema());
+  Random random(seed);
+  ZipfDistribution zipf(live, /*s=*/1.2);
+  const char* types[] = {"A", "B", "X", "N"};
+  Timestamp t = 0;
+  for (int p = 0; p < phases; ++p) {
+    int64_t base = static_cast<int64_t>(p) * churn;
+    for (int64_t i = 0; i < events_per_phase; ++i) {
+      t += duration::Minutes(random.UniformInt(1, 5));
+      int64_t key = base + zipf.Sample(random);
+      stream.AppendUnchecked(
+          t, {Value(key), Value(std::string(types[random.Index(4)])),
+              Value(static_cast<double>(random.UniformInt(0, 99))),
+              Value(std::string("u"))});
+    }
+  }
+  return stream;
+}
+
+TEST(BatchedIngest, ChurnStressEquivalenceAcrossPoliciesAndThreads) {
+  Pattern pattern = CompletePattern();
+  // 8 full key-set turnovers; each phase spans ~450 simulated minutes, so
+  // the previous phase's keys pass the 5h idleness horizon mid-phase while
+  // migration rounds keep firing every 64 events.
+  EventRelation stream = ChurnStream(/*seed=*/77, /*phases=*/8, /*live=*/12,
+                                     /*churn=*/12, /*events_per_phase=*/150);
+  Result<std::vector<Match>> serial = MatchRelation(pattern, stream);
+  ASSERT_TRUE(serial.ok());
+  SortMatches(&*serial);
+  auto expected = EmittedKeys(*serial);
+
+  for (int threads : {2, 4, 8}) {
+    for (RebalancePolicyKind policy :
+         {RebalancePolicyKind::kIdleDeepest, RebalancePolicyKind::kCostModel}) {
+      ParallelOptions options;
+      options.num_shards = threads;
+      options.batch_size = 16;
+      options.rebalance.enabled = true;
+      options.rebalance.policy = policy;
+      // Aggressive cadence and thresholds so rapid key turnover actually
+      // exercises migration, cooldown, and pruning in a 1200-event run.
+      options.rebalance.interval_events = 64;
+      options.rebalance.min_imbalance = 1.05;
+      options.rebalance.hi_imbalance = 1.10;
+      options.rebalance.lo_imbalance = 1.02;
+      Result<ParallelPartitionedMatcher> matcher =
+          ParallelPartitionedMatcher::Create(pattern, /*attribute=*/0,
+                                             options);
+      ASSERT_TRUE(matcher.ok());
+      ASSERT_TRUE(
+          matcher->PushBatch(std::span<const Event>(stream.events())).ok());
+      std::vector<Match> matches;
+      ASSERT_TRUE(matcher->Flush(&matches).ok());
+      // Byte-identical output no matter how many keys churned, migrated,
+      // or were pruned along the way.
+      EXPECT_EQ(EmittedKeys(matches), expected)
+          << "threads " << threads << " policy "
+          << exec::RebalancePolicyName(policy);
+      // Sampling cadence is event-count driven, hence deterministic even
+      // though the migration decisions themselves depend on timing.
+      EXPECT_GT(matcher->stats().rebalancer.rounds, 0);
     }
   }
 }
@@ -209,9 +281,13 @@ TEST(BatchedIngest, ResetClearsRebalancerStateForReuse) {
   EXPECT_EQ(EmittedKeys(first), EmittedKeys(second));
 }
 
+// The ShardRebalancerUnit tests document the v1 (idle-deepest) policy's
+// semantics, so they pin it explicitly; the cost-model policy is covered
+// by tests/rebalance_policy_test.cc.
 TEST(ShardRebalancerUnit, MigratesIdleKeysOffTheDeepestShard) {
   RebalanceOptions options;
   options.enabled = true;
+  options.policy = RebalancePolicyKind::kIdleDeepest;
   options.interval_events = 1;
   options.min_imbalance = 1.0;
   ShardRebalancer rebalancer(/*num_shards=*/2, /*window=*/10, options);
@@ -239,6 +315,7 @@ TEST(ShardRebalancerUnit, MigratesIdleKeysOffTheDeepestShard) {
 TEST(ShardRebalancerUnit, BalancedShardsDoNotMigrate) {
   RebalanceOptions options;
   options.enabled = true;
+  options.policy = RebalancePolicyKind::kIdleDeepest;
   options.min_imbalance = 1.5;
   ShardRebalancer rebalancer(2, /*window=*/10, options);
   Value key(int64_t{7});
@@ -253,6 +330,7 @@ TEST(ShardRebalancerUnit, BalancedShardsDoNotMigrate) {
 TEST(ShardRebalancerUnit, LongIdleOverridesArePrunedBackToHomeShard) {
   RebalanceOptions options;
   options.enabled = true;
+  options.policy = RebalancePolicyKind::kIdleDeepest;
   options.min_imbalance = 1.0;
   ShardRebalancer rebalancer(2, /*window=*/10, options);
   Value key(int64_t{3});
