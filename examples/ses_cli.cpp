@@ -62,6 +62,11 @@ struct CliArgs {
   /// "v2"/"cost-model" (the default).
   exec::RebalancePolicyKind rebalance_policy =
       exec::RebalancePolicyKind::kCostModel;
+  /// Bounded-lateness ingest: accept events up to this many ticks behind
+  /// the newest timestamp seen (0 = require in-order input).
+  long long lateness = 0;
+  /// What to do with events later than the bound.
+  exec::LatePolicy late_policy = exec::LatePolicy::kReject;
 };
 
 void PrintUsage() {
@@ -70,7 +75,8 @@ void PrintUsage() {
       "               [--query TEXT | --query-file FILE] [--engine NAME]\n"
       "               [--no-filter] [--shared-const] [--stats] [--dot]\n"
       "               [--threads N] [--batch N] [--rebalance]\n"
-      "               [--rebalance-policy v1|v2] [--list-engines]\n"
+      "               [--rebalance-policy v1|v2] [--lateness N]\n"
+      "               [--late-policy error|drop] [--list-engines]\n"
       "  --demo         run the paper's running example (Figure 1 + Q1)\n"
       "  --schema       attribute list for CSV input (TYPE: INT, DOUBLE,\n"
       "                 STRING); .sestbl tables are self-describing\n"
@@ -97,7 +103,14 @@ void PrintUsage() {
       "  --rebalance-policy v1|v2\n"
       "                 migration policy: v1 = idle-deepest heuristic,\n"
       "                 v2 = cost-model engine with hysteresis and hot-key\n"
-      "                 splitting (default; implies --rebalance)\n");
+      "                 splitting (default; implies --rebalance)\n"
+      "  --lateness N   accept events up to N ticks behind the newest\n"
+      "                 timestamp seen and reorder them before evaluation\n"
+      "                 (bounded-lateness ingest; default 0 = input must\n"
+      "                 already be in time order)\n"
+      "  --late-policy error|drop\n"
+      "                 events later than the bound fail the run (error,\n"
+      "                 default) or are counted and dropped (drop)\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -153,6 +166,16 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       SES_ASSIGN_OR_RETURN(args.rebalance_policy,
                            exec::ParseRebalancePolicy(value));
       args.rebalance = true;
+    } else if (std::strcmp(argv[i], "--lateness") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
+      SES_ASSIGN_OR_RETURN(args.lateness, strings::ParseInt64(value));
+      if (args.lateness < 0) {
+        return Status::InvalidArgument(
+            "--lateness needs a non-negative integer");
+      }
+    } else if (std::strcmp(argv[i], "--late-policy") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
+      SES_ASSIGN_OR_RETURN(args.late_policy, exec::ParseLatePolicy(value));
     } else if (std::strcmp(argv[i], "--no-filter") == 0) {
       args.no_filter = true;
     } else if (std::strcmp(argv[i], "--shared-const") == 0) {
@@ -191,19 +214,40 @@ Result<Schema> ParseSchemaText(const std::string& text) {
   return Schema::Create(std::move(attributes));
 }
 
-Result<EventRelation> LoadData(const CliArgs& args) {
-  if (args.demo) return workload::PaperEventRelation();
+/// Loaded input: the schema plus events in arrival order. Ordered sources
+/// (demo, .sestbl, CSV without --lateness) enforce time order at load;
+/// with --lateness on, CSV rows are taken as they arrive and the engine's
+/// reorder stage handles the (bounded) disorder.
+struct LoadedData {
+  Schema schema;
+  std::vector<Event> events;
+};
+
+Result<LoadedData> LoadData(const CliArgs& args) {
+  if (args.demo) {
+    EventRelation relation = workload::PaperEventRelation();
+    return LoadedData{relation.schema(), relation.events()};
+  }
   if (args.data_path.empty()) {
     return Status::InvalidArgument("--data is required (or use --demo)");
   }
   if (strings::EndsWith(args.data_path, ".sestbl")) {
-    return storage::ReadTable(args.data_path);
+    SES_ASSIGN_OR_RETURN(EventRelation relation,
+                         storage::ReadTable(args.data_path));
+    return LoadedData{relation.schema(), relation.events()};
   }
   if (args.schema_text.empty()) {
     return Status::InvalidArgument("CSV input requires --schema");
   }
   SES_ASSIGN_OR_RETURN(Schema schema, ParseSchemaText(args.schema_text));
-  return ReadCsvFile(args.data_path, schema);
+  if (args.lateness > 0) {
+    SES_ASSIGN_OR_RETURN(std::vector<Event> events,
+                         ReadCsvFileArrivalOrder(args.data_path, schema));
+    return LoadedData{std::move(schema), std::move(events)};
+  }
+  SES_ASSIGN_OR_RETURN(EventRelation relation,
+                       ReadCsvFile(args.data_path, schema));
+  return LoadedData{relation.schema(), relation.events()};
 }
 
 /// Resolves the engine name: --engine wins, --threads implies parallel,
@@ -230,7 +274,7 @@ Status Run(const CliArgs& args) {
     return Status::OK();
   }
 
-  SES_ASSIGN_OR_RETURN(EventRelation events, LoadData(args));
+  SES_ASSIGN_OR_RETURN(LoadedData data, LoadData(args));
 
   std::string query = args.query;
   if (args.demo && query.empty()) {
@@ -243,7 +287,7 @@ Status Run(const CliArgs& args) {
   if (query.empty()) {
     return Status::InvalidArgument("--query or --query-file is required");
   }
-  SES_ASSIGN_OR_RETURN(Pattern pattern, ParsePattern(query, events.schema()));
+  SES_ASSIGN_OR_RETURN(Pattern pattern, ParsePattern(query, data.schema));
 
   // Compile once; the plan is shared by whichever engine runs it.
   plan::PlanOptions plan_options;
@@ -265,15 +309,19 @@ Status Run(const CliArgs& args) {
   }
   engine_options.rebalance.enabled = args.rebalance;
   engine_options.rebalance.policy = args.rebalance_policy;
+  engine_options.lateness_bound = args.lateness;
+  engine_options.late_policy = args.late_policy;
   std::vector<Match> matches;
   engine_options.sink = engine::CollectInto(&matches);
   SES_ASSIGN_OR_RETURN(
       std::unique_ptr<engine::Engine> eng,
       engine::CreateEngine(engine_name, plan, std::move(engine_options)));
 
-  SES_RETURN_IF_ERROR(events.ValidateTotalOrder());
-  SES_RETURN_IF_ERROR(
-      eng->PushBatch(std::span<const Event>(events.events())));
+  // With a lateness bound the engine's reorder stage handles (bounded)
+  // disorder itself; without one the engine rejects the first
+  // non-increasing timestamp, and LoadData already enforced order for
+  // ordered sources.
+  SES_RETURN_IF_ERROR(eng->PushBatch(std::span<const Event>(data.events)));
   SES_RETURN_IF_ERROR(eng->Flush());
   // Engines differ in WHEN matches reach the sink; normalize so every
   // engine prints the identical canonical listing.
@@ -299,7 +347,7 @@ Status Run(const CliArgs& args) {
                   FormatTimestamp(match.end_time()).c_str());
     }
     std::printf("%zu match(es) over %zu events\n", matches.size(),
-                events.size());
+                data.events.size());
   }
 
   if (args.stats) {
@@ -313,6 +361,16 @@ Status Run(const CliArgs& args) {
         static_cast<long long>(stats.matches_emitted_early),
         static_cast<long long>(stats.max_buffered_matches),
         static_cast<long long>(stats.num_partitions));
+    if (args.lateness > 0 || stats.events_late > 0) {
+      std::printf(
+          "reorder [bound %lld, %s]: %lld event(s) reordered, %lld late, "
+          "max %lld buffered\n",
+          args.lateness,
+          std::string(exec::LatePolicyName(args.late_policy)).c_str(),
+          static_cast<long long>(stats.events_reordered),
+          static_cast<long long>(stats.events_late),
+          static_cast<long long>(stats.max_reorder_buffered));
+    }
     if (args.rebalance) {
       std::printf(
           "rebalancer [%s]: %lld round(s), %lld key(s) migrated, %lld "

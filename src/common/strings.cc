@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +94,11 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
 
 Result<int64_t> ParseInt64(std::string_view s) {
   if (s.empty()) return Status::InvalidArgument("empty string is not a number");
+  // strtoll skips leading whitespace, which would let padded CSV fields
+  // load silently; a number starts with a digit or sign, nothing else.
+  if (std::isspace(static_cast<unsigned char>(s.front()))) {
+    return Status::InvalidArgument("not an integer: '" + std::string(s) + "'");
+  }
   std::string buf(s);
   errno = 0;
   char* end = nullptr;
@@ -108,6 +114,10 @@ Result<int64_t> ParseInt64(std::string_view s) {
 
 Result<double> ParseDouble(std::string_view s) {
   if (s.empty()) return Status::InvalidArgument("empty string is not a number");
+  // Same whitespace rule as ParseInt64.
+  if (std::isspace(static_cast<unsigned char>(s.front()))) {
+    return Status::InvalidArgument("not a double: '" + std::string(s) + "'");
+  }
   std::string buf(s);
   errno = 0;
   char* end = nullptr;
@@ -117,6 +127,11 @@ Result<double> ParseDouble(std::string_view s) {
   }
   if (end != buf.c_str() + buf.size()) {
     return Status::InvalidArgument("not a double: " + buf);
+  }
+  // strtod also accepts "inf"/"nan" spellings; data values and timestamps
+  // must be finite, so reject them here rather than at every caller.
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("not a finite double: " + buf);
   }
   return v;
 }

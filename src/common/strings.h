@@ -31,7 +31,9 @@ std::string ToUpper(std::string_view s);
 /// Case-insensitive ASCII comparison.
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
-/// Strict numeric parsing: the whole string must be consumed.
+/// Strict numeric parsing: the whole string must be consumed, leading
+/// whitespace is rejected (unlike strtoll/strtod), and ParseDouble
+/// additionally rejects the non-finite spellings ("inf", "nan", ...).
 Result<int64_t> ParseInt64(std::string_view s);
 Result<double> ParseDouble(std::string_view s);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "baseline/brute_force.h"
@@ -45,26 +46,26 @@ class SerialEngine : public Engine {
 
   std::string_view name() const override { return "serial"; }
 
-  Status Push(const Event& event) override {
-    ++stats_.events_pushed;
+ protected:
+  Status PushOrdered(const Event& event) override {
     SES_RETURN_IF_ERROR(matcher_.Push(event, &buffer_));
     Drain(/*early=*/true);
     return Status::OK();
   }
 
-  Status Flush() override {
+  Status FlushImpl() override {
     matcher_.Flush(&buffer_);
     Drain(/*early=*/false);
     return Status::OK();
   }
 
-  void Reset() override {
+  void ResetImpl() override {
     matcher_.Reset();
     buffer_.clear();
     stats_ = EngineStats{};
   }
 
-  EngineStats stats() const override {
+  EngineStats StatsImpl() const override {
     EngineStats stats = stats_;
     const ExecutorStats& executor = matcher_.stats();
     stats.events_filtered = executor.events_filtered;
@@ -101,26 +102,26 @@ class PartitionedEngine : public Engine {
 
   std::string_view name() const override { return "partitioned"; }
 
-  Status Push(const Event& event) override {
-    ++stats_.events_pushed;
+ protected:
+  Status PushOrdered(const Event& event) override {
     SES_RETURN_IF_ERROR(matcher_.Push(event, &buffer_));
     Drain(/*early=*/true);
     return Status::OK();
   }
 
-  Status Flush() override {
+  Status FlushImpl() override {
     matcher_.Flush(&buffer_);
     Drain(/*early=*/false);
     return Status::OK();
   }
 
-  void Reset() override {
+  void ResetImpl() override {
     matcher_.Reset();
     buffer_.clear();
     stats_ = EngineStats{};
   }
 
-  EngineStats stats() const override {
+  EngineStats StatsImpl() const override {
     EngineStats stats = stats_;
     stats.num_partitions = matcher_.num_partitions();
     stats.max_simultaneous_instances =
@@ -186,8 +187,8 @@ class ParallelEngine : public Engine {
 
   std::string_view name() const override { return "parallel"; }
 
-  Status Push(const Event& event) override {
-    ++stats_.events_pushed;
+ protected:
+  Status PushOrdered(const Event& event) override {
     if (ingest_filter_ != nullptr && !ingest_filter_->ShouldProcess(event)) {
       ++stats_.events_filtered;
       return Status::OK();
@@ -195,8 +196,7 @@ class ParallelEngine : public Engine {
     return matcher_->Push(event);
   }
 
-  Status PushBatch(std::span<const Event> events) override {
-    stats_.events_pushed += static_cast<int64_t>(events.size());
+  Status PushBatchOrdered(std::span<const Event> events) override {
     if (ingest_filter_ == nullptr) return matcher_->PushBatch(events);
     scratch_.clear();
     for (const Event& event : events) {
@@ -208,7 +208,7 @@ class ParallelEngine : public Engine {
     return matcher_->PushBatch(scratch_);
   }
 
-  Status Flush() override {
+  Status FlushImpl() override {
     in_flush_ = true;
     Status status = matcher_->Flush(nullptr);
     in_flush_ = false;
@@ -222,12 +222,12 @@ class ParallelEngine : public Engine {
     return status;
   }
 
-  void Reset() override {
+  void ResetImpl() override {
     matcher_->Reset();
     stats_ = EngineStats{};
   }
 
-  EngineStats stats() const override { return stats_; }
+  EngineStats StatsImpl() const override { return stats_; }
 
  private:
   ParallelEngine(std::shared_ptr<const plan::CompiledPlan> plan,
@@ -266,8 +266,8 @@ class BruteForceEngine : public Engine {
 
   std::string_view name() const override { return "brute-force"; }
 
-  Status Push(const Event& event) override {
-    ++stats_.events_pushed;
+ protected:
+  Status PushOrdered(const Event& event) override {
     SES_RETURN_IF_ERROR(matcher_->Push(event, &buffer_));
     // A filtered event satisfies no constant condition, so it can neither
     // be bound by a match nor extend any replay prefix — and, crucially,
@@ -294,13 +294,13 @@ class BruteForceEngine : public Engine {
     return Status::OK();
   }
 
-  Status Flush() override {
+  Status FlushImpl() override {
     matcher_->Flush(&buffer_);
     Deliver(/*early=*/false);
     return Status::OK();
   }
 
-  void Reset() override {
+  void ResetImpl() override {
     // BruteForceMatcher has no Reset; rebuild the automaton bank. Creation
     // cannot fail here — the pattern was validated when the engine was.
     Result<baseline::BruteForceMatcher> rebuilt =
@@ -313,7 +313,7 @@ class BruteForceEngine : public Engine {
     stats_ = EngineStats{};
   }
 
-  EngineStats stats() const override { return stats_; }
+  EngineStats StatsImpl() const override { return stats_; }
 
  private:
   BruteForceEngine(std::shared_ptr<const plan::CompiledPlan> plan,
@@ -363,9 +363,147 @@ class BruteForceEngine : public Engine {
 
 }  // namespace
 
+Engine::Engine(std::shared_ptr<const plan::CompiledPlan> plan,
+               EngineOptions options)
+    : plan_(std::move(plan)), options_(std::move(options)) {
+  if (options_.lateness_bound > 0) {
+    exec::ReorderOptions reorder;
+    reorder.lateness_bound = options_.lateness_bound;
+    reorder.late_policy = options_.late_policy;
+    reorder_ = std::make_unique<exec::ReorderBuffer>(reorder);
+  }
+}
+
+Status Engine::HandleLate(const Event& event) {
+  ++events_late_;
+  if (options_.late_policy == exec::LatePolicy::kDrop) return Status::OK();
+  return Status::InvalidArgument(
+      "out-of-order event at t=" + std::to_string(event.timestamp()) +
+      " (newest timestamp seen is t=" + std::to_string(last_timestamp_) +
+      " and lateness_bound is 0)");
+}
+
+Status Engine::Push(const Event& event) {
+  if (flushed_) {
+    return Status::FailedPrecondition(
+        "Push after Flush: call Reset() before pushing a new stream");
+  }
+  ++events_pushed_;
+  if (reorder_ != nullptr) {
+    released_.clear();
+    Status status = reorder_->Push(event, &released_);
+    if (!released_.empty()) {
+      SES_RETURN_IF_ERROR(PushBatchOrdered(released_));
+    }
+    return status;
+  }
+  if (has_last_timestamp_ && event.timestamp() <= last_timestamp_) {
+    return HandleLate(event);
+  }
+  last_timestamp_ = event.timestamp();
+  has_last_timestamp_ = true;
+  return PushOrdered(event);
+}
+
 Status Engine::PushBatch(std::span<const Event> events) {
+  if (flushed_) {
+    return Status::FailedPrecondition(
+        "PushBatch after Flush: call Reset() before pushing a new stream");
+  }
+  events_pushed_ += static_cast<int64_t>(events.size());
+  if (reorder_ != nullptr) {
+    released_.clear();
+    Status status = reorder_->PushBatch(events, &released_);
+    if (!released_.empty()) {
+      SES_RETURN_IF_ERROR(PushBatchOrdered(released_));
+    }
+    return status;
+  }
+  // lateness_bound == 0: verify the span continues the strictly increasing
+  // stream, then hand it to the engine without copying.
+  size_t ordered = 0;
+  Timestamp last = last_timestamp_;
+  bool has_last = has_last_timestamp_;
+  while (ordered < events.size()) {
+    const Timestamp ts = events[ordered].timestamp();
+    if (has_last && ts <= last) break;
+    last = ts;
+    has_last = true;
+    ++ordered;
+  }
+  if (ordered == events.size()) {
+    last_timestamp_ = last;
+    has_last_timestamp_ = has_last;
+    return PushBatchOrdered(events);
+  }
+  if (options_.late_policy == exec::LatePolicy::kReject) {
+    // Deliver the in-order prefix, then fail on the violating event.
+    if (ordered > 0) {
+      last_timestamp_ = last;
+      has_last_timestamp_ = true;
+      SES_RETURN_IF_ERROR(PushBatchOrdered(events.subspan(0, ordered)));
+    }
+    return HandleLate(events[ordered]);
+  }
+  // kDrop: filter the violators out and deliver the in-order remainder.
+  released_.clear();
+  released_.reserve(events.size());
   for (const Event& event : events) {
-    SES_RETURN_IF_ERROR(Push(event));
+    if (has_last_timestamp_ && event.timestamp() <= last_timestamp_) {
+      ++events_late_;
+      continue;
+    }
+    last_timestamp_ = event.timestamp();
+    has_last_timestamp_ = true;
+    released_.push_back(event);
+  }
+  if (released_.empty()) return Status::OK();
+  return PushBatchOrdered(released_);
+}
+
+Status Engine::Flush() {
+  if (reorder_ != nullptr && !flushed_) {
+    released_.clear();
+    Status status = reorder_->Flush(&released_);
+    if (!released_.empty()) {
+      SES_RETURN_IF_ERROR(PushBatchOrdered(released_));
+    }
+    SES_RETURN_IF_ERROR(status);
+  }
+  flushed_ = true;
+  return FlushImpl();
+}
+
+void Engine::Reset() {
+  if (reorder_ != nullptr) reorder_->Reset();
+  released_.clear();
+  has_last_timestamp_ = false;
+  last_timestamp_ = 0;
+  flushed_ = false;
+  events_pushed_ = 0;
+  events_late_ = 0;
+  ResetImpl();
+}
+
+EngineStats Engine::stats() const {
+  EngineStats stats = StatsImpl();
+  stats.events_pushed = events_pushed_;
+  if (reorder_ != nullptr) {
+    const exec::ReorderStats& reorder = reorder_->stats();
+    stats.events_reordered = reorder.events_reordered;
+    stats.events_late = reorder.events_late;
+    stats.max_reorder_buffered = reorder.max_buffered;
+  } else {
+    stats.events_reordered = 0;
+    stats.events_late = events_late_;
+    stats.max_reorder_buffered = 0;
+  }
+  return stats;
+}
+
+Status Engine::PushBatchOrdered(std::span<const Event> events) {
+  for (const Event& event : events) {
+    SES_RETURN_IF_ERROR(PushOrdered(event));
   }
   return Status::OK();
 }
@@ -389,6 +527,9 @@ std::vector<std::pair<std::string, int64_t>> EngineCounters(
       {"partitions_evicted", stats.partitions_evicted},
       {"max_queue_depth", stats.max_queue_depth},
       {"batches_enqueued", stats.batches_enqueued},
+      {"events_reordered", stats.events_reordered},
+      {"events_late", stats.events_late},
+      {"max_reorder_buffered", stats.max_reorder_buffered},
   };
 }
 

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/time.h"
 #include "core/match.h"
 #include "exec/rebalancer.h"
+#include "exec/reorder_buffer.h"
 #include "plan/compiled_plan.h"
 
 namespace ses::engine {
@@ -40,6 +42,16 @@ struct EngineOptions {
   int64_t emit_interval_events = 4096;
   /// Adaptive shard rebalancing (parallel engine; off by default).
   exec::RebalanceOptions rebalance;
+  /// Bounded-lateness ingest (every engine): events may arrive up to this
+  /// many ticks behind the newest timestamp seen and are re-sequenced by
+  /// an exec::ReorderBuffer stage before they reach the evaluator. 0 (the
+  /// default) requires in-order input: a backwards timestamp is an
+  /// InvalidArgument (or a counted drop, per `late_policy`). The stage
+  /// delays delivery — and with it watermark advancement, window expiry,
+  /// and incremental emission — by up to the bound.
+  Duration lateness_bound = 0;
+  /// What to do with events that violate `lateness_bound`.
+  exec::LatePolicy late_policy = exec::LatePolicy::kReject;
 };
 
 /// Engine-agnostic statistics snapshot. Counters an engine cannot measure
@@ -74,6 +86,13 @@ struct EngineStats {
   int64_t partitions_evicted = 0;
   int64_t max_queue_depth = 0;
   int64_t batches_enqueued = 0;
+  /// Bounded-lateness ingest stage (any engine): events that arrived out
+  /// of order and were re-sequenced, events that violated the bound
+  /// (rejected or dropped per EngineOptions::late_policy), and the peak
+  /// number of events held back in the reorder buffer.
+  int64_t events_reordered = 0;
+  int64_t events_late = 0;
+  int64_t max_reorder_buffered = 0;
   /// Parallel engine only: what the adaptive shard rebalancer did (all
   /// zero when `EngineOptions::rebalance.enabled` is false).
   exec::RebalancerStats rebalancer;
@@ -94,13 +113,26 @@ std::vector<std::pair<std::string, int64_t>> EngineCounters(
 /// matches through the same MatchSink, so harnesses, benchmarks and the CLI
 /// can treat "which engine" as a run-time string (see engine/registry.h).
 ///
-/// Contract: Push events in strictly increasing timestamp order; call
+/// Contract: Push events in event-time order — strictly increasing
+/// timestamps when `EngineOptions::lateness_bound` is 0 (the default), or
+/// at most `lateness_bound` ticks behind the newest timestamp seen when it
+/// is positive (the base-class ingest stage re-sequences them before any
+/// evaluator sees them). A violating timestamp returns InvalidArgument
+/// under LatePolicy::kReject or is counted and dropped under kDrop; either
+/// way engine state is not corrupted and the stream may continue. Call
 /// Flush() once at end-of-stream (pending matches are delivered to the
-/// sink); Reset() returns the engine to its initial state for a new stream.
-/// WHEN matches reach the sink is engine-specific — the only guarantee is
-/// that after Flush() the sink has received exactly the pattern's match set
+/// sink); after Flush, Push returns FailedPrecondition until Reset()
+/// returns the engine to its initial state for a new stream. WHEN matches
+/// reach the sink is engine-specific — the only guarantee is that after
+/// Flush() the sink has received exactly the pattern's match set
 /// (canonical SES semantics, Definition 2 + skip-till-next-match). Engines
 /// are not thread-safe; drive each instance from one thread.
+///
+/// Structure: the public entry points are non-virtual and implement the
+/// shared ingest stage (ordering enforcement, bounded-lateness reordering,
+/// the events_pushed/late/reordered counters); engines implement the
+/// protected *Ordered/*Impl hooks, which receive a strictly increasing
+/// stream by construction.
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -108,35 +140,66 @@ class Engine {
   /// Registry name of this engine ("serial", "parallel", ...).
   virtual std::string_view name() const = 0;
 
-  /// Offers the next event. Returns FailedPrecondition on non-increasing
-  /// timestamps.
-  virtual Status Push(const Event& event) = 0;
+  /// Offers the next event. Returns InvalidArgument when the timestamp
+  /// violates the lateness bound (see the class contract) and
+  /// FailedPrecondition after Flush().
+  Status Push(const Event& event);
 
-  /// Pushes a span of events; the span must continue the stream. The base
-  /// implementation loops over Push; the parallel engine overrides it with
-  /// genuinely batched ingest.
-  virtual Status PushBatch(std::span<const Event> events);
+  /// Pushes a span of events; the span must continue the stream under the
+  /// same lateness contract as Push. In-order spans with
+  /// `lateness_bound == 0` are forwarded to the engine without copying.
+  Status PushBatch(std::span<const Event> events);
 
-  /// End-of-stream barrier: delivers every remaining match to the sink and
-  /// snapshots stats(). The engine stays usable; Reset() before reuse.
-  virtual Status Flush() = 0;
+  /// End-of-stream barrier: releases everything the reorder stage still
+  /// holds, then delivers every remaining match to the sink and snapshots
+  /// stats(). The engine stays usable for stats reads; Reset() before
+  /// pushing a new stream.
+  Status Flush();
 
   /// Drops all execution state (instances, partitions, watermarks,
-  /// statistics). The compiled plan is retained — resets are cheap.
-  virtual void Reset() = 0;
+  /// reorder buffer, statistics). The compiled plan is retained — resets
+  /// are cheap.
+  void Reset();
 
-  virtual EngineStats stats() const = 0;
+  /// Statistics snapshot; the ingest-stage counters (events_pushed,
+  /// events_reordered, events_late, max_reorder_buffered) are maintained
+  /// by the base class.
+  EngineStats stats() const;
 
   /// The immutable plan this engine executes.
   const plan::CompiledPlan& plan() const { return *plan_; }
 
  protected:
   Engine(std::shared_ptr<const plan::CompiledPlan> plan,
-         EngineOptions options)
-      : plan_(std::move(plan)), options_(std::move(options)) {}
+         EngineOptions options);
+
+  /// Evaluator hooks. The base class guarantees the events arriving here
+  /// form one strictly increasing timestamp sequence per stream.
+  virtual Status PushOrdered(const Event& event) = 0;
+  /// Default loops over PushOrdered; the parallel engine overrides it with
+  /// genuinely batched ingest.
+  virtual Status PushBatchOrdered(std::span<const Event> events);
+  virtual Status FlushImpl() = 0;
+  virtual void ResetImpl() = 0;
+  virtual EngineStats StatsImpl() const = 0;
 
   std::shared_ptr<const plan::CompiledPlan> plan_;
   EngineOptions options_;
+
+ private:
+  /// Handles one bound-violating event on the lateness_bound == 0 path.
+  Status HandleLate(const Event& event);
+
+  /// Reorder stage; engaged only when options_.lateness_bound > 0.
+  std::unique_ptr<exec::ReorderBuffer> reorder_;
+  /// Scratch for events released by the reorder stage.
+  std::vector<Event> released_;
+  /// Newest admitted timestamp (lateness_bound == 0 path).
+  Timestamp last_timestamp_ = 0;
+  bool has_last_timestamp_ = false;
+  bool flushed_ = false;
+  int64_t events_pushed_ = 0;
+  int64_t events_late_ = 0;
 };
 
 /// A sink that appends every match to `*out` (not owned; must outlive the

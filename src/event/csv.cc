@@ -1,5 +1,6 @@
 #include "event/csv.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -118,8 +119,8 @@ Status WriteCsvFile(const EventRelation& relation, const std::string& path) {
   return Status::OK();
 }
 
-Result<EventRelation> ReadCsvString(const std::string& contents,
-                                    const Schema& schema) {
+Result<std::vector<Event>> ReadCsvStringArrivalOrder(
+    const std::string& contents, const Schema& schema) {
   // Split into records, respecting quotes that span newlines.
   std::vector<std::string> records;
   {
@@ -163,7 +164,7 @@ Result<EventRelation> ReadCsvString(const std::string& contents,
     }
   }
 
-  EventRelation relation(schema);
+  std::vector<Event> events;
   for (size_t r = 1; r < records.size(); ++r) {
     if (records[r].empty()) continue;  // allow trailing blank line
     SES_ASSIGN_OR_RETURN(std::vector<std::string> fields,
@@ -181,8 +182,29 @@ Result<EventRelation> ReadCsvString(const std::string& contents,
                            ParseField(fields[i + 1], schema.attribute(i).type));
       values.push_back(std::move(v));
     }
-    SES_RETURN_IF_ERROR(
-        relation.Append(Event(kInvalidEventId, ts, std::move(values))));
+    events.emplace_back(kInvalidEventId, ts, std::move(values));
+  }
+  // Ids by timestamp rank (stable on ties): the id a row would carry in
+  // the in-order rendering of the same file, so listings diff cleanly
+  // across arrival orders.
+  std::vector<size_t> rank(events.size());
+  for (size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+  std::stable_sort(rank.begin(), rank.end(), [&](size_t a, size_t b) {
+    return events[a].timestamp() < events[b].timestamp();
+  });
+  for (size_t i = 0; i < rank.size(); ++i) {
+    events[rank[i]].set_id(static_cast<EventId>(i) + 1);
+  }
+  return events;
+}
+
+Result<EventRelation> ReadCsvString(const std::string& contents,
+                                    const Schema& schema) {
+  SES_ASSIGN_OR_RETURN(std::vector<Event> events,
+                       ReadCsvStringArrivalOrder(contents, schema));
+  EventRelation relation(schema);
+  for (Event& event : events) {
+    SES_RETURN_IF_ERROR(relation.Append(std::move(event)));
   }
   return relation;
 }
@@ -194,6 +216,15 @@ Result<EventRelation> ReadCsvFile(const std::string& path,
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return ReadCsvString(buffer.str(), schema);
+}
+
+Result<std::vector<Event>> ReadCsvFileArrivalOrder(const std::string& path,
+                                                   const Schema& schema) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadCsvStringArrivalOrder(buffer.str(), schema);
 }
 
 }  // namespace ses

@@ -33,6 +33,20 @@ Result<EventRelation> ReadCsvString(const std::string& contents,
 Result<EventRelation> ReadCsvFile(const std::string& path,
                                   const Schema& schema);
 
+/// Parses CSV rows in arrival order, without requiring timestamps to be in
+/// time order: the input for the bounded-lateness ingest stage
+/// (docs/RUNTIME.md §6.1), which re-sequences events up to its bound.
+/// Schema, type, and finiteness checks still apply per row. Event ids are
+/// assigned 1-based by timestamp rank (stable on ties), not arrival
+/// position, so a shuffled file names its rows exactly like its in-order
+/// ordering would — match listings diff byte-identically.
+Result<std::vector<Event>> ReadCsvStringArrivalOrder(
+    const std::string& contents, const Schema& schema);
+
+/// Reads arrival-ordered events from `path`.
+Result<std::vector<Event>> ReadCsvFileArrivalOrder(const std::string& path,
+                                                   const Schema& schema);
+
 }  // namespace ses
 
 #endif  // SES_EVENT_CSV_H_

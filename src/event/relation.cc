@@ -1,5 +1,7 @@
 #include "event/relation.h"
 
+#include <cmath>
+
 #include "common/strings.h"
 
 namespace ses {
@@ -18,6 +20,14 @@ Status EventRelation::Append(Event event) {
           schema_.attribute(i).name.c_str(),
           std::string(ValueTypeToString(schema_.attribute(i).type)).c_str(),
           std::string(ValueTypeToString(event.value(i).type())).c_str()));
+    }
+    // NaN compares false to everything, so a NaN attribute would make
+    // condition evaluation silently unsatisfiable; the parsers reject the
+    // spelling (common::ParseDouble) and the relation rejects the value.
+    if (event.value(i).is_double() && std::isnan(event.value(i).as_double())) {
+      return Status::InvalidArgument(strings::Format(
+          "attribute '%s' is NaN; relation values must be finite numbers",
+          schema_.attribute(i).name.c_str()));
     }
   }
   if (!events_.empty() && event.timestamp() < events_.back().timestamp()) {

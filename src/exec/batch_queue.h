@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/time.h"
@@ -39,6 +40,12 @@ struct EventBatch {
 /// it is empty. The queue mutex also provides the happens-before edge that
 /// lets the ingest thread read worker-owned state after a barrier batch has
 /// been acknowledged.
+///
+/// Close() is the shutdown signal: it wakes every thread blocked in
+/// Push/PushAll/Pop so neither side can deadlock when the other exits
+/// early. After Close, producers see `false` from Push/PushAll (the
+/// batches are discarded) and consumers drain the remaining queue, then
+/// see std::nullopt from Pop.
 class BatchQueue {
  public:
   explicit BatchQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
@@ -46,11 +53,16 @@ class BatchQueue {
   BatchQueue(const BatchQueue&) = delete;
   BatchQueue& operator=(const BatchQueue&) = delete;
 
-  void Push(EventBatch batch) {
+  /// Blocks while the queue is full. Returns true once the batch is
+  /// enqueued; false if the queue was closed first (the batch is dropped).
+  bool Push(EventBatch batch) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
     queue_.push_back(std::move(batch));
     not_empty_.notify_one();
+    return true;
   }
 
   /// Slab variant: enqueues a whole run of batches destined for this shard
@@ -60,26 +72,50 @@ class BatchQueue {
   /// batches and hands the per-shard slab over in (usually) a single
   /// synchronization round. Blocks like Push when the queue is at capacity;
   /// a slab larger than the remaining capacity is admitted in chunks as the
-  /// worker drains the queue.
-  void PushAll(std::vector<EventBatch> slab) {
+  /// worker drains the queue. Returns false if the queue is closed before
+  /// the whole slab is admitted (the remainder is dropped).
+  bool PushAll(std::vector<EventBatch> slab) {
     size_t next = 0;
     while (next < slab.size()) {
       std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+      not_full_.wait(lock,
+                     [this] { return closed_ || queue_.size() < capacity_; });
+      if (closed_) return false;
       while (next < slab.size() && queue_.size() < capacity_) {
         queue_.push_back(std::move(slab[next++]));
       }
       not_empty_.notify_one();
     }
+    return true;
   }
 
-  EventBatch Pop() {
+  /// Blocks while the queue is empty and open. Returns the next batch, or
+  /// std::nullopt once the queue is closed AND drained — a worker that
+  /// sees nullopt can exit its loop unconditionally.
+  std::optional<EventBatch> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return !queue_.empty(); });
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // closed and drained
     EventBatch batch = std::move(queue_.front());
     queue_.pop_front();
     not_full_.notify_one();
     return batch;
+  }
+
+  /// Marks the queue closed and wakes everyone blocked on either side.
+  /// Idempotent; already-queued batches remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
   }
 
   size_t depth() const {
@@ -95,6 +131,7 @@ class BatchQueue {
   std::condition_variable not_empty_;
   std::deque<EventBatch> queue_;
   size_t capacity_;
+  bool closed_ = false;
 };
 
 }  // namespace ses::exec

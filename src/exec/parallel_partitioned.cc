@@ -7,6 +7,7 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -159,8 +160,11 @@ struct ParallelPartitionedMatcher::Impl {
 
   ~Impl() {
     if (shards.empty()) return;
+    // Close (not kStop) so shutdown cannot deadlock: Close wakes a worker
+    // blocked in Pop AND an ingest thread blocked in Push/PushAll on a full
+    // queue; workers drain what is queued, then exit on nullopt.
     for (auto& shard : shards) {
-      shard->queue.Push(EventBatch{EventBatch::Kind::kStop, {}, watermark});
+      shard->queue.Close();
     }
     for (auto& shard : shards) {
       if (shard->worker.joinable()) shard->worker.join();
@@ -178,7 +182,9 @@ struct ParallelPartitionedMatcher::Impl {
 
   void WorkerLoop(Shard& shard) {
     while (true) {
-      EventBatch batch = shard.queue.Pop();
+      std::optional<EventBatch> popped = shard.queue.Pop();
+      if (!popped.has_value()) return;  // queue closed and drained
+      EventBatch& batch = *popped;
       switch (batch.kind) {
         case EventBatch::Kind::kEvents: {
           Stopwatch busy_watch;

@@ -1,0 +1,181 @@
+#include "exec/reorder_buffer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace ses::exec {
+namespace {
+
+bool TimestampLess(const Event& a, const Event& b) {
+  return a.timestamp() < b.timestamp();
+}
+
+std::string LowerCopy(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+Status LateError(Timestamp event_ts, Duration bound, std::string_view detail) {
+  return Status::InvalidArgument(
+      "event at t=" + std::to_string(event_ts) +
+      " violates the lateness bound (" + std::to_string(bound) + "): " +
+      std::string(detail));
+}
+
+}  // namespace
+
+Result<LatePolicy> ParseLatePolicy(std::string_view text) {
+  std::string lower = LowerCopy(text);
+  if (lower == "reject" || lower == "error") return LatePolicy::kReject;
+  if (lower == "drop") return LatePolicy::kDrop;
+  return Status::InvalidArgument("unknown late policy '" + std::string(text) +
+                                 "' (expected 'error' or 'drop')");
+}
+
+std::string_view LatePolicyName(LatePolicy policy) {
+  switch (policy) {
+    case LatePolicy::kReject:
+      return "reject";
+    case LatePolicy::kDrop:
+      return "drop";
+  }
+  return "unknown";
+}
+
+ReorderBuffer::ReorderBuffer(ReorderOptions options) : options_(options) {
+  if (options_.lateness_bound < 0) options_.lateness_bound = 0;
+}
+
+bool ReorderBuffer::IsLate(const Event& event) const {
+  if (max_seen_ != kNoTimestamp &&
+      event.timestamp() < max_seen_ - options_.lateness_bound) {
+    return true;
+  }
+  return last_released_ != kNoTimestamp && event.timestamp() <= last_released_;
+}
+
+Status ReorderBuffer::HandleLate(const Event& event) {
+  ++stats_.events_late;
+  if (options_.late_policy == LatePolicy::kDrop) return Status::OK();
+  if (last_released_ != kNoTimestamp &&
+      event.timestamp() <= last_released_) {
+    return LateError(event.timestamp(), options_.lateness_bound,
+                     "already released up to t=" +
+                         std::to_string(last_released_));
+  }
+  return LateError(event.timestamp(), options_.lateness_bound,
+                   "newest timestamp seen is t=" + std::to_string(max_seen_));
+}
+
+Status ReorderBuffer::Push(const Event& event, std::vector<Event>* released) {
+  if (IsLate(event)) return HandleLate(event);
+  ++stats_.events_admitted;
+  if (max_seen_ != kNoTimestamp && event.timestamp() < max_seen_) {
+    ++stats_.events_reordered;
+  }
+  buffer_.push_back(event);
+  max_seen_ = std::max(max_seen_, event.timestamp());
+  stats_.max_buffered =
+      std::max(stats_.max_buffered, static_cast<int64_t>(buffer_.size()));
+  return MergeAndRelease(released, /*release_all=*/false);
+}
+
+Status ReorderBuffer::PushBatch(std::span<const Event> events,
+                                std::vector<Event>* released) {
+  // Merging every kMergeChunk admissions keeps the buffer near the size of
+  // the bound window even when a caller hands a whole relation over in one
+  // span; without the intermediate rounds the buffer would transiently
+  // hold the entire batch before the first release.
+  constexpr size_t kMergeChunk = 256;
+  Status late_status;
+  size_t since_merge = 0;
+  for (const Event& event : events) {
+    if (IsLate(event)) {
+      late_status = HandleLate(event);
+      if (!late_status.ok()) break;
+      continue;
+    }
+    ++stats_.events_admitted;
+    if (max_seen_ != kNoTimestamp && event.timestamp() < max_seen_) {
+      ++stats_.events_reordered;
+    }
+    buffer_.push_back(event);
+    max_seen_ = std::max(max_seen_, event.timestamp());
+    if (++since_merge >= kMergeChunk) {
+      since_merge = 0;
+      stats_.max_buffered =
+          std::max(stats_.max_buffered, static_cast<int64_t>(buffer_.size()));
+      Status merge_status = MergeAndRelease(released, /*release_all=*/false);
+      if (!merge_status.ok()) return merge_status;
+    }
+  }
+  stats_.max_buffered =
+      std::max(stats_.max_buffered, static_cast<int64_t>(buffer_.size()));
+  Status merge_status = MergeAndRelease(released, /*release_all=*/false);
+  return late_status.ok() ? merge_status : late_status;
+}
+
+Status ReorderBuffer::MergeAndRelease(std::vector<Event>* released,
+                                      bool release_all) {
+  if (sorted_ < buffer_.size()) {
+    auto middle = buffer_.begin() + static_cast<ptrdiff_t>(sorted_);
+    std::stable_sort(middle, buffer_.end(), TimestampLess);
+    std::inplace_merge(buffer_.begin(), middle, buffer_.end(), TimestampLess);
+    sorted_ = buffer_.size();
+  }
+  // Duplicate timestamps cannot be ordered strictly; the first arrival
+  // wins and later ones are bound violations. After the merge duplicates
+  // are adjacent, so one linear dedup pass finds them all.
+  Status status;
+  auto unique_end =
+      std::unique(buffer_.begin(), buffer_.end(),
+                  [](const Event& a, const Event& b) {
+                    return a.timestamp() == b.timestamp();
+                  });
+  if (unique_end != buffer_.end()) {
+    const int64_t duplicates = buffer_.end() - unique_end;
+    const Timestamp first_dup = unique_end->timestamp();
+    stats_.events_late += duplicates;
+    stats_.events_admitted -= duplicates;
+    buffer_.erase(unique_end, buffer_.end());
+    sorted_ = buffer_.size();
+    if (options_.late_policy == LatePolicy::kReject) {
+      status = LateError(first_dup, options_.lateness_bound,
+                         "duplicate timestamp");
+    }
+  }
+  if (buffer_.empty()) return status;
+  size_t n = buffer_.size();
+  if (!release_all) {
+    const Timestamp cutoff = max_seen_ - options_.lateness_bound;
+    n = 0;
+    // Release strictly below max_seen - bound: any event that may still
+    // legally arrive sorts after everything released here.
+    while (n < buffer_.size() && buffer_[n].timestamp() < cutoff) ++n;
+    if (n == 0) return status;
+  }
+  released->insert(released->end(), buffer_.begin(),
+                   buffer_.begin() + static_cast<ptrdiff_t>(n));
+  last_released_ = buffer_[n - 1].timestamp();
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(n));
+  sorted_ = buffer_.size();
+  return status;
+}
+
+Status ReorderBuffer::Flush(std::vector<Event>* released) {
+  return MergeAndRelease(released, /*release_all=*/true);
+}
+
+void ReorderBuffer::Reset() {
+  buffer_.clear();
+  sorted_ = 0;
+  max_seen_ = kNoTimestamp;
+  last_released_ = kNoTimestamp;
+  stats_ = ReorderStats();
+}
+
+}  // namespace ses::exec

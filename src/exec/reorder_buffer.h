@@ -1,0 +1,155 @@
+#ifndef SES_EXEC_REORDER_BUFFER_H_
+#define SES_EXEC_REORDER_BUFFER_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "event/event.h"
+
+namespace ses::exec {
+
+/// What to do with an event that violates the lateness bound (arrives more
+/// than `lateness_bound` ticks behind the newest timestamp seen, or
+/// duplicates a timestamp). Either way the event is counted in
+/// ReorderStats::events_late and is never forwarded out of order.
+enum class LatePolicy {
+  /// Fail the Push with InvalidArgument (the default): a beyond-bound
+  /// event is a contract violation the producer must hear about.
+  kReject,
+  /// Drop the event silently (Push returns OK). For best-effort pipelines
+  /// that prefer losing a straggler over stalling the stream.
+  kDrop,
+};
+
+/// Parses "reject"/"error" and "drop" (case-insensitive) into a policy.
+Result<LatePolicy> ParseLatePolicy(std::string_view text);
+
+/// Canonical name of a policy: "reject" or "drop".
+std::string_view LatePolicyName(LatePolicy policy);
+
+/// Knobs of a ReorderBuffer, fixed at construction.
+struct ReorderOptions {
+  /// How far (in ticks) an event may arrive behind the newest timestamp
+  /// already seen and still be admitted. 0 means the input must already be
+  /// in order: any backwards timestamp is late. Negative values clamp to 0.
+  Duration lateness_bound = 0;
+  /// Disposition of events that violate the bound.
+  LatePolicy late_policy = LatePolicy::kReject;
+};
+
+/// Counters of one ReorderBuffer; monotone except across Reset().
+struct ReorderStats {
+  /// Events accepted and eventually released (late events are excluded).
+  int64_t events_admitted = 0;
+  /// Admitted events that arrived out of order (older than the newest
+  /// timestamp seen at arrival) and were re-sequenced by the buffer.
+  int64_t events_reordered = 0;
+  /// Bound violations: events more than `lateness_bound` behind the newest
+  /// timestamp at arrival, behind the release floor after a Flush, or
+  /// duplicating an admitted timestamp — rejected or dropped per LatePolicy.
+  int64_t events_late = 0;
+  /// Peak number of events resident in the buffer at once.
+  int64_t max_buffered = 0;
+};
+
+/// Bounded-lateness reordering stage: admits events up to
+/// `lateness_bound` ticks behind the newest timestamp seen, re-sequences
+/// them into strict timestamp order, and releases an event only once
+/// something newer by MORE than the bound has been observed — so any
+/// event that may still legally arrive sorts strictly after everything
+/// already released, and the released stream satisfies the engines'
+/// strictly-increasing contract (paper §3.1) by construction.
+///
+/// Mechanism (the sort-new-range + merge idiom): arrivals append to an
+/// unsorted tail; before each release the tail is sorted and
+/// std::inplace_merge folds it into the sorted prefix, then the
+/// releasable prefix (timestamp < max_seen − bound) is handed to the
+/// caller. The buffer never holds more than the events of one bound-wide
+/// time window (plus one batch).
+///
+/// Invariants:
+///   * an arrival is late iff it is more than `lateness_bound` behind the
+///     newest timestamp seen (deterministic — independent of internal
+///     release timing), it is at or below the release floor left by a
+///     Flush, or it duplicates an admitted timestamp;
+///   * released events form a strictly increasing timestamp sequence,
+///     and every released event is below `max_seen − lateness_bound`;
+///   * feeding any permutation of a strictly increasing sequence in which
+///     no event arrives more than `lateness_bound` behind the running
+///     maximum releases exactly the original sequence (Push... then
+///     Flush) — the equivalence the engine layer's differential tests
+///     pin (docs/SEMANTICS.md §9).
+///
+/// Not thread-safe; drive from one thread (the engine ingest thread).
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(ReorderOptions options);
+
+  /// Admits one event. Events that became releasable are APPENDED to
+  /// `*released` in timestamp order. A late event returns InvalidArgument
+  /// under kReject (in-bound state is unaffected and the stream may
+  /// continue) or OK under kDrop.
+  Status Push(const Event& event, std::vector<Event>* released);
+
+  /// Batch variant: admits the whole span with one sort + merge round,
+  /// then appends everything releasable to `*released`. Under kReject the
+  /// call fails on the first late event, after admitting the in-bound
+  /// events before it (their release may still be pending).
+  Status PushBatch(std::span<const Event> events,
+                   std::vector<Event>* released);
+
+  /// End-of-stream: appends every buffered event to `*released` in
+  /// timestamp order and empties the buffer. The release floor survives
+  /// (a subsequent Push must still exceed the last released timestamp);
+  /// Reset() clears it. Fails only under kReject when buffered events
+  /// duplicate a timestamp.
+  Status Flush(std::vector<Event>* released);
+
+  /// Returns the buffer to its initial empty state (counters included).
+  void Reset();
+
+  const ReorderStats& stats() const { return stats_; }
+
+  /// Events currently buffered (admitted but not yet releasable).
+  size_t buffered() const { return buffer_.size(); }
+
+  /// Newest timestamp released so far; kNoTimestamp before the first
+  /// release. New arrivals must exceed this to be admissible.
+  Timestamp release_floor() const { return last_released_; }
+
+  /// Sentinel for "no timestamp yet".
+  static constexpr Timestamp kNoTimestamp =
+      std::numeric_limits<Timestamp>::min();
+
+ private:
+  /// Sorts the unsorted tail and merges it into the sorted prefix, then
+  /// removes duplicate-timestamp events (counted late; error under
+  /// kReject). If `release_all`, everything buffered is then appended to
+  /// `*released`; otherwise only the prefix below `max_seen_ − bound`.
+  Status MergeAndRelease(std::vector<Event>* released, bool release_all);
+
+  /// True if the event violates the bound: more than `lateness_bound`
+  /// behind `max_seen_`, or at/below the release floor.
+  bool IsLate(const Event& event) const;
+
+  /// Counts and handles one late event per the policy.
+  Status HandleLate(const Event& event);
+
+  ReorderOptions options_;
+  /// Admitted, unreleased events: a sorted prefix of length `sorted_`
+  /// followed by the unsorted arrival tail.
+  std::vector<Event> buffer_;
+  size_t sorted_ = 0;
+  Timestamp max_seen_ = kNoTimestamp;
+  Timestamp last_released_ = kNoTimestamp;
+  ReorderStats stats_;
+};
+
+}  // namespace ses::exec
+
+#endif  // SES_EXEC_REORDER_BUFFER_H_

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/bits.h"
@@ -12,6 +13,9 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/time.h"
+#include "event/csv.h"
+#include "event/relation.h"
+#include "workload/paper_fixture.h"
 
 namespace ses {
 namespace {
@@ -134,11 +138,66 @@ TEST(Strings, ParseInt64) {
   EXPECT_FALSE(strings::ParseInt64("99999999999999999999").ok());
 }
 
+TEST(Strings, ParseInt64RejectsLeadingWhitespace) {
+  // strtoll would skip it, letting padded CSV fields load silently.
+  EXPECT_FALSE(strings::ParseInt64(" 264").ok());
+  EXPECT_FALSE(strings::ParseInt64("\t264").ok());
+  EXPECT_FALSE(strings::ParseInt64("\n264").ok());
+  EXPECT_FALSE(strings::ParseInt64(" ").ok());
+  // Trailing whitespace was already rejected by the whole-string rule.
+  EXPECT_FALSE(strings::ParseInt64("264 ").ok());
+}
+
 TEST(Strings, ParseDouble) {
   EXPECT_DOUBLE_EQ(*strings::ParseDouble("1672.5"), 1672.5);
   EXPECT_DOUBLE_EQ(*strings::ParseDouble("-2e3"), -2000.0);
   EXPECT_FALSE(strings::ParseDouble("abc").ok());
   EXPECT_FALSE(strings::ParseDouble("1.5.2").ok());
+}
+
+TEST(Strings, ParseDoubleRejectsWhitespaceAndNonFinite) {
+  EXPECT_FALSE(strings::ParseDouble(" 1.5").ok());
+  EXPECT_FALSE(strings::ParseDouble("\t1.5").ok());
+  EXPECT_FALSE(strings::ParseDouble("1.5 ").ok());
+  // strtod accepts these spellings; stream values must be finite.
+  EXPECT_FALSE(strings::ParseDouble("inf").ok());
+  EXPECT_FALSE(strings::ParseDouble("-inf").ok());
+  EXPECT_FALSE(strings::ParseDouble("infinity").ok());
+  EXPECT_FALSE(strings::ParseDouble("nan").ok());
+  EXPECT_FALSE(strings::ParseDouble("NAN").ok());
+  EXPECT_FALSE(strings::ParseDouble("nan(0x1)").ok());
+  // Hex floats remain accepted: they are finite and unambiguous.
+  EXPECT_DOUBLE_EQ(*strings::ParseDouble("0x1p4"), 16.0);
+}
+
+TEST(Strings, RelationRejectsNaNValuedRow) {
+  // NaN compares false to everything, so a NaN attribute would make every
+  // condition on it silently unsatisfiable. The parsers reject the
+  // spelling; the relation rejects the value itself.
+  EventRelation relation(workload::ChemotherapySchema());
+  EXPECT_TRUE(relation
+                  .Append(Event(1, 10,
+                                {Value(int64_t{1}), Value(std::string("C")),
+                                 Value(1.5), Value(std::string("u"))}))
+                  .ok());
+  Status nan_row = relation.Append(
+      Event(2, 20,
+            {Value(int64_t{1}), Value(std::string("C")),
+             Value(std::numeric_limits<double>::quiet_NaN()),
+             Value(std::string("u"))}));
+  EXPECT_EQ(nan_row.code(), StatusCode::kInvalidArgument)
+      << nan_row.ToString();
+  EXPECT_EQ(relation.size(), 1u);
+}
+
+TEST(Strings, CsvRejectsNaNAndPaddedNumericFields) {
+  Schema schema = workload::ChemotherapySchema();
+  // A NaN data value must fail the load, not poison condition evaluation.
+  EXPECT_FALSE(ReadCsvString("T,ID,L,V,U\n10,1,C,nan,u\n", schema).ok());
+  EXPECT_FALSE(ReadCsvString("T,ID,L,V,U\n10,1,C,inf,u\n", schema).ok());
+  // Whitespace-padded timestamps used to parse via strtoll's skip.
+  EXPECT_FALSE(ReadCsvString("T,ID,L,V,U\n 10,1,C,1.5,u\n", schema).ok());
+  EXPECT_TRUE(ReadCsvString("T,ID,L,V,U\n10,1,C,1.5,u\n", schema).ok());
 }
 
 TEST(Strings, Format) {

@@ -200,6 +200,64 @@ TEST(EngineEquivalence, DifferentialOverRandomizedWorkloads) {
   }
 }
 
+TEST(EngineEquivalence, WithinBoundShufflesAgreeWithInOrderEvaluation) {
+  // The bounded-lateness reorder stage must make a stream shuffled within
+  // the bound indistinguishable from the in-order stream: every engine,
+  // with and without the rebalancer, must reproduce in-order serial
+  // evaluation exactly.
+  Pattern pattern = CompletePattern();
+  Result<std::shared_ptr<const CompiledPlan>> plan = CompilePlan(pattern);
+  ASSERT_TRUE(plan.ok());
+
+  auto run_shuffled = [&](const std::string& name,
+                          std::span<const Event> events,
+                          EngineOptions options) {
+    std::vector<Match> matches;
+    options.sink = CollectInto(&matches);
+    Result<std::unique_ptr<Engine>> engine =
+        CreateEngine(name, *plan, std::move(options));
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    if (!engine.ok()) return NormalizedKeys({});
+    Status status = (*engine)->PushBatch(events);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    status = (*engine)->Flush();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return NormalizedKeys(std::move(matches));
+  };
+
+  for (uint64_t seed = 11; seed <= 12; ++seed) {
+    for (double skew : {0.0, 0.8}) {
+      EventRelation stream = KeyedStream(seed, 24, 1200, skew);
+      auto expected = NormalizedKeys(RunEngine("serial", *plan, stream));
+      for (Duration bound : {duration::Minutes(5), duration::Hours(1)}) {
+        std::vector<Event> shuffled = workload::ShuffleWithinBound(
+            stream.events(), bound, seed * 977 + bound);
+        for (const std::string& name : AllEngineNames()) {
+          EngineOptions options;
+          options.lateness_bound = bound;
+          options.num_shards = 4;
+          options.batch_size = 64;
+          EXPECT_EQ(run_shuffled(name, shuffled, options), expected)
+              << "engine " << name << " seed " << seed << " skew " << skew
+              << " bound " << bound;
+        }
+        EngineOptions options;
+        options.lateness_bound = bound;
+        options.num_shards = 4;
+        options.batch_size = 64;
+        options.rebalance.enabled = true;
+        options.rebalance.interval_events = 128;
+        options.rebalance.min_imbalance = 1.1;
+        options.rebalance.hi_imbalance = 1.2;
+        options.rebalance.lo_imbalance = 1.05;
+        EXPECT_EQ(run_shuffled("parallel", shuffled, options), expected)
+            << "parallel+rebalance seed " << seed << " skew " << skew
+            << " bound " << bound;
+      }
+    }
+  }
+}
+
 TEST(EngineEquivalence, PlanOptionVariantsDoNotChangeTheMatchSet) {
   Pattern pattern = CompletePattern();
   EventRelation stream = KeyedStream(7, 16, 1000);

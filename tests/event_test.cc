@@ -178,6 +178,26 @@ TEST(Csv, HeaderIsValidated) {
   EXPECT_TRUE(ReadCsvString("T,ID,L,V\n", schema).ok());     // empty relation
 }
 
+TEST(Csv, ArrivalOrderReadAcceptsDisorderAndRanksIds) {
+  Schema schema = TestSchema();
+  // Time order 10 < 20 < 30, arriving 20, 10, 30.
+  Result<std::vector<Event>> events = ReadCsvStringArrivalOrder(
+      "T,ID,L,V\n20,2,B,2.0\n10,1,A,1.0\n30,3,C,3.0\n", schema);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), 3u);
+  // Arrival order is preserved...
+  EXPECT_EQ((*events)[0].timestamp(), 20);
+  EXPECT_EQ((*events)[1].timestamp(), 10);
+  EXPECT_EQ((*events)[2].timestamp(), 30);
+  // ...but ids are timestamp ranks: what the in-order file would assign.
+  EXPECT_EQ((*events)[0].id(), 2);
+  EXPECT_EQ((*events)[1].id(), 1);
+  EXPECT_EQ((*events)[2].id(), 3);
+  // The ordered reader still rejects the same bytes.
+  EXPECT_FALSE(
+      ReadCsvString("T,ID,L,V\n20,2,B,2.0\n10,1,A,1.0\n", schema).ok());
+}
+
 TEST(Csv, RejectsMalformedRows) {
   Schema schema = TestSchema();
   // Too few fields.

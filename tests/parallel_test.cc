@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -262,7 +264,7 @@ TEST(BatchQueue, FifoAndDepth) {
   }
   EXPECT_EQ(queue.depth(), 3u);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_EQ(queue.Pop().watermark, i);
+    EXPECT_EQ(queue.Pop()->watermark, i);
   }
   EXPECT_EQ(queue.depth(), 0u);
 }
@@ -272,9 +274,78 @@ TEST(BatchQueue, BoundedPushBlocksUntilPop) {
   queue.Push(EventBatch{EventBatch::Kind::kEvents, {}, 1});
   std::thread producer(
       [&queue] { queue.Push(EventBatch{EventBatch::Kind::kEvents, {}, 2}); });
-  EXPECT_EQ(queue.Pop().watermark, 1);
-  EXPECT_EQ(queue.Pop().watermark, 2);
+  EXPECT_EQ(queue.Pop()->watermark, 1);
+  EXPECT_EQ(queue.Pop()->watermark, 2);
   producer.join();
+}
+
+TEST(BatchQueueClose, WakesABlockedConsumer) {
+  // Before Close() existed, a worker blocked in Pop on an empty queue when
+  // the producer exited early deadlocked forever.
+  BatchQueue queue(/*capacity=*/2);
+  std::thread consumer([&queue] {
+    std::optional<EventBatch> batch = queue.Pop();
+    EXPECT_FALSE(batch.has_value());
+  });
+  queue.Close();
+  consumer.join();
+}
+
+TEST(BatchQueueClose, WakesABlockedProducerAndReportsTheDrop) {
+  BatchQueue queue(/*capacity=*/1);
+  ASSERT_TRUE(queue.Push(EventBatch{EventBatch::Kind::kEvents, {}, 1}));
+  std::thread producer([&queue] {
+    // Full queue: this blocks until Close, then reports the batch dropped.
+    EXPECT_FALSE(queue.Push(EventBatch{EventBatch::Kind::kEvents, {}, 2}));
+    std::vector<EventBatch> slab(3);
+    EXPECT_FALSE(queue.PushAll(std::move(slab)));
+  });
+  queue.Close();
+  producer.join();
+  // The batch admitted before the close is still poppable (drain), then
+  // Pop reports closed-and-drained.
+  std::optional<EventBatch> drained = queue.Pop();
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->watermark, 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BatchQueueClose, ShutdownRaceNeverDeadlocksOrDropsAdmittedBatches) {
+  // The TSan-hunted shutdown race: producers pushing slabs, consumers
+  // draining, and Close() landing in the middle from a third thread. Every
+  // admitted batch must be popped exactly once, every thread must return.
+  for (int trial = 0; trial < 20; ++trial) {
+    BatchQueue queue(/*capacity=*/2);
+    std::atomic<int64_t> produced{0};
+    std::atomic<int64_t> consumed{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 2; ++p) {
+      producers.emplace_back([&queue, &produced] {
+        for (int i = 0; i < 64; ++i) {
+          if (!queue.Push(EventBatch{EventBatch::Kind::kEvents, {}, i})) {
+            return;  // closed under us — admitted count already recorded
+          }
+          produced.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 2; ++c) {
+      consumers.emplace_back([&queue, &consumed] {
+        while (queue.Pop().has_value()) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::thread closer([&queue] { queue.Close(); });
+    closer.join();
+    for (std::thread& t : producers) t.join();
+    for (std::thread& t : consumers) t.join();
+    // Consumers drain everything admitted before the close won the race.
+    EXPECT_EQ(consumed.load(), produced.load()) << "trial " << trial;
+    EXPECT_EQ(queue.depth(), 0u) << "trial " << trial;
+  }
 }
 
 }  // namespace

@@ -358,7 +358,7 @@ TEST(BatchQueueSlab, PushAllPreservesFifoOrder) {
   queue.PushAll(std::move(slab));
   EXPECT_EQ(queue.depth(), 5u);
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(queue.Pop().watermark, i);
+    EXPECT_EQ(queue.Pop()->watermark, i);
   }
 }
 
@@ -373,7 +373,7 @@ TEST(BatchQueueSlab, SlabLargerThanCapacityIsAdmittedInChunks) {
   std::thread producer(
       [&queue, &slab]() mutable { queue.PushAll(std::move(slab)); });
   for (int i = 0; i < 7; ++i) {
-    EXPECT_EQ(queue.Pop().watermark, i);
+    EXPECT_EQ(queue.Pop()->watermark, i);
   }
   producer.join();
   EXPECT_EQ(queue.depth(), 0u);
