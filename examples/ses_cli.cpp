@@ -12,6 +12,9 @@
 //   # match against an embedded table with a specific engine
 //   ses_cli --data events.sestbl --query-file q.ses --engine parallel --stats
 //
+//   # evaluate a whole catalog of patterns in one pass (docs/CATALOG.md)
+//   ses_cli --data events.csv --schema "..." --catalog plans.sescat --stats
+//
 // Evaluation strategies are resolved through the engine registry
 // (engine/registry.h): --engine picks one by name, --list-engines shows
 // what is available, and --threads N is shorthand for the parallel engine
@@ -22,10 +25,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <span>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "catalog/catalog_engine.h"
+#include "catalog/query_catalog.h"
 #include "common/strings.h"
 #include "engine/registry.h"
 #include "event/csv.h"
@@ -42,6 +50,15 @@ struct CliArgs {
   std::string schema_text;
   std::string data_path;
   std::string query;
+  /// Catalog file of named patterns ([plan-id] headers, docs/CATALOG.md);
+  /// non-empty selects multi-pattern evaluation instead of --query.
+  std::string catalog_path;
+  /// Shared-work toggles for catalog runs (on unless disabled; neither
+  /// changes any plan's matches — docs/SEMANTICS.md section 10).
+  bool no_type_index = false;
+  bool no_shared_prefilter = false;
+  /// Routing attribute for the catalog type index; empty = auto-detect.
+  std::string type_attribute;
   std::string format = "text";  // text | csv
   /// Registry name of the evaluation strategy; empty = "serial" (or
   /// "parallel" when --threads is given).
@@ -72,17 +89,24 @@ struct CliArgs {
 void PrintUsage() {
   std::printf(
       "usage: ses_cli [--demo] [--schema \"NAME TYPE, ...\"] [--data FILE]\n"
-      "               [--query TEXT | --query-file FILE] [--engine NAME]\n"
-      "               [--no-filter] [--shared-const] [--stats] [--dot]\n"
-      "               [--threads N] [--batch N] [--rebalance]\n"
-      "               [--rebalance-policy v1|v2] [--lateness N]\n"
-      "               [--late-policy error|drop] [--list-engines]\n"
+      "               [--query TEXT | --query-file FILE | --catalog FILE]\n"
+      "               [--engine NAME] [--no-filter] [--shared-const]\n"
+      "               [--stats] [--dot] [--format text|csv]\n"
+      "               [--threads N] [--batch N]\n"
+      "               [--rebalance] [--rebalance-policy v1|v2]\n"
+      "               [--lateness N] [--late-policy error|drop]\n"
+      "               [--type-attribute NAME] [--no-type-index]\n"
+      "               [--no-shared-prefilter] [--list-engines]\n"
       "  --demo         run the paper's running example (Figure 1 + Q1)\n"
       "  --schema       attribute list for CSV input (TYPE: INT, DOUBLE,\n"
       "                 STRING); .sestbl tables are self-describing\n"
       "  --data         input file (.csv or .sestbl)\n"
       "  --query        SES pattern DSL text (see query/parser.h)\n"
       "  --query-file   read the query from a file\n"
+      "  --catalog FILE evaluate a catalog of named patterns in one pass\n"
+      "                 over the stream ([plan-id] headers, each followed\n"
+      "                 by its query; see docs/CATALOG.md); matches are\n"
+      "                 printed tagged with the plan id\n"
       "  --engine NAME  evaluation strategy from the engine registry\n"
       "                 (default serial; see --list-engines)\n"
       "  --list-engines print the registered engines and exit\n"
@@ -110,7 +134,17 @@ void PrintUsage() {
       "                 already be in time order)\n"
       "  --late-policy error|drop\n"
       "                 events later than the bound fail the run (error,\n"
-      "                 default) or are counted and dropped (drop)\n");
+      "                 default) or are counted and dropped (drop)\n"
+      "  --type-attribute NAME\n"
+      "                 routing attribute for the catalog's shared type\n"
+      "                 index (default: auto-detect the attribute most\n"
+      "                 plans constrain with equality constants)\n"
+      "  --no-type-index\n"
+      "                 catalog runs: do not route events by type value;\n"
+      "                 every plan sees every event (output unchanged)\n"
+      "  --no-shared-prefilter\n"
+      "                 catalog runs: do not share sec. 4.5 pre-filter\n"
+      "                 evaluation across plans (output unchanged)\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -138,6 +172,14 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       std::ostringstream buffer;
       buffer << file.rdbuf();
       args.query = buffer.str();
+    } else if (std::strcmp(argv[i], "--catalog") == 0) {
+      SES_ASSIGN_OR_RETURN(args.catalog_path, need_value(i));
+    } else if (std::strcmp(argv[i], "--type-attribute") == 0) {
+      SES_ASSIGN_OR_RETURN(args.type_attribute, need_value(i));
+    } else if (std::strcmp(argv[i], "--no-type-index") == 0) {
+      args.no_type_index = true;
+    } else if (std::strcmp(argv[i], "--no-shared-prefilter") == 0) {
+      args.no_shared_prefilter = true;
     } else if (std::strcmp(argv[i], "--format") == 0) {
       SES_ASSIGN_OR_RETURN(args.format, need_value(i));
       if (args.format != "text" && args.format != "csv") {
@@ -265,6 +307,183 @@ Result<std::string> ResolveEngineName(const CliArgs& args) {
   return std::string("serial");
 }
 
+/// Builds the per-engine options every run shape shares (threads, batch,
+/// rebalancing, lateness). The sink is installed by the caller.
+engine::EngineOptions MakeEngineOptions(const CliArgs& args) {
+  engine::EngineOptions options;
+  if (args.threads >= 1) options.num_shards = args.threads;
+  if (args.batch > 0) options.batch_size = static_cast<size_t>(args.batch);
+  options.rebalance.enabled = args.rebalance;
+  options.rebalance.policy = args.rebalance_policy;
+  options.lateness_bound = args.lateness;
+  options.late_policy = args.late_policy;
+  return options;
+}
+
+/// Parses a catalog file (documented in docs/CATALOG.md): entries of the
+/// form
+///
+///   # comment
+///   [plan-id]
+///   PATTERN {...} -> {...} WHERE ... WITHIN ...
+///
+/// where the query text runs until the next [plan-id] header. Returns
+/// (id, query) pairs in file order; id uniqueness is enforced by
+/// QueryCatalog::Add.
+Result<std::vector<std::pair<std::string, std::string>>> ParseCatalogFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot read catalog file: " + path);
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    std::string_view trimmed = strings::Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (trimmed.front() == '[') {
+      if (trimmed.back() != ']') {
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_number) +
+            ": [plan-id] header is missing the closing ']'");
+      }
+      std::string id(strings::Trim(trimmed.substr(1, trimmed.size() - 2)));
+      if (id.empty()) {
+        return Status::InvalidArgument(path + ":" +
+                                       std::to_string(line_number) +
+                                       ": [plan-id] header is empty");
+      }
+      entries.emplace_back(std::move(id), std::string());
+      continue;
+    }
+    if (entries.empty()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": query text before the first [plan-id] header");
+    }
+    entries.back().second.append(line).append("\n");
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("catalog file has no [plan-id] entries: " +
+                                   path);
+  }
+  return entries;
+}
+
+/// Multi-pattern run: every catalog entry is parsed against the stream
+/// schema, compiled, registered, and evaluated in one pass by a
+/// CatalogEngine. Output is the same canonical per-plan listing a loop of
+/// single-pattern runs would print, each line tagged with its plan id.
+Status RunCatalog(const CliArgs& args) {
+  SES_ASSIGN_OR_RETURN(LoadedData data, LoadData(args));
+  SES_ASSIGN_OR_RETURN(auto entries, ParseCatalogFile(args.catalog_path));
+
+  plan::PlanOptions plan_options;
+  plan_options.enable_prefilter = !args.no_filter;
+  plan_options.shared_constant_evaluation = args.shared_const;
+
+  auto query_catalog = std::make_shared<catalog::QueryCatalog>();
+  std::map<std::string, Pattern> patterns;  // id -> pattern, for printing
+  for (auto& [id, text] : entries) {
+    Result<Pattern> pattern = ParsePattern(text, data.schema);
+    if (!pattern.ok()) {
+      return Status(pattern.status().code(),
+                    "plan '" + id + "': " + pattern.status().message());
+    }
+    Result<std::shared_ptr<const plan::CompiledPlan>> plan =
+        plan::CompilePlan(*pattern, plan_options);
+    if (!plan.ok()) {
+      return Status(plan.status().code(),
+                    "plan '" + id + "': " + plan.status().message());
+    }
+    SES_RETURN_IF_ERROR(query_catalog->Add(id, std::move(*plan)));
+    patterns.emplace(id, std::move(*pattern));
+  }
+
+  SES_ASSIGN_OR_RETURN(std::string engine_name, ResolveEngineName(args));
+  catalog::CatalogOptions options;
+  options.engine = engine_name;
+  options.engine_options = MakeEngineOptions(args);
+  options.shared_type_index = !args.no_type_index;
+  options.shared_prefilter = !args.no_shared_prefilter;
+  options.type_attribute = args.type_attribute;
+  std::map<std::string, std::vector<Match>> by_plan;
+  options.sink = [&by_plan](std::string_view id, Match&& match) {
+    by_plan[std::string(id)].push_back(std::move(match));
+  };
+  SES_ASSIGN_OR_RETURN(
+      std::unique_ptr<catalog::CatalogEngine> engine,
+      catalog::CatalogEngine::Create(query_catalog, std::move(options)));
+
+  SES_RETURN_IF_ERROR(
+      engine->PushBatch(std::span<const Event>(data.events)));
+  SES_RETURN_IF_ERROR(engine->Flush());
+
+  size_t total_matches = 0;
+  if (args.format == "csv") {
+    // One row per binding, tagged with the plan that produced the match.
+    std::printf("plan,match,variable,event,T\n");
+    for (auto& [id, matches] : by_plan) {
+      SortMatches(&matches);
+      const Pattern& pattern = patterns.at(id);
+      int match_number = 0;
+      for (const Match& match : matches) {
+        ++match_number;
+        ++total_matches;
+        for (const Binding& binding : match.bindings()) {
+          std::printf("%s,%d,%s,%lld,%lld\n", id.c_str(), match_number,
+                      pattern.variable(binding.variable).ToString().c_str(),
+                      static_cast<long long>(binding.event.id()),
+                      static_cast<long long>(binding.event.timestamp()));
+        }
+      }
+    }
+  } else {
+    for (auto& [id, matches] : by_plan) {
+      SortMatches(&matches);
+      const Pattern& pattern = patterns.at(id);
+      for (const Match& match : matches) {
+        ++total_matches;
+        std::printf("%s: %s  [%s .. %s]\n", id.c_str(),
+                    match.ToString(pattern).c_str(),
+                    FormatTimestamp(match.start_time()).c_str(),
+                    FormatTimestamp(match.end_time()).c_str());
+      }
+    }
+    std::printf("%zu match(es) across %zu plan(s) over %zu events\n",
+                total_matches, query_catalog->size(), data.events.size());
+  }
+
+  if (args.stats) {
+    catalog::CatalogStats stats = engine->stats();
+    std::printf(
+        "catalog [%s x%lld]: %lld events pushed, %lld matches; type index "
+        "on %s; %lld/%lld (event,plan) pairs skipped by index, %lld by "
+        "shared pre-filter; %lld distinct of %lld plan conditions\n",
+        engine_name.c_str(), static_cast<long long>(stats.num_plans),
+        static_cast<long long>(stats.events_pushed),
+        static_cast<long long>(stats.matches),
+        stats.type_attribute >= 0
+            ? data.schema.attribute(stats.type_attribute).name.c_str()
+            : "<off>",
+        static_cast<long long>(stats.events_skipped_by_index),
+        static_cast<long long>(stats.events_pushed * stats.num_plans),
+        static_cast<long long>(stats.events_skipped_by_prefilter),
+        static_cast<long long>(stats.distinct_conditions),
+        static_cast<long long>(stats.plan_conditions));
+    for (const catalog::PlanStats& row : engine->plan_stats()) {
+      std::printf(
+          "  plan %-16s %lld match(es), %lld considered, %lld "
+          "index-skipped, %lld prefilter-skipped\n",
+          row.id.c_str(), static_cast<long long>(row.matches),
+          static_cast<long long>(row.events_considered),
+          static_cast<long long>(row.events_skipped_by_index),
+          static_cast<long long>(row.events_skipped_by_prefilter));
+    }
+  }
+  return Status::OK();
+}
+
 Status Run(const CliArgs& args) {
   if (args.list_engines) {
     for (const engine::EngineInfo& info :
@@ -272,6 +491,18 @@ Status Run(const CliArgs& args) {
       std::printf("%-12s %s\n", info.name.c_str(), info.description.c_str());
     }
     return Status::OK();
+  }
+
+  if (!args.catalog_path.empty()) {
+    if (!args.query.empty()) {
+      return Status::InvalidArgument(
+          "--catalog and --query/--query-file are mutually exclusive");
+    }
+    if (args.dot) {
+      return Status::InvalidArgument(
+          "--dot renders a single pattern; use --query");
+    }
+    return RunCatalog(args);
   }
 
   SES_ASSIGN_OR_RETURN(LoadedData data, LoadData(args));
@@ -302,15 +533,7 @@ Status Run(const CliArgs& args) {
   }
 
   SES_ASSIGN_OR_RETURN(std::string engine_name, ResolveEngineName(args));
-  engine::EngineOptions engine_options;
-  if (args.threads >= 1) engine_options.num_shards = args.threads;
-  if (args.batch > 0) {
-    engine_options.batch_size = static_cast<size_t>(args.batch);
-  }
-  engine_options.rebalance.enabled = args.rebalance;
-  engine_options.rebalance.policy = args.rebalance_policy;
-  engine_options.lateness_bound = args.lateness;
-  engine_options.late_policy = args.late_policy;
+  engine::EngineOptions engine_options = MakeEngineOptions(args);
   std::vector<Match> matches;
   engine_options.sink = engine::CollectInto(&matches);
   SES_ASSIGN_OR_RETURN(

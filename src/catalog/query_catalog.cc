@@ -1,0 +1,88 @@
+#include "catalog/query_catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ses::catalog {
+
+namespace {
+
+/// Lower bound by id over the sorted entry list.
+std::vector<CatalogEntry>::iterator FindEntry(
+    std::vector<CatalogEntry>& entries, std::string_view id) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), id,
+      [](const CatalogEntry& entry, std::string_view key) {
+        return entry.id < key;
+      });
+}
+
+}  // namespace
+
+Status QueryCatalog::Add(std::string id,
+                         std::shared_ptr<const plan::CompiledPlan> plan) {
+  if (id.empty()) {
+    return Status::InvalidArgument("catalog plan id must be non-empty");
+  }
+  if (plan == nullptr) {
+    return Status::InvalidArgument("catalog plan must be non-null");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindEntry(entries_, id);
+  if (it != entries_.end() && it->id == id) {
+    return Status::AlreadyExists("catalog plan '" + id +
+                                 "' is already registered (Remove it first "
+                                 "to replace it)");
+  }
+  if (!entries_.empty() &&
+      plan->pattern().schema() != entries_.front().plan->pattern().schema()) {
+    return Status::InvalidArgument(
+        "catalog plan '" + id + "' targets schema " +
+        plan->pattern().schema().ToString() +
+        " but this catalog serves " +
+        entries_.front().plan->pattern().schema().ToString());
+  }
+  entries_.insert(it, CatalogEntry{std::move(id), std::move(plan)});
+  ++generation_;
+  return Status::OK();
+}
+
+Status QueryCatalog::Remove(std::string_view id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindEntry(entries_, id);
+  if (it == entries_.end() || it->id != id) {
+    return Status::NotFound("catalog plan '" + std::string(id) +
+                            "' is not registered");
+  }
+  entries_.erase(it);
+  ++generation_;
+  return Status::OK();
+}
+
+bool QueryCatalog::Contains(std::string_view id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const CatalogEntry& entry, std::string_view key) {
+        return entry.id < key;
+      });
+  return it != entries_.end() && it->id == id;
+}
+
+size_t QueryCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+int64_t QueryCatalog::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+std::shared_ptr<const CatalogSnapshot> QueryCatalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::shared_ptr<const CatalogSnapshot>(
+      new CatalogSnapshot(generation_, entries_));
+}
+
+}  // namespace ses::catalog

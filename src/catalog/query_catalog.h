@@ -1,0 +1,94 @@
+#ifndef SES_CATALOG_QUERY_CATALOG_H_
+#define SES_CATALOG_QUERY_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/compiled_plan.h"
+
+namespace ses::catalog {
+
+/// One registered standing query: a caller-chosen id and its compiled plan.
+struct CatalogEntry {
+  std::string id;
+  std::shared_ptr<const plan::CompiledPlan> plan;
+};
+
+/// An immutable view of the catalog at one registration generation:
+/// the entries sorted by id, and the generation number that produced them.
+/// Snapshots are cheap (shared plan pointers, copied ids) and outlive any
+/// later Add/Remove, so an evaluator can keep matching against one snapshot
+/// while registrations continue — it re-snapshots at its next batch
+/// boundary (see catalog/catalog_engine.h).
+class CatalogSnapshot {
+ public:
+  int64_t generation() const { return generation_; }
+  const std::vector<CatalogEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  friend class QueryCatalog;
+  CatalogSnapshot(int64_t generation, std::vector<CatalogEntry> entries)
+      : generation_(generation), entries_(std::move(entries)) {}
+
+  int64_t generation_;
+  /// Sorted by id, so every snapshot of the same registration state lists
+  /// plans in the same order — the evaluation and delivery order of the
+  /// catalog engine is deterministic by construction.
+  std::vector<CatalogEntry> entries_;
+};
+
+/// The registry of standing queries a multi-pattern evaluator serves:
+/// hundreds of compiled plans, added and removed by id while streams are
+/// being evaluated. Registration never blocks evaluation — mutations bump a
+/// generation counter, and evaluators pick up the new state by taking a
+/// fresh Snapshot() at a batch boundary (the snapshot they hold stays
+/// valid; plans are shared immutable objects).
+///
+/// All plans must target the same event schema (one catalog serves one
+/// stream); the first Add pins the schema and later mismatches are
+/// rejected. Thread-safe; one catalog may feed several evaluators.
+class QueryCatalog {
+ public:
+  QueryCatalog() = default;
+
+  /// Registers `plan` under `id`. InvalidArgument on an empty id or a null
+  /// plan, AlreadyExists on a duplicate id (remove first to replace — a
+  /// silent swap would make per-plan results ambiguous), InvalidArgument on
+  /// a schema mismatch with the already-registered plans.
+  Status Add(std::string id, std::shared_ptr<const plan::CompiledPlan> plan);
+
+  /// Unregisters the plan under `id`; NotFound when absent. Evaluators drop
+  /// the plan's runtime — including partial matches — at their next
+  /// snapshot refresh; matches already delivered stay delivered.
+  Status Remove(std::string_view id);
+
+  /// True when `id` is registered.
+  bool Contains(std::string_view id) const;
+
+  size_t size() const;
+
+  /// Monotone counter, bumped by every successful Add/Remove. Evaluators
+  /// compare it against their snapshot's generation to decide whether to
+  /// refresh without copying the entry list on every batch.
+  int64_t generation() const;
+
+  /// The current registration state as an immutable snapshot.
+  std::shared_ptr<const CatalogSnapshot> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  /// Sorted by id (binary-searched; snapshots copy it verbatim).
+  std::vector<CatalogEntry> entries_;
+  int64_t generation_ = 0;
+};
+
+}  // namespace ses::catalog
+
+#endif  // SES_CATALOG_QUERY_CATALOG_H_

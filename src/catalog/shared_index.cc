@@ -1,0 +1,171 @@
+#include "catalog/shared_index.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace ses::catalog {
+
+namespace {
+
+int TypeRank(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return 0;
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+  }
+  return 3;
+}
+
+/// Dedup identity of a constant condition as a per-event test: the lhs
+/// variable does not participate in EvaluateConstant, so `c.L = 'A'` and
+/// `x.L = 'A'` from different plans are the same bit.
+struct ConditionKey {
+  int attribute;
+  int op;
+  Value value;
+
+  bool operator<(const ConditionKey& other) const {
+    if (attribute != other.attribute) return attribute < other.attribute;
+    if (op != other.op) return op < other.op;
+    const int rank = TypeRank(value);
+    const int other_rank = TypeRank(other.value);
+    if (rank != other_rank) return rank < other_rank;
+    return Compare(value, other.value) < 0;
+  }
+};
+
+}  // namespace
+
+bool SharedIndex::ValueLess::operator()(const Value& a,
+                                        const Value& b) const {
+  const int rank_a = TypeRank(a);
+  const int rank_b = TypeRank(b);
+  if (rank_a != rank_b) return rank_a < rank_b;
+  return Compare(a, b) < 0;
+}
+
+SharedIndex::SharedIndex(const CatalogSnapshot& snapshot,
+                         SharedIndexOptions options)
+    : options_(options),
+      num_plans_(static_cast<int>(snapshot.size())) {
+  const std::vector<CatalogEntry>& entries = snapshot.entries();
+  all_plans_.resize(num_plans_);
+  for (int pos = 0; pos < num_plans_; ++pos) all_plans_[pos] = pos;
+
+  // Resolve the routing attribute. An explicitly requested attribute that
+  // is out of range or DOUBLE-typed was rejected by the catalog engine
+  // before we get here; re-checking keeps the index safe standalone.
+  if (options_.enable_type_index && !snapshot.empty()) {
+    const Schema& schema = entries.front().plan->pattern().schema();
+    if (options_.type_attribute >= 0) {
+      if (options_.type_attribute < schema.num_attributes() &&
+          schema.attribute(options_.type_attribute).type !=
+              ValueType::kDouble) {
+        type_attribute_ = options_.type_attribute;
+      }
+    } else {
+      int best_count = 0;
+      for (int a = 0; a < schema.num_attributes(); ++a) {
+        int count = 0;
+        for (const CatalogEntry& entry : entries) {
+          if (entry.plan->EqualityAlphabet(a).has_value()) ++count;
+        }
+        if (count > best_count) {
+          best_count = count;
+          type_attribute_ = a;
+        }
+      }
+    }
+  }
+
+  // Invert the per-plan alphabets. Positions are appended in ascending
+  // order, so every per-type list (and the universal list) is sorted.
+  for (int pos = 0; pos < num_plans_; ++pos) {
+    std::optional<std::vector<Value>> alphabet;
+    if (type_attribute_ >= 0) {
+      alphabet = entries[pos].plan->EqualityAlphabet(type_attribute_);
+    }
+    if (!alphabet.has_value()) {
+      universal_plans_.push_back(pos);
+      continue;
+    }
+    for (Value& value : *alphabet) {
+      typed_plans_[std::move(value)].push_back(pos);
+    }
+  }
+
+  // Deduplicate the active pre-filters into the shared condition table.
+  masks_.resize(num_plans_);
+  if (options_.enable_shared_prefilter) {
+    std::map<ConditionKey, int> table;
+    std::vector<std::vector<int>> plan_bits(num_plans_);
+    for (int pos = 0; pos < num_plans_; ++pos) {
+      const auto& prefilter = entries[pos].plan->shared_prefilter();
+      if (prefilter == nullptr || !prefilter->active()) continue;
+      for (const Condition& condition : prefilter->constant_conditions()) {
+        ++num_plan_conditions_;
+        ConditionKey key{condition.lhs().attribute,
+                         static_cast<int>(condition.op()),
+                         condition.constant()};
+        auto [it, inserted] =
+            table.emplace(std::move(key), static_cast<int>(conditions_.size()));
+        if (inserted) conditions_.push_back(condition);
+        plan_bits[pos].push_back(it->second);
+      }
+    }
+    const size_t words = (conditions_.size() + 63) / 64;
+    bitmap_.resize(words);
+    for (int pos = 0; pos < num_plans_; ++pos) {
+      if (plan_bits[pos].empty()) continue;
+      masks_[pos].assign(words, 0);
+      for (int bit : plan_bits[pos]) {
+        masks_[pos][bit / 64] |= uint64_t{1} << (bit % 64);
+      }
+    }
+  }
+}
+
+void SharedIndex::BeginEvent(const Event& event) {
+  (void)event;
+  bitmap_valid_ = false;
+}
+
+const std::vector<int>& SharedIndex::InterestedPlans(const Event& event) {
+  if (type_attribute_ < 0) return all_plans_;
+  static const std::vector<int> kEmpty;
+  const std::vector<int>* typed = &kEmpty;
+  auto it = typed_plans_.find(event.value(type_attribute_));
+  if (it != typed_plans_.end()) typed = &it->second;
+  if (universal_plans_.empty()) return *typed;
+  interested_.clear();
+  interested_.reserve(typed->size() + universal_plans_.size());
+  std::merge(typed->begin(), typed->end(), universal_plans_.begin(),
+             universal_plans_.end(), std::back_inserter(interested_));
+  return interested_;
+}
+
+bool SharedIndex::PassesPrefilter(int pos, const Event& event) {
+  const std::vector<uint64_t>& mask = masks_[pos];
+  if (mask.empty()) return true;
+  if (!bitmap_valid_) EvaluateBitmap(event);
+  for (size_t word = 0; word < mask.size(); ++word) {
+    if ((mask[word] & bitmap_[word]) != 0) return true;
+  }
+  return false;
+}
+
+void SharedIndex::EvaluateBitmap(const Event& event) {
+  std::fill(bitmap_.begin(), bitmap_.end(), 0);
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (conditions_[i].EvaluateConstant(event)) {
+      bitmap_[i / 64] |= uint64_t{1} << (i % 64);
+    }
+  }
+  bitmap_valid_ = true;
+}
+
+}  // namespace ses::catalog

@@ -32,6 +32,14 @@ class EventPreFilter {
   /// condition, or the filter is inactive).
   bool ShouldProcess(const Event& event) const;
 
+  /// The constant conditions ShouldProcess tests, for evaluators that share
+  /// the per-event evaluation across patterns (src/catalog/ dedupes these
+  /// into one bitmap table per event batch pass). An ACTIVE filter's
+  /// ShouldProcess is equivalent to "any of these holds".
+  const std::vector<Condition>& constant_conditions() const {
+    return constant_conditions_;
+  }
+
  private:
   std::vector<Condition> constant_conditions_;
   bool active_ = false;

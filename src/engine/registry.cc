@@ -71,6 +71,11 @@ Result<std::unique_ptr<Engine>> EngineRegistry::Create(
   return factory(std::move(plan), std::move(options));
 }
 
+bool EngineRegistry::Contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(name) != entries_.end();
+}
+
 std::vector<EngineInfo> EngineRegistry::List() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<EngineInfo> infos;

@@ -51,6 +51,12 @@ class EngineRegistry {
   /// All registered engines, sorted by name.
   std::vector<EngineInfo> List() const;
 
+  /// True when `name` is registered. Lets composite evaluators (the
+  /// multi-pattern catalog, which instantiates one registered engine per
+  /// plan) validate the engine choice at construction instead of failing on
+  /// the first plan registration.
+  bool Contains(std::string_view name) const;
+
  private:
   struct Entry {
     std::string description;

@@ -1,11 +1,44 @@
 #include "plan/compiled_plan.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/strings.h"
 #include "core/partitioned.h"
 
 namespace ses::plan {
+
+std::optional<std::vector<Value>> CompiledPlan::EqualityAlphabet(
+    int attribute) const {
+  const Pattern& pattern = automaton_->pattern();
+  if (attribute < 0 || attribute >= pattern.schema().num_attributes()) {
+    return std::nullopt;
+  }
+  if (pattern.schema().attribute(attribute).type == ValueType::kDouble) {
+    return std::nullopt;
+  }
+  std::vector<bool> covered(pattern.num_variables(), false);
+  std::vector<Value> alphabet;
+  for (const Condition& condition : pattern.conditions()) {
+    if (!condition.is_constant_condition()) continue;
+    const AttributeRef& lhs = condition.lhs();
+    if (lhs.is_timestamp() || lhs.attribute != attribute) continue;
+    if (condition.op() != ComparisonOp::kEq) continue;
+    covered[lhs.variable] = true;
+    alphabet.push_back(condition.constant());
+  }
+  if (!std::all_of(covered.begin(), covered.end(),
+                   [](bool c) { return c; })) {
+    return std::nullopt;
+  }
+  // Values on one non-DOUBLE attribute share its declared type (pattern
+  // validation), so Compare is total here.
+  std::sort(alphabet.begin(), alphabet.end(),
+            [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                 alphabet.end());
+  return alphabet;
+}
 
 Result<std::shared_ptr<const CompiledPlan>> CompilePlan(const Pattern& pattern,
                                                         PlanOptions options) {

@@ -2,6 +2,8 @@
 #define SES_PLAN_COMPILED_PLAN_H_
 
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "common/result.h"
 #include "core/automaton.h"
@@ -65,6 +67,23 @@ class CompiledPlan {
 
   Duration window() const { return automaton_->window(); }
   const PlanOptions& options() const { return options_; }
+
+  /// The plan's event-type alphabet on `attribute`: the set of constants C
+  /// appearing in equality conditions `v.A = C` on that attribute, provided
+  /// EVERY event variable of the pattern carries at least one such
+  /// condition. Under that premise an event whose A-value is outside the
+  /// alphabet cannot bind any variable of the pattern, so a multi-pattern
+  /// evaluator may skip this plan for it without changing the plan's match
+  /// set (docs/SEMANTICS.md §10) — the seam the catalog layer's inverted
+  /// type index (src/catalog/) is built on.
+  ///
+  /// Returns nullopt — "this plan is interested in every event" — when some
+  /// variable lacks an equality condition on `attribute`, when `attribute`
+  /// is out of range, or when the attribute is DOUBLE-typed (floating-point
+  /// equality is not a routing key). The values are deduplicated and
+  /// ordered (Compare), so equal alphabets compare equal. Computed on
+  /// demand from the pattern; call at registration time, not per event.
+  std::optional<std::vector<Value>> EqualityAlphabet(int attribute) const;
 
   /// The per-evaluator options every engine built from this plan must
   /// forward to its Matchers, derived from the plan options.

@@ -1,0 +1,575 @@
+// Differential and lifecycle tests for the multi-pattern catalog layer
+// (src/catalog/): for every registered plan, CatalogEngine's delivered
+// match set must be identical to a standalone engine running that plan
+// alone over the same events — with the shared type index and shared
+// pre-filter bitmap on or off, for N ∈ {1, 10, 100} plans with
+// overlapping alphabets, under skewed type mixes, across per-plan engine
+// kinds, and across add/remove-while-streaming (docs/SEMANTICS.md §10).
+// Plus the registration contract: duplicate ids, schema pinning,
+// remove-then-push, empty catalogs, disjoint alphabets, reuse via Reset.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "catalog/catalog_engine.h"
+#include "catalog/query_catalog.h"
+#include "engine/registry.h"
+#include "plan/compiled_plan.h"
+#include "query/parser.h"
+#include "workload/generic_generator.h"
+#include "workload/paper_fixture.h"
+
+namespace ses {
+namespace {
+
+using ::ses::catalog::CatalogEngine;
+using ::ses::catalog::CatalogOptions;
+using ::ses::catalog::CatalogStats;
+using ::ses::catalog::PlanStats;
+using ::ses::catalog::QueryCatalog;
+using ::ses::plan::CompiledPlan;
+using ::ses::plan::CompilePlan;
+using ::ses::plan::PlanOptions;
+using ::ses::workload::ChemotherapySchema;
+
+std::shared_ptr<const CompiledPlan> MustPlan(const std::string& text,
+                                             PlanOptions options = {}) {
+  Result<Pattern> pattern = ParsePattern(text, ChemotherapySchema());
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  Result<std::shared_ptr<const CompiledPlan>> plan =
+      CompilePlan(*pattern, options);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+/// The overlapping two-type plan family the differential tests register:
+/// plan i watches types T[i % k] then T[(i + 1) % k] of `types`, joined on
+/// ID — so consecutive plans share one type, every type interests
+/// several plans, and all plans carry a complete equality graph on ID
+/// (runnable under every engine kind).
+std::shared_ptr<const CompiledPlan> FamilyPlan(
+    int i, const std::vector<std::string>& types, PlanOptions options = {}) {
+  const std::string& first = types[i % types.size()];
+  const std::string& second = types[(i + 1) % types.size()];
+  return MustPlan("PATTERN {a} -> {x} WHERE a.L = '" + first +
+                      "' AND x.L = '" + second +
+                      "' AND a.ID = x.ID WITHIN 3h",
+                  options);
+}
+
+EventRelation TypedStream(uint64_t seed, int64_t events,
+                          const std::vector<std::string>& types,
+                          bool skewed = false) {
+  workload::StreamOptions options;
+  options.num_events = events;
+  options.num_partitions = 16;
+  options.min_gap = duration::Minutes(1);
+  options.max_gap = duration::Minutes(10);
+  options.seed = seed;
+  options.type_weights.clear();
+  double weight = 1.0;
+  for (const std::string& type : types) {
+    options.type_weights.push_back({type, weight});
+    // Harshly skewed mix: each type half as frequent as the previous one.
+    if (skewed) weight *= 0.5;
+  }
+  return workload::GenerateStream(options);
+}
+
+/// Byte-identity surrogate: canonical order, (start, end, substitution).
+using Signature =
+    std::vector<std::tuple<Timestamp, Timestamp,
+                           std::vector<std::pair<VariableId, EventId>>>>;
+
+Signature SignatureOf(std::vector<Match> matches) {
+  SortMatches(&matches);
+  Signature signature;
+  signature.reserve(matches.size());
+  for (const Match& match : matches) {
+    signature.emplace_back(match.start_time(), match.end_time(),
+                           match.SubstitutionKey());
+  }
+  return signature;
+}
+
+/// Standalone reference: one engine, one plan, the whole stream.
+Signature StandaloneSignature(const std::string& engine_name,
+                              std::shared_ptr<const CompiledPlan> plan,
+                              std::span<const Event> events,
+                              engine::EngineOptions options = {}) {
+  std::vector<Match> matches;
+  options.sink = engine::CollectInto(&matches);
+  Result<std::unique_ptr<engine::Engine>> engine =
+      engine::CreateEngine(engine_name, std::move(plan), std::move(options));
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  Status status = (*engine)->PushBatch(events);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  status = (*engine)->Flush();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return SignatureOf(std::move(matches));
+}
+
+/// Collects per-plan matches from a catalog sink.
+struct DemuxCollector {
+  std::map<std::string, std::vector<Match>> by_plan;
+
+  catalog::CatalogMatchSink Sink() {
+    return [this](std::string_view id, Match&& match) {
+      by_plan[std::string(id)].push_back(std::move(match));
+    };
+  }
+};
+
+std::unique_ptr<CatalogEngine> MustEngine(std::shared_ptr<QueryCatalog> cat,
+                                          CatalogOptions options) {
+  Result<std::unique_ptr<CatalogEngine>> engine =
+      CatalogEngine::Create(std::move(cat), std::move(options));
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+PlanStats StatsFor(const CatalogEngine& engine, const std::string& id) {
+  for (PlanStats& row : engine.plan_stats()) {
+    if (row.id == id) return row;
+  }
+  ADD_FAILURE() << "no plan_stats row for " << id;
+  return {};
+}
+
+TEST(QueryCatalogTest, AddRemoveGenerationAndSnapshots) {
+  QueryCatalog catalog;
+  EXPECT_EQ(catalog.generation(), 0);
+  EXPECT_EQ(catalog.size(), 0u);
+
+  auto plan = FamilyPlan(0, {"A", "B"});
+  ASSERT_TRUE(catalog.Add("q2", plan).ok());
+  ASSERT_TRUE(catalog.Add("q1", plan).ok());
+  EXPECT_EQ(catalog.generation(), 2);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_TRUE(catalog.Contains("q1"));
+
+  // Snapshots are sorted by id and stay valid across later mutations.
+  std::shared_ptr<const catalog::CatalogSnapshot> snapshot =
+      catalog.Snapshot();
+  EXPECT_EQ(snapshot->generation(), 2);
+  ASSERT_EQ(snapshot->size(), 2u);
+  EXPECT_EQ(snapshot->entries()[0].id, "q1");
+  EXPECT_EQ(snapshot->entries()[1].id, "q2");
+
+  ASSERT_TRUE(catalog.Remove("q1").ok());
+  EXPECT_EQ(catalog.generation(), 3);
+  EXPECT_FALSE(catalog.Contains("q1"));
+  EXPECT_EQ(snapshot->size(), 2u);  // old snapshot unchanged
+
+  Status missing = catalog.Remove("q1");
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+}
+
+TEST(QueryCatalogTest, RejectsDuplicateEmptyAndMismatchedPlans) {
+  QueryCatalog catalog;
+  auto plan = FamilyPlan(0, {"A", "B"});
+  ASSERT_TRUE(catalog.Add("q1", plan).ok());
+
+  Status duplicate = catalog.Add("q1", FamilyPlan(1, {"A", "B"}));
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+
+  EXPECT_EQ(catalog.Add("", plan).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.Add("q9", nullptr).code(),
+            StatusCode::kInvalidArgument);
+
+  // A plan over a different schema cannot serve the same stream.
+  Result<Schema> other_schema = Schema::Create({{"K", ValueType::kInt64}});
+  ASSERT_TRUE(other_schema.ok());
+  Result<Pattern> other_pattern =
+      ParsePattern("PATTERN {a} -> {b} WHERE a.K = 1 AND b.K = 1 WITHIN 1h",
+                   *other_schema);
+  ASSERT_TRUE(other_pattern.ok()) << other_pattern.status().ToString();
+  Result<std::shared_ptr<const CompiledPlan>> other_plan =
+      CompilePlan(*other_pattern);
+  ASSERT_TRUE(other_plan.ok());
+  EXPECT_EQ(catalog.Add("q2", *other_plan).code(),
+            StatusCode::kInvalidArgument);
+
+  // Remove-then-re-add under the same id is the supported replace path.
+  ASSERT_TRUE(catalog.Remove("q1").ok());
+  EXPECT_TRUE(catalog.Add("q1", FamilyPlan(2, {"A", "B", "C"})).ok());
+}
+
+TEST(CatalogEngineTest, RejectsBadOptions) {
+  auto catalog = std::make_shared<QueryCatalog>();
+  DemuxCollector collector;
+
+  CatalogOptions no_sink;
+  EXPECT_EQ(CatalogEngine::Create(catalog, std::move(no_sink)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  CatalogOptions bad_engine;
+  bad_engine.sink = collector.Sink();
+  bad_engine.engine = "warp-drive";
+  EXPECT_EQ(
+      CatalogEngine::Create(catalog, std::move(bad_engine)).status().code(),
+      StatusCode::kNotFound);
+
+  // A named routing attribute must exist and must not be DOUBLE.
+  ASSERT_TRUE(catalog->Add("q1", FamilyPlan(0, {"A", "B"})).ok());
+  CatalogOptions bad_attr;
+  bad_attr.sink = collector.Sink();
+  bad_attr.type_attribute = "nope";
+  EXPECT_EQ(
+      CatalogEngine::Create(catalog, std::move(bad_attr)).status().code(),
+      StatusCode::kNotFound);
+  CatalogOptions double_attr;
+  double_attr.sink = collector.Sink();
+  double_attr.type_attribute = "V";
+  EXPECT_EQ(
+      CatalogEngine::Create(catalog, std::move(double_attr)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+/// The core differential: catalog output ≡ standalone engines, plan by
+/// plan, for growing catalog sizes and for every shared-work toggle
+/// combination.
+TEST(CatalogEngineTest, DifferentialAgainstStandaloneEngines) {
+  const std::vector<std::string> types = {"A", "B", "C", "D",
+                                          "E", "F", "G", "H"};
+  EventRelation stream = TypedStream(/*seed=*/17, /*events=*/3000, types);
+  std::span<const Event> events(stream.events());
+
+  for (int num_plans : {1, 10, 100}) {
+    auto catalog = std::make_shared<QueryCatalog>();
+    std::vector<std::shared_ptr<const CompiledPlan>> plans;
+    for (int i = 0; i < num_plans; ++i) {
+      plans.push_back(FamilyPlan(i, types));
+      ASSERT_TRUE(
+          catalog->Add("plan" + std::to_string(i), plans.back()).ok());
+    }
+
+    Signature reference_total;  // computed once per plan below
+    for (int index_on : {1, 0}) {
+      for (int prefilter_on : {1, 0}) {
+        DemuxCollector collector;
+        CatalogOptions options;
+        options.sink = collector.Sink();
+        options.shared_type_index = index_on != 0;
+        options.shared_prefilter = prefilter_on != 0;
+        auto engine = MustEngine(catalog, std::move(options));
+        ASSERT_TRUE(engine->PushBatch(events).ok());
+        ASSERT_TRUE(engine->Flush().ok());
+
+        for (int i = 0; i < num_plans; ++i) {
+          const std::string id = "plan" + std::to_string(i);
+          Signature expected = StandaloneSignature("serial", plans[i], events);
+          Signature actual =
+              SignatureOf(std::move(collector.by_plan[id]));
+          ASSERT_EQ(actual, expected)
+              << "plan " << id << " diverged (N=" << num_plans
+              << ", index=" << index_on << ", prefilter=" << prefilter_on
+              << ")";
+        }
+
+        CatalogStats stats = engine->stats();
+        EXPECT_EQ(stats.events_pushed,
+                  static_cast<int64_t>(events.size()));
+        EXPECT_EQ(stats.num_plans, num_plans);
+        if (index_on) {
+          // Auto-detection must route on L: every family plan has a
+          // complete equality alphabet there.
+          Result<int> l_index = ChemotherapySchema().IndexOf("L");
+          ASSERT_TRUE(l_index.ok());
+          EXPECT_EQ(stats.type_attribute, *l_index);
+          if (num_plans >= 10) {
+            EXPECT_GT(stats.events_skipped_by_index, 0);
+          }
+        } else {
+          EXPECT_EQ(stats.type_attribute, -1);
+          EXPECT_EQ(stats.events_skipped_by_index, 0);
+        }
+        // The accounting identity: every (event, plan) pair while
+        // registered is considered, index-skipped, or prefilter-skipped.
+        EXPECT_EQ(stats.events_considered + stats.events_skipped_by_index +
+                      stats.events_skipped_by_prefilter,
+                  stats.events_pushed * num_plans);
+      }
+    }
+  }
+}
+
+/// Skewed type mix plus plans of mixed shape: typed plans over hot and
+/// cold types, a universal plan with no alphabet on L (but an active
+/// pre-filter), and the shared structures dealing with both at once.
+TEST(CatalogEngineTest, DifferentialSkewedOverlapAndUniversalPlans) {
+  const std::vector<std::string> types = {"A", "B", "C", "D", "E", "F"};
+  EventRelation stream =
+      TypedStream(/*seed=*/29, /*events=*/4000, types, /*skewed=*/true);
+  std::span<const Event> events(stream.events());
+
+  auto catalog = std::make_shared<QueryCatalog>();
+  std::vector<std::pair<std::string, std::shared_ptr<const CompiledPlan>>>
+      plans;
+  for (int i = 0; i < 12; ++i) {
+    plans.emplace_back("typed" + std::to_string(i), FamilyPlan(i, types));
+  }
+  // No equality condition on L for `x` (only a V-range condition): the
+  // plan has no complete alphabet and must see every event.
+  plans.emplace_back(
+      "universal",
+      MustPlan("PATTERN {a} -> {x} WHERE a.L = 'A' AND x.V >= 20 "
+               "AND a.ID = x.ID WITHIN 2h"));
+  // No constant conditions on `x` at all: pre-filter inactive as well.
+  plans.emplace_back(
+      "unfiltered",
+      MustPlan("PATTERN {a} -> {x} WHERE a.L = 'B' AND a.ID = x.ID "
+               "WITHIN 1h"));
+  for (const auto& [id, plan] : plans) {
+    ASSERT_TRUE(catalog->Add(id, plan).ok());
+  }
+
+  DemuxCollector collector;
+  CatalogOptions options;
+  options.sink = collector.Sink();
+  auto engine = MustEngine(catalog, std::move(options));
+  ASSERT_TRUE(engine->PushBatch(events).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+
+  for (const auto& [id, plan] : plans) {
+    Signature expected = StandaloneSignature("serial", plan, events);
+    ASSERT_EQ(SignatureOf(std::move(collector.by_plan[id])), expected)
+        << "plan " << id << " diverged";
+  }
+
+  // Universal plans are never index-skipped.
+  EXPECT_EQ(StatsFor(*engine, "universal").events_skipped_by_index, 0);
+  EXPECT_EQ(StatsFor(*engine, "unfiltered").events_skipped_by_index, 0);
+  // The unfiltered plan consults no shared bitmap either: every event
+  // reaches its engine.
+  EXPECT_EQ(StatsFor(*engine, "unfiltered").events_considered,
+            static_cast<int64_t>(events.size()));
+  // Catalog-side pre-filtering implies the engines' own §4.5 filter sees
+  // only events that pass it: nothing to drop engine-side.
+  for (const PlanStats& row : engine->plan_stats()) {
+    EXPECT_EQ(row.engine.events_filtered, 0) << row.id;
+  }
+  // The shared table deduplicates overlapping constant conditions.
+  CatalogStats stats = engine->stats();
+  EXPECT_GT(stats.plan_conditions, stats.distinct_conditions);
+}
+
+/// Every per-plan engine kind must agree with its own standalone runs.
+TEST(CatalogEngineTest, DifferentialAcrossPerPlanEngineKinds) {
+  const std::vector<std::string> types = {"A", "B", "C", "D"};
+  EventRelation stream = TypedStream(/*seed=*/7, /*events=*/1500, types);
+  std::span<const Event> events(stream.events());
+
+  auto catalog = std::make_shared<QueryCatalog>();
+  std::vector<std::shared_ptr<const CompiledPlan>> plans;
+  for (int i = 0; i < 6; ++i) {
+    plans.push_back(FamilyPlan(i, types));
+    ASSERT_TRUE(catalog->Add("p" + std::to_string(i), plans[i]).ok());
+  }
+
+  for (const std::string engine_name : {"serial", "partitioned", "parallel"}) {
+    DemuxCollector collector;
+    CatalogOptions options;
+    options.sink = collector.Sink();
+    options.engine = engine_name;
+    options.engine_options.num_shards = 2;
+    auto engine = MustEngine(catalog, std::move(options));
+    ASSERT_TRUE(engine->PushBatch(events).ok());
+    ASSERT_TRUE(engine->Flush().ok());
+    for (int i = 0; i < 6; ++i) {
+      engine::EngineOptions standalone_options;
+      standalone_options.num_shards = 2;
+      Signature expected = StandaloneSignature(engine_name, plans[i], events,
+                                               standalone_options);
+      ASSERT_EQ(
+          SignatureOf(std::move(collector.by_plan["p" + std::to_string(i)])),
+          expected)
+          << engine_name << " plan " << i;
+    }
+  }
+}
+
+TEST(CatalogEngineTest, EmptyCatalogIsANoOp) {
+  auto catalog = std::make_shared<QueryCatalog>();
+  DemuxCollector collector;
+  CatalogOptions options;
+  options.sink = collector.Sink();
+  auto engine = MustEngine(catalog, std::move(options));
+
+  EventRelation stream = TypedStream(/*seed=*/3, /*events=*/100, {"A", "B"});
+  ASSERT_TRUE(engine->PushBatch(stream.events()).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_TRUE(collector.by_plan.empty());
+  CatalogStats stats = engine->stats();
+  EXPECT_EQ(stats.events_pushed, 100);
+  EXPECT_EQ(stats.num_plans, 0);
+  EXPECT_EQ(stats.matches, 0);
+  EXPECT_EQ(stats.events_considered, 0);
+}
+
+TEST(CatalogEngineTest, DisjointAlphabetRecordsZeroConsidered) {
+  const std::vector<std::string> stream_types = {"A", "B", "C"};
+  EventRelation stream = TypedStream(/*seed=*/5, /*events=*/500, stream_types);
+
+  auto catalog = std::make_shared<QueryCatalog>();
+  // Watches types that never occur in the stream.
+  ASSERT_TRUE(catalog->Add("ghost", FamilyPlan(0, {"Y", "Z"})).ok());
+  ASSERT_TRUE(catalog->Add("live", FamilyPlan(0, stream_types)).ok());
+
+  DemuxCollector collector;
+  CatalogOptions options;
+  options.sink = collector.Sink();
+  auto engine = MustEngine(catalog, std::move(options));
+  ASSERT_TRUE(engine->PushBatch(stream.events()).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+
+  PlanStats ghost = StatsFor(*engine, "ghost");
+  EXPECT_EQ(ghost.events_considered, 0);
+  EXPECT_EQ(ghost.matches, 0);
+  EXPECT_EQ(ghost.events_skipped_by_index, 500);
+  EXPECT_EQ(ghost.engine.events_pushed, 0);
+  EXPECT_GT(StatsFor(*engine, "live").events_considered, 0);
+}
+
+TEST(CatalogEngineTest, AddWhileStreamingSeesOnlyLaterEvents) {
+  const std::vector<std::string> types = {"A", "B", "C"};
+  EventRelation stream = TypedStream(/*seed=*/11, /*events=*/2000, types);
+  std::span<const Event> events(stream.events());
+  const size_t half = events.size() / 2;
+
+  auto early = FamilyPlan(0, types);
+  auto late = FamilyPlan(1, types);
+
+  auto catalog = std::make_shared<QueryCatalog>();
+  ASSERT_TRUE(catalog->Add("early", early).ok());
+
+  DemuxCollector collector;
+  CatalogOptions options;
+  options.sink = collector.Sink();
+  auto engine = MustEngine(catalog, std::move(options));
+
+  ASSERT_TRUE(engine->PushBatch(events.subspan(0, half)).ok());
+  // Mid-stream registration: takes effect at the next batch boundary.
+  ASSERT_TRUE(catalog->Add("late", late).ok());
+  ASSERT_TRUE(engine->PushBatch(events.subspan(half)).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+
+  EXPECT_EQ(SignatureOf(std::move(collector.by_plan["early"])),
+            StandaloneSignature("serial", early, events));
+  EXPECT_EQ(SignatureOf(std::move(collector.by_plan["late"])),
+            StandaloneSignature("serial", late, events.subspan(half)));
+  // The late plan's accounting starts at its registration.
+  PlanStats late_stats = StatsFor(*engine, "late");
+  EXPECT_EQ(late_stats.events_considered + late_stats.events_skipped_by_index +
+                late_stats.events_skipped_by_prefilter,
+            static_cast<int64_t>(events.size() - half));
+}
+
+TEST(CatalogEngineTest, RemoveThenPushDeliversNothing) {
+  const std::vector<std::string> types = {"A", "B"};
+  EventRelation stream = TypedStream(/*seed=*/13, /*events=*/800, types);
+  std::span<const Event> events(stream.events());
+
+  auto catalog = std::make_shared<QueryCatalog>();
+  ASSERT_TRUE(catalog->Add("doomed", FamilyPlan(0, types)).ok());
+  ASSERT_TRUE(catalog->Add("stays", FamilyPlan(1, types)).ok());
+
+  DemuxCollector collector;
+  CatalogOptions options;
+  options.sink = collector.Sink();
+  auto engine = MustEngine(catalog, std::move(options));
+
+  // Removed before the first event: the plan never sees the stream.
+  ASSERT_TRUE(catalog->Remove("doomed").ok());
+  ASSERT_TRUE(engine->PushBatch(events.subspan(0, 400)).ok());
+  EXPECT_EQ(collector.by_plan.count("doomed"), 0u);
+
+  // Removed mid-stream: matches already delivered stay, nothing arrives
+  // afterwards — including at Flush (partial matches are discarded).
+  const size_t stays_delivered = collector.by_plan["stays"].size();
+  ASSERT_TRUE(catalog->Remove("stays").ok());
+  ASSERT_TRUE(engine->PushBatch(events.subspan(400)).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(collector.by_plan["stays"].size(), stays_delivered);
+  EXPECT_EQ(engine->stats().num_plans, 0);
+}
+
+TEST(CatalogEngineTest, ResetReusesEnginesAndClearsCounters) {
+  const std::vector<std::string> types = {"A", "B", "C"};
+  EventRelation stream = TypedStream(/*seed=*/23, /*events=*/1000, types);
+  std::span<const Event> events(stream.events());
+
+  auto catalog = std::make_shared<QueryCatalog>();
+  auto plan = FamilyPlan(0, types);
+  ASSERT_TRUE(catalog->Add("q", plan).ok());
+
+  DemuxCollector collector;
+  CatalogOptions options;
+  options.sink = collector.Sink();
+  auto engine = MustEngine(catalog, std::move(options));
+  ASSERT_TRUE(engine->PushBatch(events).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  Signature first = SignatureOf(std::move(collector.by_plan["q"]));
+  collector.by_plan.clear();
+
+  // Push after Flush must fail until Reset.
+  EXPECT_EQ(engine->Push(events[0]).code(), StatusCode::kFailedPrecondition);
+
+  engine->Reset();
+  EXPECT_EQ(engine->stats().events_pushed, 0);
+  EXPECT_EQ(StatsFor(*engine, "q").matches, 0);
+  ASSERT_TRUE(engine->PushBatch(events).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(SignatureOf(std::move(collector.by_plan["q"])), first);
+}
+
+TEST(CatalogEngineTest, ExplicitTypeAttributeMatchesAutoDetection) {
+  const std::vector<std::string> types = {"A", "B", "C", "D"};
+  EventRelation stream = TypedStream(/*seed=*/31, /*events=*/1200, types);
+  std::span<const Event> events(stream.events());
+
+  auto catalog = std::make_shared<QueryCatalog>();
+  std::vector<std::shared_ptr<const CompiledPlan>> plans;
+  for (int i = 0; i < 8; ++i) {
+    plans.push_back(FamilyPlan(i, types));
+    ASSERT_TRUE(catalog->Add("p" + std::to_string(i), plans[i]).ok());
+  }
+
+  DemuxCollector collector;
+  CatalogOptions options;
+  options.sink = collector.Sink();
+  options.type_attribute = "L";
+  auto engine = MustEngine(catalog, std::move(options));
+  ASSERT_TRUE(engine->PushBatch(events).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(
+        SignatureOf(std::move(collector.by_plan["p" + std::to_string(i)])),
+        StandaloneSignature("serial", plans[i], events))
+        << "plan " << i;
+  }
+  // Routing on a STRING attribute with no complete alphabet anywhere:
+  // index stays built but routes nothing away (every plan universal).
+  DemuxCollector collector_u;
+  CatalogOptions u_options;
+  u_options.sink = collector_u.Sink();
+  u_options.type_attribute = "U";
+  auto engine_u = MustEngine(catalog, std::move(u_options));
+  ASSERT_TRUE(engine_u->PushBatch(events).ok());
+  ASSERT_TRUE(engine_u->Flush().ok());
+  EXPECT_EQ(engine_u->stats().events_skipped_by_index, 0);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(
+        SignatureOf(std::move(collector_u.by_plan["p" + std::to_string(i)])),
+        StandaloneSignature("serial", plans[i], events))
+        << "plan " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ses
