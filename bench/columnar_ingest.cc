@@ -1,0 +1,146 @@
+// Columnar ingest sweep: row-wise PushBatch vs columnar PushColumnar over
+// the same pre-materialized stream, crossed with batch size (rows per
+// columnar slice) and pre-filter selectivity (share of events the §4.5
+// filter removes, tuned through the chemotherapy workload's lab-noise
+// knob). The columnar path evaluates the pattern's constant conditions as
+// per-column loops into a pass-bitmap and drops filtered rows before any
+// Event is materialized — on filter-heavy streams (clinical data is
+// dominated by events no condition touches) that is the bulk of ingest
+// work, and the sweep's headline number is the filter-heavy speedup
+// recorded in EXPERIMENTS.md. Match counts and filter counts are gated
+// exactly: both paths must agree case-for-case, so the perf gate is also
+// an output-identity check (docs/SEMANTICS.md §11).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/registry.h"
+#include "event/columnar.h"
+#include "plan/compiled_plan.h"
+
+namespace {
+
+using namespace ses;
+using namespace ses::bench;
+
+struct PathCase {
+  double wall_seconds = 0;
+  /// Minimum wall time over the timed runs: the least-noise estimate the
+  /// bench_compare CI gate also uses, and what the speedup column reports.
+  double wall_min = 0;
+  double events_per_sec = 0;
+  int64_t matches = 0;
+};
+
+/// One timed configuration: the serial engine ingesting `relation` either
+/// row-wise or in columnar slices of `batch_rows`. The transpose happens
+/// once outside the timed region — the CSV decoder hands batches over
+/// already columnar (event/csv.h, ReadCsvStringColumnar), so ingest cost
+/// is what the two paths actually differ in.
+PathCase TimedRun(const Harness& harness, BenchReport* report,
+                  const std::string& case_name,
+                  std::shared_ptr<const plan::CompiledPlan> plan,
+                  const EventRelation& relation, bool columnar,
+                  size_t batch_rows) {
+  std::vector<ColumnarBatch> slices;
+  if (columnar) {
+    ColumnarBatch whole = ColumnarBatch::FromEvents(
+        relation.schema(), std::span<const Event>(relation.events()));
+    for (size_t begin = 0; begin < whole.size(); begin += batch_rows) {
+      slices.push_back(
+          whole.Slice(begin, std::min(batch_rows, whole.size() - begin)));
+    }
+  }
+  PathCase out;
+  CaseResult result = harness.Run(
+      case_name, static_cast<int64_t>(relation.size()), [&](CaseRun& run) {
+        std::vector<Match> matches;
+        engine::EngineOptions options;
+        options.sink = engine::CollectInto(&matches);
+        Result<std::unique_ptr<engine::Engine>> engine =
+            engine::CreateEngine("serial", plan, std::move(options));
+        SES_CHECK(engine.ok()) << engine.status().ToString();
+        Status status = Status::OK();
+        if (columnar) {
+          for (const ColumnarBatch& slice : slices) {
+            status = (*engine)->PushColumnar(slice);
+            if (!status.ok()) break;
+          }
+        } else {
+          status = (*engine)->PushBatch(
+              std::span<const Event>(relation.events()));
+        }
+        SES_CHECK(status.ok()) << status.ToString();
+        status = (*engine)->Flush();
+        SES_CHECK(status.ok()) << status.ToString();
+        out.matches = static_cast<int64_t>(matches.size());
+        run.SetCounter("matches", out.matches, /*exact=*/true);
+        run.SetCounter("events_filtered",
+                       (*engine)->stats().events_filtered, /*exact=*/true);
+      });
+  out.wall_seconds = result.wall_seconds.mean;
+  out.wall_min = result.wall_seconds.min;
+  out.events_per_sec = result.events_per_sec;
+  report->Add(std::move(result));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  Harness harness(DefaultHarnessOptions(args));
+  BenchReport report("columnar");
+
+  Pattern pattern =
+      MedicationPattern(3, /*exclusive=*/true, /*group_p=*/true);
+  Result<std::shared_ptr<const plan::CompiledPlan>> plan =
+      plan::CompilePlan(pattern);
+  SES_CHECK(plan.ok()) << plan.status().ToString();
+
+  std::printf("Columnar ingest — row vs vectorized sec. 4.5 pre-filter\n");
+  std::printf("%-16s %12s %14s %10s %10s\n", "case", "wall [s]", "events/s",
+              "matches", "speedup");
+
+  // Selectivity axis: lab noise per cycle. The benchmark patterns touch
+  // none of the "X" lab events, so 90 labs/cycle ≈ 90% of rows filtered
+  // (the paper's clinical regime), 10 ≈ 50%.
+  double filter_heavy_speedup = 0.0;
+  for (int labs : {10, 90}) {
+    workload::ChemotherapyOptions data_options;
+    data_options.lab_measurements_per_cycle = labs;
+    data_options.num_patients = args.full ? 40 : (args.smoke ? 8 : 20);
+    data_options.cycles_per_patient = args.smoke ? 2 : 3;
+    EventRelation relation = workload::GenerateChemotherapy(data_options);
+    const std::string prefix = "lab" + std::to_string(labs);
+
+    PathCase row = TimedRun(harness, &report, prefix + "/row", *plan,
+                            relation, /*columnar=*/false, 0);
+    std::printf("%-16s %12.4f %14.0f %10lld %10s\n",
+                (prefix + "/row").c_str(), row.wall_seconds,
+                row.events_per_sec, static_cast<long long>(row.matches),
+                "1.0x");
+    for (size_t batch_rows : {size_t{1024}, size_t{4096}}) {
+      const std::string name =
+          prefix + "/col" + std::to_string(batch_rows);
+      PathCase col = TimedRun(harness, &report, name, *plan, relation,
+                              /*columnar=*/true, batch_rows);
+      SES_CHECK(col.matches == row.matches)
+          << name << ": columnar path diverged from the row path";
+      const double speedup =
+          col.wall_min > 0 ? row.wall_min / col.wall_min : 0.0;
+      std::printf("%-16s %12.4f %14.0f %10lld %9.2fx\n", name.c_str(),
+                  col.wall_seconds, col.events_per_sec,
+                  static_cast<long long>(col.matches), speedup);
+      if (labs == 90 && batch_rows == 4096) filter_heavy_speedup = speedup;
+    }
+  }
+
+  std::printf(
+      "\nFilter-heavy (lab90, 4096-row batches) columnar speedup: %.2fx\n",
+      filter_heavy_speedup);
+  MaybeWriteReport(args, report);
+  return 0;
+}

@@ -21,6 +21,7 @@
 // with N worker shards. All engines run the same compiled plan and print
 // the same matches in the same canonical order.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,6 +85,12 @@ struct CliArgs {
   long long lateness = 0;
   /// What to do with events later than the bound.
   exec::LatePolicy late_policy = exec::LatePolicy::kReject;
+  /// Columnar ingest: transpose the stream into ColumnarBatch slices and
+  /// push through PushColumnar (vectorized sec. 4.5 pre-filter). Matches
+  /// are identical to the row path (docs/SEMANTICS.md section 11).
+  bool columnar = false;
+  /// Rows per columnar slice.
+  int batch_rows = 4096;
 };
 
 void PrintUsage() {
@@ -95,6 +102,7 @@ void PrintUsage() {
       "               [--threads N] [--batch N]\n"
       "               [--rebalance] [--rebalance-policy v1|v2]\n"
       "               [--lateness N] [--late-policy error|drop]\n"
+      "               [--columnar on|off] [--batch-rows N]\n"
       "               [--type-attribute NAME] [--no-type-index]\n"
       "               [--no-shared-prefilter] [--list-engines]\n"
       "  --demo         run the paper's running example (Figure 1 + Q1)\n"
@@ -135,6 +143,11 @@ void PrintUsage() {
       "  --late-policy error|drop\n"
       "                 events later than the bound fail the run (error,\n"
       "                 default) or are counted and dropped (drop)\n"
+      "  --columnar on|off\n"
+      "                 ingest through columnar batches with the vectorized\n"
+      "                 sec. 4.5 pre-filter (default off; matches are\n"
+      "                 identical either way, see docs/RUNTIME.md)\n"
+      "  --batch-rows N rows per columnar slice (default 4096)\n"
       "  --type-attribute NAME\n"
       "                 routing attribute for the catalog's shared type\n"
       "                 index (default: auto-detect the attribute most\n"
@@ -218,6 +231,22 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--late-policy") == 0) {
       SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
       SES_ASSIGN_OR_RETURN(args.late_policy, exec::ParseLatePolicy(value));
+    } else if (std::strcmp(argv[i], "--columnar") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
+      if (value == "on") {
+        args.columnar = true;
+      } else if (value == "off") {
+        args.columnar = false;
+      } else {
+        return Status::InvalidArgument("--columnar must be on or off");
+      }
+    } else if (std::strcmp(argv[i], "--batch-rows") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
+      args.batch_rows = std::atoi(value.c_str());
+      if (args.batch_rows < 1) {
+        return Status::InvalidArgument(
+            "--batch-rows needs a positive integer");
+      }
     } else if (std::strcmp(argv[i], "--no-filter") == 0) {
       args.no_filter = true;
     } else if (std::strcmp(argv[i], "--shared-const") == 0) {
@@ -320,6 +349,24 @@ engine::EngineOptions MakeEngineOptions(const CliArgs& args) {
   return options;
 }
 
+/// Pushes the loaded events through an engine's columnar ingest in
+/// --batch-rows slices: one transpose up front, then PushColumnar per
+/// slice. Works for engine::Engine and catalog::CatalogEngine alike; the
+/// match set equals the row-wise PushBatch over the same events
+/// (docs/SEMANTICS.md section 11).
+template <typename EngineT>
+Status PushColumnarSlices(EngineT& engine, const Schema& schema,
+                          std::span<const Event> events, int batch_rows) {
+  ColumnarBatch batch = ColumnarBatch::FromEvents(schema, events);
+  const size_t rows = static_cast<size_t>(batch_rows);
+  if (batch.size() <= rows) return engine.PushColumnar(batch);
+  for (size_t begin = 0; begin < batch.size(); begin += rows) {
+    const size_t count = std::min(rows, batch.size() - begin);
+    SES_RETURN_IF_ERROR(engine.PushColumnar(batch.Slice(begin, count)));
+  }
+  return Status::OK();
+}
+
 /// Parses a catalog file (documented in docs/CATALOG.md): entries of the
 /// form
 ///
@@ -415,8 +462,14 @@ Status RunCatalog(const CliArgs& args) {
       std::unique_ptr<catalog::CatalogEngine> engine,
       catalog::CatalogEngine::Create(query_catalog, std::move(options)));
 
-  SES_RETURN_IF_ERROR(
-      engine->PushBatch(std::span<const Event>(data.events)));
+  if (args.columnar) {
+    SES_RETURN_IF_ERROR(PushColumnarSlices(
+        *engine, data.schema, std::span<const Event>(data.events),
+        args.batch_rows));
+  } else {
+    SES_RETURN_IF_ERROR(
+        engine->PushBatch(std::span<const Event>(data.events)));
+  }
   SES_RETURN_IF_ERROR(engine->Flush());
 
   size_t total_matches = 0;
@@ -544,7 +597,14 @@ Status Run(const CliArgs& args) {
   // disorder itself; without one the engine rejects the first
   // non-increasing timestamp, and LoadData already enforced order for
   // ordered sources.
-  SES_RETURN_IF_ERROR(eng->PushBatch(std::span<const Event>(data.events)));
+  if (args.columnar) {
+    SES_RETURN_IF_ERROR(PushColumnarSlices(
+        *eng, data.schema, std::span<const Event>(data.events),
+        args.batch_rows));
+  } else {
+    SES_RETURN_IF_ERROR(
+        eng->PushBatch(std::span<const Event>(data.events)));
+  }
   SES_RETURN_IF_ERROR(eng->Flush());
   // Engines differ in WHEN matches reach the sink; normalize so every
   // engine prints the identical canonical listing.

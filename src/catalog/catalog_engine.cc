@@ -158,6 +158,43 @@ Status CatalogEngine::PushBatch(std::span<const Event> events) {
   return Status::OK();
 }
 
+Status CatalogEngine::PushColumnar(const ColumnarBatch& batch) {
+  if (flushed_) {
+    return Status::FailedPrecondition(
+        "PushColumnar after Flush: call Reset() before pushing a new "
+        "stream");
+  }
+  SES_RETURN_IF_ERROR(Refresh());
+  if (runtimes_.empty()) {
+    events_pushed_ += static_cast<int64_t>(batch.size());
+    return Status::OK();
+  }
+  index_->BeginBatch(batch);
+  Event row_event;
+  for (size_t row = 0; row < batch.size(); ++row) {
+    ++events_pushed_;
+    bool materialized = false;
+    for (int pos : index_->InterestedPlansRow(batch, row)) {
+      PlanRuntime& runtime = *runtimes_[pos];
+      if (!index_->PassesPrefilterRow(pos, row)) {
+        ++runtime.events_skipped_by_prefilter;
+        continue;
+      }
+      ++runtime.events_considered;
+      // First interested passing plan pays the row materialization; the
+      // other plans of this row reuse it.
+      if (!materialized) {
+        row_event = batch.RowEvent(row);
+        materialized = true;
+      }
+      if (Status status = runtime.engine->Push(row_event); !status.ok()) {
+        return TagPlan(runtime.id, status);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status CatalogEngine::Flush() {
   if (flushed_) return Status::OK();
   // Pick up pending removals first: a plan removed before the flush must

@@ -131,6 +131,16 @@ class CatalogEngine {
   /// refresh runs once per call, not per event.
   Status PushBatch(std::span<const Event> events);
 
+  /// Columnar ingest: one pass over the batch in which the shared
+  /// pre-filter table is evaluated per COLUMN (SharedIndex::BeginBatch)
+  /// instead of per event, and the type-index lookup is resolved per
+  /// dictionary code for STRING routing attributes. Each surviving row is
+  /// materialized at most once — lazily, on its first interested passing
+  /// plan — and offered to the per-plan engines in the same order as
+  /// PushBatch over the same events, so every plan's match set and
+  /// counters are unchanged (docs/SEMANTICS.md §11).
+  Status PushColumnar(const ColumnarBatch& batch);
+
   /// End-of-stream barrier: flushes every per-plan engine (delivering all
   /// remaining matches). After Flush, Push fails with FailedPrecondition
   /// until Reset().

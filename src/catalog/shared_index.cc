@@ -1,8 +1,11 @@
 #include "catalog/shared_index.h"
 
 #include <algorithm>
+#include <bit>
 #include <tuple>
 #include <utility>
+
+#include "core/filter.h"
 
 namespace ses::catalog {
 
@@ -19,24 +22,6 @@ int TypeRank(const Value& v) {
   }
   return 3;
 }
-
-/// Dedup identity of a constant condition as a per-event test: the lhs
-/// variable does not participate in EvaluateConstant, so `c.L = 'A'` and
-/// `x.L = 'A'` from different plans are the same bit.
-struct ConditionKey {
-  int attribute;
-  int op;
-  Value value;
-
-  bool operator<(const ConditionKey& other) const {
-    if (attribute != other.attribute) return attribute < other.attribute;
-    if (op != other.op) return op < other.op;
-    const int rank = TypeRank(value);
-    const int other_rank = TypeRank(other.value);
-    if (rank != other_rank) return rank < other_rank;
-    return Compare(value, other.value) < 0;
-  }
-};
 
 }  // namespace
 
@@ -101,18 +86,16 @@ SharedIndex::SharedIndex(const CatalogSnapshot& snapshot,
   // Deduplicate the active pre-filters into the shared condition table.
   masks_.resize(num_plans_);
   if (options_.enable_shared_prefilter) {
-    std::map<ConditionKey, int> table;
+    std::map<ConstantConditionKey, int> table;
     std::vector<std::vector<int>> plan_bits(num_plans_);
     for (int pos = 0; pos < num_plans_; ++pos) {
       const auto& prefilter = entries[pos].plan->shared_prefilter();
       if (prefilter == nullptr || !prefilter->active()) continue;
       for (const Condition& condition : prefilter->constant_conditions()) {
         ++num_plan_conditions_;
-        ConditionKey key{condition.lhs().attribute,
-                         static_cast<int>(condition.op()),
-                         condition.constant()};
         auto [it, inserted] =
-            table.emplace(std::move(key), static_cast<int>(conditions_.size()));
+            table.emplace(ConstantConditionKey::Of(condition),
+                          static_cast<int>(conditions_.size()));
         if (inserted) conditions_.push_back(condition);
         plan_bits[pos].push_back(it->second);
       }
@@ -166,6 +149,85 @@ void SharedIndex::EvaluateBitmap(const Event& event) {
     }
   }
   bitmap_valid_ = true;
+}
+
+void SharedIndex::BeginBatch(const ColumnarBatch& batch) {
+  bitmap_valid_ = false;
+  const size_t row_words = (batch.size() + 63) / 64;
+
+  // Every deduplicated condition once, per column.
+  condition_rows_.resize(conditions_.size());
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    condition_rows_[i].assign(row_words, 0);
+    EvaluateConstantColumnar(conditions_[i], batch,
+                             condition_rows_[i].data());
+  }
+
+  // Fold each plan's condition mask into one row bitmap: row r passes plan
+  // pos iff some condition in the plan's mask holds at r — exactly the
+  // mask-AND-bitmap test of PassesPrefilter, transposed to rows.
+  plan_pass_.resize(masks_.size());
+  for (size_t pos = 0; pos < masks_.size(); ++pos) {
+    const std::vector<uint64_t>& mask = masks_[pos];
+    if (mask.empty()) {
+      plan_pass_[pos].clear();
+      continue;
+    }
+    plan_pass_[pos].assign(row_words, 0);
+    for (size_t word = 0; word < mask.size(); ++word) {
+      uint64_t bits = mask[word];
+      while (bits != 0) {
+        const size_t condition =
+            word * 64 + static_cast<size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::vector<uint64_t>& rows = condition_rows_[condition];
+        for (size_t w = 0; w < row_words; ++w) {
+          plan_pass_[pos][w] |= rows[w];
+        }
+      }
+    }
+  }
+
+  // STRING routing attribute: one typed-plans lookup per dictionary code.
+  code_plans_.clear();
+  if (type_attribute_ >= 0 &&
+      batch.schema().attribute(type_attribute_).type == ValueType::kString) {
+    const ColumnarBatch::StringColumn& column =
+        batch.string_column(type_attribute_);
+    code_plans_.reserve(column.dict.size());
+    for (const std::string& value : column.dict) {
+      auto it = typed_plans_.find(Value(value));
+      code_plans_.push_back(it != typed_plans_.end() ? &it->second : nullptr);
+    }
+  }
+}
+
+const std::vector<int>& SharedIndex::InterestedPlansRow(
+    const ColumnarBatch& batch, size_t row) {
+  if (type_attribute_ < 0) return all_plans_;
+  static const std::vector<int> kEmpty;
+  const std::vector<int>* typed = &kEmpty;
+  if (batch.schema().attribute(type_attribute_).type == ValueType::kString) {
+    const std::vector<int>* resolved =
+        code_plans_[batch.string_column(type_attribute_).codes[row]];
+    if (resolved != nullptr) typed = resolved;
+  } else {
+    auto it = typed_plans_.find(
+        Value(batch.int64_column(type_attribute_)[row]));
+    if (it != typed_plans_.end()) typed = &it->second;
+  }
+  if (universal_plans_.empty()) return *typed;
+  interested_.clear();
+  interested_.reserve(typed->size() + universal_plans_.size());
+  std::merge(typed->begin(), typed->end(), universal_plans_.begin(),
+             universal_plans_.end(), std::back_inserter(interested_));
+  return interested_;
+}
+
+bool SharedIndex::PassesPrefilterRow(int pos, size_t row) const {
+  const std::vector<uint64_t>& pass = plan_pass_[pos];
+  if (pass.empty()) return true;
+  return ((pass[row >> 6] >> (row & 63)) & 1) != 0;
 }
 
 }  // namespace ses::catalog

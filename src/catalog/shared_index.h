@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/query_catalog.h"
+#include "event/columnar.h"
 #include "event/event.h"
 #include "query/condition.h"
 
@@ -85,6 +86,28 @@ class SharedIndex {
   /// BeginEvent(e) and the next BeginEvent, with `e` the same event.
   bool PassesPrefilter(int pos, const Event& event);
 
+  /// Columnar batch protocol, the vectorized twin of BeginEvent/
+  /// InterestedPlans/PassesPrefilter: BeginBatch evaluates the whole
+  /// deduplicated condition table per column (core/filter.h,
+  /// EvaluateConstantColumnar) and folds each plan's mask into one
+  /// pass-bitmap over the batch's ROWS, so the per-row prefilter answer is
+  /// a single bit test. For a STRING routing attribute the typed-plan
+  /// lookup is resolved once per dictionary code, not once per row.
+  /// Answers are row-for-row identical to the per-event protocol over the
+  /// same events (differential-tested in tests/columnar_test.cc).
+  void BeginBatch(const ColumnarBatch& batch);
+
+  /// Plans row `row` must be offered to; reference valid until the next
+  /// InterestedPlansRow/InterestedPlans/BeginBatch call. Call only between
+  /// BeginBatch(b) and the next BeginBatch/BeginEvent, with `b` the same
+  /// batch.
+  const std::vector<int>& InterestedPlansRow(const ColumnarBatch& batch,
+                                             size_t row);
+
+  /// Whether plan `pos` must process row `row` of the batch passed to
+  /// BeginBatch.
+  bool PassesPrefilterRow(int pos, size_t row) const;
+
  private:
   /// Strict weak order over Values of possibly different types: rank by
   /// type, Compare within a type (mixed numeric types cannot meet here —
@@ -119,6 +142,15 @@ class SharedIndex {
   std::vector<uint64_t> bitmap_;
   bool bitmap_valid_ = false;
   std::vector<int> interested_;
+
+  /// Per-batch scratch (BeginBatch). plan_pass_[pos] is plan pos's
+  /// pass-bitmap over the batch rows; empty = no active pre-filter (pass
+  /// always). condition_rows_[i] is condition i's row bitmap.
+  std::vector<std::vector<uint64_t>> condition_rows_;
+  std::vector<std::vector<uint64_t>> plan_pass_;
+  /// STRING routing attribute only: dictionary code → typed plan list
+  /// (null = no plan's alphabet contains the value).
+  std::vector<const std::vector<int>*> code_plans_;
 };
 
 }  // namespace ses::catalog

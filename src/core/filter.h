@@ -1,8 +1,10 @@
 #ifndef SES_CORE_FILTER_H_
 #define SES_CORE_FILTER_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "event/columnar.h"
 #include "event/event.h"
 #include "query/pattern.h"
 
@@ -43,6 +45,73 @@ class EventPreFilter {
  private:
   std::vector<Condition> constant_conditions_;
   bool active_ = false;
+};
+
+/// Dedup identity of a constant condition as a per-event test: the lhs
+/// variable does not participate in EvaluateConstant, so `c.L = 'A'` and
+/// `x.L = 'A'` from different variables (or different plans — the catalog's
+/// shared pre-filter table keys on this too) are the same test.
+struct ConstantConditionKey {
+  int attribute;
+  int op;
+  Value value;
+
+  static ConstantConditionKey Of(const Condition& condition);
+
+  bool operator<(const ConstantConditionKey& other) const;
+};
+
+/// Evaluates one constant condition `v.A φ C` over every row of a columnar
+/// batch, OR-ing a 1 bit into `words` (bit r of word r/64) for each row
+/// that satisfies it. `words` must hold (batch.size() + 63) / 64 zero- or
+/// partially-filled words; bits for non-satisfying rows are left untouched,
+/// so successive calls accumulate the §4.5 disjunction.
+///
+/// This is the vectorized twin of Condition::EvaluateConstant: INT64 /
+/// DOUBLE / timestamp attributes run one tight loop over the flat column,
+/// STRING attributes evaluate the condition once per dictionary code and
+/// then map codes — no per-row Value materialization anywhere. Both paths
+/// fold down to the same CompareTyped overloads (event/value.h), which is
+/// what makes the row-vs-columnar equivalence an identity, not a
+/// re-implementation.
+void EvaluateConstantColumnar(const Condition& condition,
+                              const ColumnarBatch& batch, uint64_t* words);
+
+/// Batch form of EventPreFilter: the same §4.5 activation rule and the
+/// same constant conditions, deduplicated by ConstantConditionKey and
+/// evaluated per column instead of per event. For every batch it produces
+/// a pass-bitmap — bit r set iff EventPreFilter::ShouldProcess would
+/// return true for row r — which the engines consume to drop filtered
+/// rows before they are materialized, routed, or offered to automata.
+class VectorizedPreFilter {
+ public:
+  explicit VectorizedPreFilter(const Pattern& pattern);
+
+  /// False if the optimization is disabled because the pattern has a
+  /// variable without constant conditions. An inactive filter passes every
+  /// row (EvaluateAny sets all bits).
+  bool active() const { return active_; }
+
+  /// The deduplicated constant conditions EvaluateAny tests.
+  const std::vector<Condition>& conditions() const { return conditions_; }
+
+  /// Computes the pass-bitmap for `batch` into `pass` (resized to
+  /// (batch.size() + 63) / 64 words; bit r of word r/64 = row r passes).
+  /// Tail bits beyond batch.size() are zero.
+  void EvaluateAny(const ColumnarBatch& batch,
+                   std::vector<uint64_t>* pass) const;
+
+ private:
+  std::vector<Condition> conditions_;
+  bool active_ = false;
+  /// Conditions on STRING attributes, grouped by attribute (indices into
+  /// conditions_): their per-dictionary-code verdicts OR into one combined
+  /// verdict, so the row pass over the code column runs once per attribute
+  /// instead of once per condition.
+  std::vector<std::pair<int, std::vector<int>>> string_groups_;
+  /// Indices of the remaining conditions (INT64 / DOUBLE / timestamp),
+  /// evaluated per flat column.
+  std::vector<int> flat_conditions_;
 };
 
 }  // namespace ses

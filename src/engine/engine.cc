@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <optional>
 #include <string>
@@ -208,6 +209,15 @@ class ParallelEngine : public Engine {
     return matcher_->PushBatch(scratch_);
   }
 
+  Status PushColumnarOrdered(const ColumnarBatch& batch,
+                             const uint64_t* pass) override {
+    // The base class already applied the vectorized pre-filter (the bitmap
+    // IS this engine's ingest filter — same plan, same conditions), so the
+    // sharded runtime routes straight off the columns without the row-wise
+    // re-check.
+    return matcher_->PushColumnar(batch, pass);
+  }
+
   Status FlushImpl() override {
     in_flush_ = true;
     Status status = matcher_->Flush(nullptr);
@@ -277,7 +287,14 @@ class BruteForceEngine : public Engine {
     // replay buffer's prune cutoff (otherwise the buffer could drop events
     // a delayed match still needs).
     const bool visible = filter_ == nullptr || filter_->ShouldProcess(event);
-    if (visible) recent_.push_back(event);
+    if (visible) {
+      recent_.push_back(event);
+    } else {
+      // The internal per-ordering matchers drop the event themselves;
+      // count it here so the engine's filter counter matches the other
+      // engines (and the columnar path's bitmap accounting).
+      ++stats_.events_filtered;
+    }
     Deliver(/*early=*/true);
     if (visible) {
       const Timestamp cutoff = event.timestamp() - plan_->window();
@@ -411,6 +428,10 @@ Status Engine::PushBatch(std::span<const Event> events) {
         "PushBatch after Flush: call Reset() before pushing a new stream");
   }
   events_pushed_ += static_cast<int64_t>(events.size());
+  return IngestSpan(events);
+}
+
+Status Engine::IngestSpan(std::span<const Event> events) {
   if (reorder_ != nullptr) {
     released_.clear();
     Status status = reorder_->PushBatch(events, &released_);
@@ -461,6 +482,62 @@ Status Engine::PushBatch(std::span<const Event> events) {
   return PushBatchOrdered(released_);
 }
 
+Status Engine::PushColumnar(const ColumnarBatch& batch) {
+  if (flushed_) {
+    return Status::FailedPrecondition(
+        "PushColumnar after Flush: call Reset() before pushing a new stream");
+  }
+  events_pushed_ += static_cast<int64_t>(batch.size());
+  if (batch.empty()) return Status::OK();
+  const std::vector<Timestamp>& timestamps = batch.timestamps();
+  bool in_order = reorder_ == nullptr;
+  if (in_order) {
+    Timestamp last = last_timestamp_;
+    bool has_last = has_last_timestamp_;
+    for (Timestamp ts : timestamps) {
+      if (has_last && ts <= last) {
+        in_order = false;
+        break;
+      }
+      last = ts;
+      has_last = true;
+    }
+  }
+  if (!in_order) {
+    // Reorder stage engaged, or the batch violates strict ordering:
+    // materialize the rows and reuse the row-wise lateness machinery, so
+    // the two ingest paths agree on every reject/drop decision.
+    std::vector<Event> rows = batch.ToEvents();
+    return IngestSpan(rows);
+  }
+  last_timestamp_ = timestamps.back();
+  has_last_timestamp_ = true;
+  const uint64_t* pass = nullptr;
+  if (const auto& filter = plan_->shared_vector_prefilter();
+      filter != nullptr && filter->active()) {
+    filter->EvaluateAny(batch, &pass_words_);
+    pass = pass_words_.data();
+    size_t passing = 0;
+    for (uint64_t word : pass_words_) passing += std::popcount(word);
+    events_filtered_columnar_ +=
+        static_cast<int64_t>(batch.size() - passing);
+  }
+  return PushColumnarOrdered(batch, pass);
+}
+
+Status Engine::PushColumnarOrdered(const ColumnarBatch& batch,
+                                   const uint64_t* pass) {
+  columnar_rows_.clear();
+  for (size_t row = 0; row < batch.size(); ++row) {
+    if (pass != nullptr && ((pass[row >> 6] >> (row & 63)) & 1) == 0) {
+      continue;
+    }
+    columnar_rows_.push_back(batch.RowEvent(row));
+  }
+  if (columnar_rows_.empty()) return Status::OK();
+  return PushBatchOrdered(columnar_rows_);
+}
+
 Status Engine::Flush() {
   if (reorder_ != nullptr && !flushed_) {
     released_.clear();
@@ -482,12 +559,14 @@ void Engine::Reset() {
   flushed_ = false;
   events_pushed_ = 0;
   events_late_ = 0;
+  events_filtered_columnar_ = 0;
   ResetImpl();
 }
 
 EngineStats Engine::stats() const {
   EngineStats stats = StatsImpl();
   stats.events_pushed = events_pushed_;
+  stats.events_filtered += events_filtered_columnar_;
   if (reorder_ != nullptr) {
     const exec::ReorderStats& reorder = reorder_->stats();
     stats.events_reordered = reorder.events_reordered;

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/time.h"
 #include "core/match.h"
+#include "event/columnar.h"
 #include "exec/rebalancer.h"
 #include "exec/reorder_buffer.h"
 #include "plan/compiled_plan.h"
@@ -150,6 +151,21 @@ class Engine {
   /// `lateness_bound == 0` are forwarded to the engine without copying.
   Status PushBatch(std::span<const Event> events);
 
+  /// Columnar ingest: pushes every row of `batch` (same stream contract as
+  /// PushBatch) without materializing row-wise Events on the fast path.
+  /// The batch's schema must be the plan's schema. When the rows are in
+  /// order and no reorder stage is engaged, the base class verifies the
+  /// ordering directly on the timestamp column, evaluates the plan's
+  /// vectorized §4.5 pre-filter (plan::CompiledPlan::
+  /// shared_vector_prefilter) into a pass-bitmap, counts the dropped rows,
+  /// and hands batch + bitmap to the engine hook; rows the bitmap drops
+  /// are never materialized, routed, or offered to an automaton. Out-of-
+  /// order rows (or an engaged reorder stage) fall back to the row-wise
+  /// ingest logic, so the lateness contract is byte-for-byte the
+  /// PushBatch one. The delivered match set is identical either way
+  /// (docs/SEMANTICS.md §11).
+  Status PushColumnar(const ColumnarBatch& batch);
+
   /// End-of-stream barrier: releases everything the reorder stage still
   /// holds, then delivers every remaining match to the sink and snapshots
   /// stats(). The engine stays usable for stats reads; Reset() before
@@ -179,6 +195,14 @@ class Engine {
   /// Default loops over PushOrdered; the parallel engine overrides it with
   /// genuinely batched ingest.
   virtual Status PushBatchOrdered(std::span<const Event> events);
+  /// Columnar hook: `pass` is the §4.5 pass-bitmap (bit r of word r/64 =
+  /// row r must be processed), or nullptr when every row passes (filter
+  /// disabled or inactive). The base class has already verified ordering
+  /// and counted the filtered rows. The default materializes the passing
+  /// rows and forwards to PushBatchOrdered; the parallel engine overrides
+  /// it to route straight off the columns.
+  virtual Status PushColumnarOrdered(const ColumnarBatch& batch,
+                                     const uint64_t* pass);
   virtual Status FlushImpl() = 0;
   virtual void ResetImpl() = 0;
   virtual EngineStats StatsImpl() const = 0;
@@ -190,6 +214,11 @@ class Engine {
   /// Handles one bound-violating event on the lateness_bound == 0 path.
   Status HandleLate(const Event& event);
 
+  /// The ordering/lateness stage of PushBatch, after the flushed check and
+  /// the events_pushed accounting (PushColumnar's out-of-order fallback
+  /// re-enters here with materialized rows).
+  Status IngestSpan(std::span<const Event> events);
+
   /// Reorder stage; engaged only when options_.lateness_bound > 0.
   std::unique_ptr<exec::ReorderBuffer> reorder_;
   /// Scratch for events released by the reorder stage.
@@ -200,6 +229,14 @@ class Engine {
   bool flushed_ = false;
   int64_t events_pushed_ = 0;
   int64_t events_late_ = 0;
+  /// Rows the columnar pre-filter dropped before the engine hook; added to
+  /// StatsImpl().events_filtered in stats() so row and columnar ingest
+  /// report the same totals (the executor-side filter never sees these).
+  int64_t events_filtered_columnar_ = 0;
+  /// Pass-bitmap scratch for PushColumnar, reused across batches.
+  std::vector<uint64_t> pass_words_;
+  /// Row materialization scratch of the default PushColumnarOrdered.
+  std::vector<Event> columnar_rows_;
 };
 
 /// A sink that appends every match to `*out` (not owned; must outlive the

@@ -1,0 +1,121 @@
+#ifndef SES_EVENT_COLUMNAR_H_
+#define SES_EVENT_COLUMNAR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/time.h"
+#include "event/event.h"
+#include "event/schema.h"
+
+namespace ses {
+
+/// A batch of events in columnar layout: one contiguous typed vector per
+/// schema attribute plus id and timestamp columns. The row-wise Event is a
+/// tuple of variant Values — every attribute access pays the variant
+/// dispatch and, for strings, a heap-allocated copy per event. The columnar
+/// layout stores INT64 and DOUBLE attributes as flat arrays and STRING
+/// attributes dictionary-encoded (one int32 code per row into a table of
+/// distinct values), so the §4.5 pre-filter can evaluate each constant
+/// condition as a tight per-column loop (core/filter.h,
+/// EvaluateConstantColumnar) and routing can hash partition keys straight
+/// off the column.
+///
+/// The conversion is loss-free: ToEvents() of FromEvents(rows) reproduces
+/// ids, timestamps, and values exactly (dictionary encoding preserves
+/// duplicate strings; doubles round-trip bit-for-bit because they are
+/// stored, never re-parsed). A batch does not enforce timestamp order —
+/// ordering is the ingest contract of the engine consuming it
+/// (engine::Engine::PushColumnar), exactly as with row-wise spans.
+class ColumnarBatch {
+ public:
+  /// INT64 / DOUBLE columns are flat arrays indexed by row.
+  using Int64Column = std::vector<int64_t>;
+  using DoubleColumn = std::vector<double>;
+
+  /// Dictionary-encoded STRING column: codes[row] indexes dict, which
+  /// holds the distinct values in first-appearance order.
+  struct StringColumn {
+    std::vector<int32_t> codes;
+    std::vector<std::string> dict;
+  };
+
+  /// An empty batch over `schema` (one empty column per attribute).
+  explicit ColumnarBatch(Schema schema);
+  ColumnarBatch() = default;
+
+  /// Transposes row-wise events into columns. Every event must match the
+  /// schema (arity and value types) — callers hold relation- or
+  /// CSV-validated events, so a mismatch is a programming error (checked).
+  static ColumnarBatch FromEvents(const Schema& schema,
+                                  std::span<const Event> events);
+
+  /// Materializes every row back into events, in row order. Loss-free
+  /// inverse of FromEvents.
+  std::vector<Event> ToEvents() const;
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return timestamps_.size(); }
+  bool empty() const { return timestamps_.empty(); }
+
+  EventId id(size_t row) const { return ids_[row]; }
+  Timestamp timestamp(size_t row) const { return timestamps_[row]; }
+  const std::vector<EventId>& ids() const { return ids_; }
+  const std::vector<Timestamp>& timestamps() const { return timestamps_; }
+
+  /// Row-view accessors: materialize one cell / one row on demand.
+  Value ValueAt(size_t row, int attribute) const;
+  Event RowEvent(size_t row) const;
+
+  /// Typed column access; the attribute's declared schema type must match
+  /// (checked).
+  const Int64Column& int64_column(int attribute) const;
+  const DoubleColumn& double_column(int attribute) const;
+  const StringColumn& string_column(int attribute) const;
+
+  /// Appends one row. `values` must match the schema (checked). String
+  /// values are interned into the column dictionary.
+  void AppendRow(EventId id, Timestamp timestamp,
+                 std::span<const Value> values);
+
+  /// Column-major append for decoders that never materialize a Value row
+  /// (event/csv.h): reserve the row with the id/timestamp columns, then
+  /// fill each attribute cell in order.
+  void AppendIdTimestamp(EventId id, Timestamp timestamp);
+  void AppendInt64(int attribute, int64_t value);
+  void AppendDouble(int attribute, double value);
+  void AppendString(int attribute, std::string value);
+
+  /// Overwrites the id column (CSV decode assigns ids by timestamp rank
+  /// after all rows are parsed). Must match size().
+  void SetIds(std::vector<EventId> ids);
+
+  /// A copy of rows [begin, begin + count): the slicing primitive behind
+  /// the CLI's --batch-rows ingest. Dictionaries are rebuilt over the
+  /// slice, so a slice never retains values its rows do not use.
+  ColumnarBatch Slice(size_t begin, size_t count) const;
+
+ private:
+  using Column = std::variant<Int64Column, DoubleColumn, StringColumn>;
+
+  /// Interns `value` into column `attribute`'s dictionary and returns its
+  /// code.
+  int32_t Intern(int attribute, std::string value);
+
+  Schema schema_;
+  std::vector<EventId> ids_;
+  std::vector<Timestamp> timestamps_;
+  std::vector<Column> columns_;
+  /// Per-STRING-column dictionary index (value → code), kept alongside the
+  /// column so interning stays O(1) while building.
+  std::vector<std::unordered_map<std::string, int32_t>> dict_index_;
+};
+
+}  // namespace ses
+
+#endif  // SES_EVENT_COLUMNAR_H_

@@ -74,20 +74,12 @@ Result<std::vector<std::string>> SplitRecord(std::string_view line) {
   return fields;
 }
 
-Result<Value> ParseField(const std::string& field, ValueType type) {
-  switch (type) {
-    case ValueType::kInt64: {
-      SES_ASSIGN_OR_RETURN(int64_t v, strings::ParseInt64(field));
-      return Value(v);
-    }
-    case ValueType::kDouble: {
-      SES_ASSIGN_OR_RETURN(double v, strings::ParseDouble(field));
-      return Value(v);
-    }
-    case ValueType::kString:
-      return Value(field);
-  }
-  return Status::Internal("unreachable value type");
+/// Re-issues a field-level parse error with the 1-based data row and the
+/// offending column name attached ("CSV row 3 column 'dose': ...").
+Status TagCell(size_t row, const std::string& column, const Status& status) {
+  return Status(status.code(),
+                strings::Format("CSV row %zu column '%s': %s", row,
+                                column.c_str(), status.message().c_str()));
 }
 
 }  // namespace
@@ -119,8 +111,8 @@ Status WriteCsvFile(const EventRelation& relation, const std::string& path) {
   return Status::OK();
 }
 
-Result<std::vector<Event>> ReadCsvStringArrivalOrder(
-    const std::string& contents, const Schema& schema) {
+Result<ColumnarBatch> ReadCsvStringColumnar(const std::string& contents,
+                                            const Schema& schema) {
   // Split into records, respecting quotes that span newlines.
   std::vector<std::string> records;
   {
@@ -164,7 +156,7 @@ Result<std::vector<Event>> ReadCsvStringArrivalOrder(
     }
   }
 
-  std::vector<Event> events;
+  ColumnarBatch batch(schema);
   for (size_t r = 1; r < records.size(); ++r) {
     if (records[r].empty()) continue;  // allow trailing blank line
     SES_ASSIGN_OR_RETURN(std::vector<std::string> fields,
@@ -174,28 +166,52 @@ Result<std::vector<Event>> ReadCsvStringArrivalOrder(
           strings::Format("CSV row %zu has %zu fields, expected %d", r,
                           fields.size(), schema.num_attributes() + 1));
     }
-    SES_ASSIGN_OR_RETURN(int64_t ts, strings::ParseInt64(fields[0]));
-    std::vector<Value> values;
-    values.reserve(schema.num_attributes());
+    Result<int64_t> ts = strings::ParseInt64(fields[0]);
+    if (!ts.ok()) return TagCell(r, "T", ts.status());
+    batch.AppendIdTimestamp(kInvalidEventId, *ts);
     for (int i = 0; i < schema.num_attributes(); ++i) {
-      SES_ASSIGN_OR_RETURN(Value v,
-                           ParseField(fields[i + 1], schema.attribute(i).type));
-      values.push_back(std::move(v));
+      const Attribute& attr = schema.attribute(i);
+      switch (attr.type) {
+        case ValueType::kInt64: {
+          Result<int64_t> v = strings::ParseInt64(fields[i + 1]);
+          if (!v.ok()) return TagCell(r, attr.name, v.status());
+          batch.AppendInt64(i, *v);
+          break;
+        }
+        case ValueType::kDouble: {
+          Result<double> v = strings::ParseDouble(fields[i + 1]);
+          if (!v.ok()) return TagCell(r, attr.name, v.status());
+          batch.AppendDouble(i, *v);
+          break;
+        }
+        case ValueType::kString:
+          batch.AppendString(i, std::move(fields[i + 1]));
+          break;
+      }
     }
-    events.emplace_back(kInvalidEventId, ts, std::move(values));
   }
   // Ids by timestamp rank (stable on ties): the id a row would carry in
   // the in-order rendering of the same file, so listings diff cleanly
   // across arrival orders.
-  std::vector<size_t> rank(events.size());
+  const std::vector<Timestamp>& timestamps = batch.timestamps();
+  std::vector<size_t> rank(batch.size());
   for (size_t i = 0; i < rank.size(); ++i) rank[i] = i;
   std::stable_sort(rank.begin(), rank.end(), [&](size_t a, size_t b) {
-    return events[a].timestamp() < events[b].timestamp();
+    return timestamps[a] < timestamps[b];
   });
+  std::vector<EventId> ids(batch.size());
   for (size_t i = 0; i < rank.size(); ++i) {
-    events[rank[i]].set_id(static_cast<EventId>(i) + 1);
+    ids[rank[i]] = static_cast<EventId>(i) + 1;
   }
-  return events;
+  batch.SetIds(std::move(ids));
+  return batch;
+}
+
+Result<std::vector<Event>> ReadCsvStringArrivalOrder(
+    const std::string& contents, const Schema& schema) {
+  SES_ASSIGN_OR_RETURN(ColumnarBatch batch,
+                       ReadCsvStringColumnar(contents, schema));
+  return batch.ToEvents();
 }
 
 Result<EventRelation> ReadCsvString(const std::string& contents,
@@ -225,6 +241,15 @@ Result<std::vector<Event>> ReadCsvFileArrivalOrder(const std::string& path,
   std::ostringstream buffer;
   buffer << file.rdbuf();
   return ReadCsvStringArrivalOrder(buffer.str(), schema);
+}
+
+Result<ColumnarBatch> ReadCsvFileColumnar(const std::string& path,
+                                          const Schema& schema) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadCsvStringColumnar(buffer.str(), schema);
 }
 
 }  // namespace ses

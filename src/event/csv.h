@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "event/columnar.h"
 #include "event/relation.h"
 
 namespace ses {
@@ -46,6 +47,21 @@ Result<std::vector<Event>> ReadCsvStringArrivalOrder(
 /// Reads arrival-ordered events from `path`.
 Result<std::vector<Event>> ReadCsvFileArrivalOrder(const std::string& path,
                                                    const Schema& schema);
+
+/// Decodes CSV straight into a columnar batch: each field is parsed into
+/// its typed column (strings interned into the column dictionary) without
+/// ever materializing a row-wise Event or Value vector. This is the single
+/// decode path — the row-wise readers above are thin wrappers over it, so
+/// both produce identical events (same rank-assigned ids, same values).
+/// Rows keep arrival order; feed the batch to an engine with a lateness
+/// bound if the file may be shuffled. Parse errors name the offending
+/// 1-based data row and column ("CSV row 3 column 'dose': ...").
+Result<ColumnarBatch> ReadCsvStringColumnar(const std::string& contents,
+                                            const Schema& schema);
+
+/// Reads a columnar batch from `path`.
+Result<ColumnarBatch> ReadCsvFileColumnar(const std::string& path,
+                                          const Schema& schema);
 
 }  // namespace ses
 

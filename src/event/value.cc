@@ -49,11 +49,11 @@ std::string Value::ToString() const {
 }
 
 bool operator==(const Value& a, const Value& b) {
+  // Incomparable types are unequal rather than an error: equality is used
+  // on heterogeneous containers (alphabet keys), not just validated
+  // condition operands.
   if (a.is_string() != b.is_string()) return false;
-  if (a.is_string()) return a.string() == b.string();
-  // Numeric: compare exactly when both int64, otherwise as doubles.
-  if (a.is_int64() && b.is_int64()) return a.int64() == b.int64();
-  return a.AsNumber() == b.AsNumber();
+  return Compare(a, b) == 0;
 }
 
 bool TypesComparable(ValueType a, ValueType b) {
@@ -66,15 +66,9 @@ int Compare(const Value& a, const Value& b) {
   SES_CHECK(TypesComparable(a.type(), b.type()))
       << "incomparable value types: " << ValueTypeToString(a.type()) << " vs "
       << ValueTypeToString(b.type());
-  if (a.is_string()) {
-    return a.string().compare(b.string());
-  }
-  if (a.is_int64() && b.is_int64()) {
-    int64_t x = a.int64(), y = b.int64();
-    return x < y ? -1 : (x > y ? 1 : 0);
-  }
-  double x = a.AsNumber(), y = b.AsNumber();
-  return x < y ? -1 : (x > y ? 1 : 0);
+  if (a.is_string()) return CompareTyped(std::string_view(a.string()), b);
+  if (a.is_int64()) return CompareTyped(a.int64(), b);
+  return CompareTyped(a.as_double(), b);
 }
 
 }  // namespace ses

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <variant>
 
+#include "common/logging.h"
 #include "common/result.h"
 
 namespace ses {
@@ -71,8 +72,46 @@ class Value {
 /// (numeric vs numeric, or string vs string).
 bool TypesComparable(ValueType a, ValueType b);
 
+/// Typed-dispatch three-way comparison against a Value constant. These
+/// three overloads are THE definition of comparison semantics — Compare()
+/// below, Value::operator==, and the vectorized pre-filter kernels
+/// (core/filter.h) are all built on them, so NaN and mixed-numeric
+/// behavior lives in exactly one place:
+///   * int64 vs int64 compares exactly (no double rounding);
+///   * any other numeric pair compares as doubles via
+///     `x < y ? -1 : (x > y ? 1 : 0)`, so a NaN operand yields 0
+///     ("neither less nor greater"), making kEq hold and kLt/kGt fail;
+///   * strings compare lexicographically (sign of compare()).
+/// The constant's type must be comparable with the lhs (checked).
+inline int CompareTyped(int64_t lhs, const Value& constant) {
+  SES_CHECK(!constant.is_string())
+      << "incomparable value types: INT vs STRING";
+  if (constant.is_int64()) {
+    int64_t y = constant.int64();
+    return lhs < y ? -1 : (lhs > y ? 1 : 0);
+  }
+  double x = static_cast<double>(lhs), y = constant.as_double();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+inline int CompareTyped(double lhs, const Value& constant) {
+  SES_CHECK(!constant.is_string())
+      << "incomparable value types: DOUBLE vs STRING";
+  double y = constant.AsNumber();
+  return lhs < y ? -1 : (lhs > y ? 1 : 0);
+}
+
+inline int CompareTyped(std::string_view lhs, const Value& constant) {
+  SES_CHECK(constant.is_string())
+      << "incomparable value types: STRING vs "
+      << (constant.is_int64() ? "INT" : "DOUBLE");
+  int cmp = lhs.compare(constant.string());
+  return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+}
+
 /// Three-way comparison: negative if a<b, 0 if equal, positive if a>b.
 /// The types must be comparable (checked; guaranteed by pattern validation).
+/// Dispatches to the CompareTyped overloads above.
 int Compare(const Value& a, const Value& b);
 
 }  // namespace ses

@@ -401,6 +401,69 @@ struct ParallelPartitionedMatcher::Impl {
     return Status::OK();
   }
 
+  Status IngestColumnar(const ColumnarBatch& batch,
+                        const uint64_t* pass_bitmap) {
+    const size_t n = batch.size();
+    const size_t slab_threshold = options.batch_size * 8;
+    const bool string_key =
+        batch.schema().attribute(attribute).type == ValueType::kString;
+    // Hash each distinct STRING key once per batch instead of once per
+    // row; INT64 keys hash straight off the flat column.
+    const ColumnarBatch::StringColumn* string_keys = nullptr;
+    const int64_t* int_keys = nullptr;
+    std::vector<size_t> code_hash;
+    if (string_key) {
+      string_keys = &batch.string_column(attribute);
+      code_hash.reserve(string_keys->dict.size());
+      for (const std::string& value : string_keys->dict) {
+        code_hash.push_back(std::hash<std::string>{}(value));
+      }
+    } else {
+      int_keys = batch.int64_column(attribute).data();
+    }
+    for (size_t row = 0; row < n; ++row) {
+      if (pass_bitmap != nullptr &&
+          ((pass_bitmap[row >> 6] >> (row & 63)) & 1) == 0) {
+        continue;
+      }
+      const Timestamp ts = batch.timestamp(row);
+      if (has_watermark && ts <= watermark) {
+        return Status::FailedPrecondition(strings::Format(
+            "events must have strictly increasing timestamps "
+            "(got %lld after %lld)",
+            static_cast<long long>(ts), static_cast<long long>(watermark)));
+      }
+      has_watermark = true;
+      watermark = ts;
+      ++events_ingested;
+      const size_t hash = string_key
+                              ? code_hash[string_keys->codes[row]]
+                              : std::hash<int64_t>{}(int_keys[row]);
+      size_t index;
+      if (rebalancer != nullptr) {
+        // The override table and the cost model key on the Value, so the
+        // rebalanced path still materializes it (it is the slow path by
+        // construction — rebalancing trades ingest work for balance).
+        index = static_cast<size_t>(rebalancer->RouteAndObserve(
+            batch.ValueAt(row, attribute), hash, ts));
+      } else {
+        index = hash % shards.size();
+      }
+      pending[index].push_back(batch.RowEvent(row));
+      fed[index] = true;
+      if (pending[index].size() >= slab_threshold) {
+        FlushPendingSlab(index, /*all=*/false);
+      }
+      MaybeEmitIncremental();
+    }
+    for (size_t i = 0; i < shards.size(); ++i) {
+      FlushPendingSlab(i, /*all=*/false);
+    }
+    MaybeSampleLoad();
+    MaybeEmitIncremental();
+    return Status::OK();
+  }
+
   /// Every emit_interval_events ingested events (sink mode only): collect
   /// the workers' sealed runs and emit everything below the safety
   /// watermark.
@@ -696,6 +759,11 @@ Status ParallelPartitionedMatcher::Push(const Event& event) {
 
 Status ParallelPartitionedMatcher::PushBatch(std::span<const Event> events) {
   return impl_->IngestBatch(events);
+}
+
+Status ParallelPartitionedMatcher::PushColumnar(const ColumnarBatch& batch,
+                                                const uint64_t* pass_bitmap) {
+  return impl_->IngestColumnar(batch, pass_bitmap);
 }
 
 Status ParallelPartitionedMatcher::RunRelation(const EventRelation& relation) {

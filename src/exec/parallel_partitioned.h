@@ -1,12 +1,14 @@
 #ifndef SES_EXEC_PARALLEL_PARTITIONED_H_
 #define SES_EXEC_PARALLEL_PARTITIONED_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "core/partitioned.h"
+#include "event/columnar.h"
 #include "exec/rebalancer.h"
 
 namespace ses::exec {
@@ -164,6 +166,17 @@ class ParallelPartitionedMatcher {
   /// across calls. Semantically identical to pushing each event — only
   /// the ingest-side synchronization cost changes.
   Status PushBatch(std::span<const Event> events);
+
+  /// Columnar ingest: routes the passing rows of a columnar batch in one
+  /// pass, hashing partition keys straight off the key column (per
+  /// dictionary code for STRING keys) and materializing a row-wise Event
+  /// only for the rows that are actually shipped to a worker.
+  /// `pass_bitmap` is a §4.5 pass-bitmap over the rows (bit r of word
+  /// r/64; see core/filter.h) or nullptr to route every row. Routing,
+  /// watermark checks, slab cutting, and emission cadence are identical
+  /// to PushBatch over the same surviving rows — only the per-row
+  /// Value/Event touch count changes.
+  Status PushColumnar(const ColumnarBatch& batch, const uint64_t* pass_bitmap);
 
   /// Relation-level splitter: validates the relation's total order once,
   /// then feeds it through PushBatch in bounded chunks so workers start

@@ -58,6 +58,16 @@ class CompiledPlan {
   const std::shared_ptr<const EventPreFilter>& shared_prefilter() const {
     return prefilter_;
   }
+  /// The batch twin of shared_prefilter(): same §4.5 conditions,
+  /// deduplicated and evaluated per column into a pass-bitmap
+  /// (core/filter.h). Null exactly when shared_prefilter() is null;
+  /// inactive exactly when it is inactive. Engines use it on the columnar
+  /// ingest path (engine::Engine::PushColumnar) and fall back to the
+  /// scalar filter row-wise.
+  const std::shared_ptr<const VectorizedPreFilter>& shared_vector_prefilter()
+      const {
+    return vector_prefilter_;
+  }
 
   /// True when the pattern admits partition-pure execution (a complete
   /// equality graph on partition_attribute(); see core/partitioned.h).
@@ -100,14 +110,17 @@ class CompiledPlan {
 
   CompiledPlan(std::shared_ptr<const SesAutomaton> automaton,
                std::shared_ptr<const EventPreFilter> prefilter,
+               std::shared_ptr<const VectorizedPreFilter> vector_prefilter,
                int partition_attribute, PlanOptions options)
       : automaton_(std::move(automaton)),
         prefilter_(std::move(prefilter)),
+        vector_prefilter_(std::move(vector_prefilter)),
         partition_attribute_(partition_attribute),
         options_(options) {}
 
   std::shared_ptr<const SesAutomaton> automaton_;
   std::shared_ptr<const EventPreFilter> prefilter_;
+  std::shared_ptr<const VectorizedPreFilter> vector_prefilter_;
   int partition_attribute_;
   PlanOptions options_;
 };
