@@ -1,0 +1,182 @@
+// Checkpoint overhead sweep: streaming ingest throughput with periodic
+// checkpointing off vs every 10k vs every 1k events, plus the latency of
+// restoring a checkpointed engine into a fresh process image
+// (docs/RUNTIME.md checkpoint section, docs/SEMANTICS.md section 12).
+//
+// Checkpoints are serialized to memory (CheckpointWriter::Finish), not
+// disk, so the sweep isolates the serialization cost the engine itself
+// adds — the part that scales with open automaton instances and buffered
+// state — from filesystem variance CI cannot control. The match count is
+// an exact-gated counter on every throughput case: checkpointing must be
+// transparent (same matches with and without it), so the perf gate
+// doubles as an output-identity check, and the checkpoint byte size is
+// exact-gated to catch accidental format growth.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/registry.h"
+#include "plan/compiled_plan.h"
+#include "storage/checkpoint.h"
+
+namespace {
+
+using namespace ses;
+using namespace ses::bench;
+
+struct ThroughputCase {
+  double wall_min = 0;
+  double events_per_sec = 0;
+  int64_t matches = 0;
+  int64_t checkpoints = 0;
+  int64_t checkpoint_bytes = 0;
+};
+
+/// One timed configuration: the serial engine ingesting the stream
+/// event-at-a-time (the streaming regime checkpoints exist for) with the
+/// given checkpoint interval; 0 disables checkpointing.
+ThroughputCase TimedIngest(const Harness& harness, BenchReport* report,
+                           const std::string& case_name,
+                           std::shared_ptr<const plan::CompiledPlan> plan,
+                           const EventRelation& relation, int64_t interval) {
+  ThroughputCase out;
+  CaseResult result = harness.Run(
+      case_name, static_cast<int64_t>(relation.size()), [&](CaseRun& run) {
+        std::vector<Match> matches;
+        int64_t checkpoints = 0;
+        int64_t last_bytes = 0;
+        engine::EngineOptions options;
+        options.sink = engine::CollectInto(&matches);
+        if (interval > 0) {
+          options.checkpoint_interval_events = interval;
+          options.checkpoint_sink =
+              [&](storage::CheckpointWriter& writer) -> Status {
+            ++checkpoints;
+            last_bytes = static_cast<int64_t>(
+                std::move(writer).Finish().size());
+            return Status::OK();
+          };
+        }
+        Result<std::unique_ptr<engine::Engine>> engine =
+            engine::CreateEngine("serial", plan, std::move(options));
+        SES_CHECK(engine.ok()) << engine.status().ToString();
+        for (const Event& event : relation.events()) {
+          Status status = (*engine)->Push(event);
+          SES_CHECK(status.ok()) << status.ToString();
+        }
+        Status status = (*engine)->Flush();
+        SES_CHECK(status.ok()) << status.ToString();
+        out.matches = static_cast<int64_t>(matches.size());
+        out.checkpoints = checkpoints;
+        out.checkpoint_bytes = last_bytes;
+        run.SetCounter("matches", out.matches, /*exact=*/true);
+        run.SetCounter("checkpoints", checkpoints, /*exact=*/true);
+        run.SetCounter("checkpoint_bytes", last_bytes, /*exact=*/true);
+      });
+  out.wall_min = result.wall_seconds.min;
+  out.events_per_sec = result.events_per_sec;
+  report->Add(std::move(result));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  Harness harness(DefaultHarnessOptions(args));
+  BenchReport report("checkpoint");
+
+  Pattern pattern =
+      MedicationPattern(3, /*exclusive=*/true, /*group_p=*/true);
+  Result<std::shared_ptr<const plan::CompiledPlan>> plan =
+      plan::CompilePlan(pattern);
+  SES_CHECK(plan.ok()) << plan.status().ToString();
+
+  // Sized so the 10k interval fires at least twice even in --smoke: the
+  // lab-noise knob densifies the stream (~700 events per cycle) without
+  // inflating matcher state, which is what the clinical regime looks like.
+  workload::ChemotherapyOptions data_options;
+  data_options.lab_measurements_per_cycle = 700;
+  data_options.num_patients = args.full ? 40 : (args.smoke ? 14 : 20);
+  data_options.cycles_per_patient = 3;
+  EventRelation relation = workload::GenerateChemotherapy(data_options);
+  PrintDatasetInfo("chemotherapy", relation);
+
+  std::printf("\nCheckpoint overhead — serial engine, event-at-a-time\n");
+  std::printf("%-16s %12s %14s %8s %6s %10s %9s\n", "case", "wall [s]",
+              "events/s", "matches", "ckpts", "bytes", "overhead");
+
+  ThroughputCase off = TimedIngest(harness, &report, "ingest/off", *plan,
+                                   relation, /*interval=*/0);
+  std::printf("%-16s %12.4f %14.0f %8lld %6lld %10lld %9s\n", "ingest/off",
+              off.wall_min, off.events_per_sec,
+              static_cast<long long>(off.matches), 0LL, 0LL, "-");
+
+  for (int64_t interval : {int64_t{10000}, int64_t{1000}}) {
+    const std::string name = "ingest/every" + std::to_string(interval);
+    ThroughputCase timed = TimedIngest(harness, &report, name, *plan,
+                                       relation, interval);
+    SES_CHECK(timed.matches == off.matches)
+        << name << ": checkpointing changed the match count ("
+        << timed.matches << " vs " << off.matches
+        << ") — the transparency invariant is broken";
+    const double overhead =
+        off.wall_min > 0 ? (timed.wall_min / off.wall_min - 1.0) * 100.0
+                         : 0.0;
+    std::printf("%-16s %12.4f %14.0f %8lld %6lld %10lld %8.1f%%\n",
+                name.c_str(), timed.wall_min, timed.events_per_sec,
+                static_cast<long long>(timed.matches),
+                static_cast<long long>(timed.checkpoints),
+                static_cast<long long>(timed.checkpoint_bytes), overhead);
+  }
+
+  // Restore latency: serialize the engine mid-stream (half the events
+  // ingested — open instances and buffered matches resident), then time
+  // Parse + Restore into a fresh engine, the recovery path an operator
+  // waits on after a crash.
+  std::string checkpoint_bytes;
+  const size_t half = relation.size() / 2;
+  {
+    engine::EngineOptions options;
+    options.sink = [](Match&&) {};
+    Result<std::unique_ptr<engine::Engine>> engine =
+        engine::CreateEngine("serial", *plan, std::move(options));
+    SES_CHECK(engine.ok()) << engine.status().ToString();
+    Status status = (*engine)->PushBatch(
+        std::span<const Event>(relation.events()).subspan(0, half));
+    SES_CHECK(status.ok()) << status.ToString();
+    storage::CheckpointWriter writer;
+    status = (*engine)->Checkpoint(&writer);
+    SES_CHECK(status.ok()) << status.ToString();
+    checkpoint_bytes = std::move(writer).Finish();
+  }
+  CaseResult restore = harness.Run(
+      "restore", static_cast<int64_t>(half), [&](CaseRun& run) {
+        Result<storage::CheckpointReader> reader =
+            storage::CheckpointReader::Parse(checkpoint_bytes);
+        SES_CHECK(reader.ok()) << reader.status().ToString();
+        engine::EngineOptions options;
+        options.sink = [](Match&&) {};
+        Result<std::unique_ptr<engine::Engine>> engine =
+            engine::CreateEngine("serial", *plan, std::move(options));
+        SES_CHECK(engine.ok()) << engine.status().ToString();
+        Status status = (*engine)->Restore(*reader);
+        SES_CHECK(status.ok()) << status.ToString();
+        run.SetCounter("checkpoint_bytes",
+                       static_cast<int64_t>(checkpoint_bytes.size()),
+                       /*exact=*/true);
+      });
+  std::printf("\nRestore latency (%zu-event checkpoint, %zu bytes): "
+              "%.3f ms (min %.3f ms)\n",
+              half, checkpoint_bytes.size(),
+              restore.wall_seconds.mean * 1e3,
+              restore.wall_seconds.min * 1e3);
+  report.Add(std::move(restore));
+
+  MaybeWriteReport(args, report);
+  return 0;
+}

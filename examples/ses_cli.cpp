@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <span>
@@ -36,10 +37,12 @@
 #include "catalog/catalog_engine.h"
 #include "catalog/query_catalog.h"
 #include "common/strings.h"
+#include "core/match.h"
 #include "engine/registry.h"
 #include "event/csv.h"
 #include "plan/compiled_plan.h"
 #include "query/parser.h"
+#include "storage/checkpoint.h"
 #include "storage/table_reader.h"
 #include "workload/paper_fixture.h"
 
@@ -91,6 +94,19 @@ struct CliArgs {
   bool columnar = false;
   /// Rows per columnar slice.
   int batch_rows = 4096;
+  /// Non-empty enables periodic checkpoints: every --checkpoint-interval
+  /// consumed events the full runtime state (engine + matches printed so
+  /// far) is written to DIR/ckpt-<consumed>.sesckpt (docs/RUNTIME.md
+  /// checkpoint section). Single-pattern runs only.
+  std::string checkpoint_dir;
+  long long checkpoint_interval = 10000;
+  /// Resume from the newest checkpoint in --checkpoint-dir instead of
+  /// starting cold; output is byte-identical to an uninterrupted run
+  /// (docs/SEMANTICS.md section 12).
+  bool restore = false;
+  /// Testing hook for tools/crash_recovery.sh: exit hard (code 137,
+  /// no flush, no output) after consuming N events in this process.
+  long long crash_after_events = 0;
 };
 
 void PrintUsage() {
@@ -103,6 +119,8 @@ void PrintUsage() {
       "               [--rebalance] [--rebalance-policy v1|v2]\n"
       "               [--lateness N] [--late-policy error|drop]\n"
       "               [--columnar on|off] [--batch-rows N]\n"
+      "               [--checkpoint-dir DIR] [--checkpoint-interval N]\n"
+      "               [--restore] [--crash-after-events N]\n"
       "               [--type-attribute NAME] [--no-type-index]\n"
       "               [--no-shared-prefilter] [--list-engines]\n"
       "  --demo         run the paper's running example (Figure 1 + Q1)\n"
@@ -148,6 +166,19 @@ void PrintUsage() {
       "                 sec. 4.5 pre-filter (default off; matches are\n"
       "                 identical either way, see docs/RUNTIME.md)\n"
       "  --batch-rows N rows per columnar slice (default 4096)\n"
+      "  --checkpoint-dir DIR\n"
+      "                 write a checkpoint of the full runtime state to DIR\n"
+      "                 every --checkpoint-interval events; a later run with\n"
+      "                 --restore resumes from the newest one and prints\n"
+      "                 byte-identical output (single-pattern runs; see\n"
+      "                 docs/RUNTIME.md)\n"
+      "  --checkpoint-interval N\n"
+      "                 events between checkpoints (default 10000)\n"
+      "  --restore      resume from the newest checkpoint in\n"
+      "                 --checkpoint-dir (cold start when none exists yet)\n"
+      "  --crash-after-events N\n"
+      "                 crash-recovery testing: exit hard with code 137\n"
+      "                 after consuming N events (tools/crash_recovery.sh)\n"
       "  --type-attribute NAME\n"
       "                 routing attribute for the catalog's shared type\n"
       "                 index (default: auto-detect the attribute most\n"
@@ -246,6 +277,26 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       if (args.batch_rows < 1) {
         return Status::InvalidArgument(
             "--batch-rows needs a positive integer");
+      }
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+      SES_ASSIGN_OR_RETURN(args.checkpoint_dir, need_value(i));
+    } else if (std::strcmp(argv[i], "--checkpoint-interval") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
+      SES_ASSIGN_OR_RETURN(args.checkpoint_interval,
+                           strings::ParseInt64(value));
+      if (args.checkpoint_interval < 1) {
+        return Status::InvalidArgument(
+            "--checkpoint-interval needs a positive integer");
+      }
+    } else if (std::strcmp(argv[i], "--restore") == 0) {
+      args.restore = true;
+    } else if (std::strcmp(argv[i], "--crash-after-events") == 0) {
+      SES_ASSIGN_OR_RETURN(std::string value, need_value(i));
+      SES_ASSIGN_OR_RETURN(args.crash_after_events,
+                           strings::ParseInt64(value));
+      if (args.crash_after_events < 1) {
+        return Status::InvalidArgument(
+            "--crash-after-events needs a positive integer");
       }
     } else if (std::strcmp(argv[i], "--no-filter") == 0) {
       args.no_filter = true;
@@ -365,6 +416,29 @@ Status PushColumnarSlices(EngineT& engine, const Schema& schema,
     SES_RETURN_IF_ERROR(engine.PushColumnar(batch.Slice(begin, count)));
   }
   return Status::OK();
+}
+
+/// Path of the newest (highest consumed-event offset) "ckpt-*.sesckpt" in
+/// `dir`; empty string when none exists yet — a crash can land before the
+/// first checkpoint interval elapses, in which case a --restore run simply
+/// starts cold. Filenames embed the offset zero-padded, so the
+/// lexicographic maximum is the newest.
+Result<std::string> NewestCheckpoint(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot list checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  std::string best;
+  for (const auto& entry : it) {
+    std::string name = entry.path().filename().string();
+    if (!strings::EndsWith(name, ".sesckpt")) continue;
+    if (name.rfind("ckpt-", 0) != 0) continue;
+    if (name > best) best = name;
+  }
+  if (best.empty()) return std::string();
+  return dir + "/" + best;
 }
 
 /// Parses a catalog file (documented in docs/CATALOG.md): entries of the
@@ -546,6 +620,9 @@ Status Run(const CliArgs& args) {
     return Status::OK();
   }
 
+  if (args.restore && args.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--restore requires --checkpoint-dir");
+  }
   if (!args.catalog_path.empty()) {
     if (!args.query.empty()) {
       return Status::InvalidArgument(
@@ -554,6 +631,11 @@ Status Run(const CliArgs& args) {
     if (args.dot) {
       return Status::InvalidArgument(
           "--dot renders a single pattern; use --query");
+    }
+    if (!args.checkpoint_dir.empty() || args.crash_after_events > 0) {
+      return Status::InvalidArgument(
+          "--checkpoint-dir/--crash-after-events cover single-pattern runs; "
+          "checkpoint a catalog through CatalogEngine::Checkpoint");
     }
     return RunCatalog(args);
   }
@@ -589,21 +671,128 @@ Status Run(const CliArgs& args) {
   engine::EngineOptions engine_options = MakeEngineOptions(args);
   std::vector<Match> matches;
   engine_options.sink = engine::CollectInto(&matches);
+
+  // Checkpointing: the engine serializes its own state every interval and
+  // hands the writer to this sink, which appends the CLI's share (stream
+  // position + matches already delivered — delivery order is
+  // engine-dependent, so they must ride along to keep output identical)
+  // and persists the sealed file. consumed is updated BEFORE each engine
+  // call so the snapshot names how deep into the stream it is.
+  const bool checkpointing = !args.checkpoint_dir.empty();
+  int64_t consumed = 0;  // events offered to the engine so far
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.checkpoint_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint dir " +
+                             args.checkpoint_dir + ": " + ec.message());
+    }
+    engine_options.checkpoint_interval_events = args.checkpoint_interval;
+    engine_options.checkpoint_sink =
+        [&args, &data, &matches,
+         &consumed](storage::CheckpointWriter& writer) -> Status {
+      std::string cli;
+      storage::PutSigned(&cli, consumed);
+      storage::PutCount(&cli, matches.size());
+      for (const Match& match : matches) {
+        CheckpointMatch(match, data.schema, &cli);
+      }
+      writer.AddSection("cli", cli);
+      char name[48];
+      std::snprintf(name, sizeof(name), "ckpt-%012lld.sesckpt",
+                    static_cast<long long>(consumed));
+      return storage::WriteCheckpointFile(args.checkpoint_dir + "/" + name,
+                                          std::move(writer).Finish());
+    };
+  }
+
   SES_ASSIGN_OR_RETURN(
       std::unique_ptr<engine::Engine> eng,
       engine::CreateEngine(engine_name, plan, std::move(engine_options)));
+
+  if (args.restore) {
+    SES_ASSIGN_OR_RETURN(std::string path,
+                         NewestCheckpoint(args.checkpoint_dir));
+    if (!path.empty()) {
+      SES_ASSIGN_OR_RETURN(std::string bytes,
+                           storage::ReadCheckpointFile(path));
+      SES_ASSIGN_OR_RETURN(storage::CheckpointReader reader,
+                           storage::CheckpointReader::Parse(std::move(bytes)));
+      SES_RETURN_IF_ERROR(eng->Restore(reader));
+      SES_ASSIGN_OR_RETURN(std::string_view cli, reader.Section("cli"));
+      const char* p = cli.data();
+      const char* limit = p + cli.size();
+      SES_RETURN_IF_ERROR(storage::GetSigned(&p, limit, &consumed));
+      uint64_t num_matches = 0;
+      SES_RETURN_IF_ERROR(storage::GetCount(&p, limit, &num_matches));
+      matches.clear();
+      matches.reserve(num_matches);
+      for (uint64_t i = 0; i < num_matches; ++i) {
+        Match match;
+        SES_RETURN_IF_ERROR(RestoreMatch(&p, limit, data.schema, &match));
+        matches.push_back(std::move(match));
+      }
+      if (p != limit) {
+        return Status::Corruption("checkpoint cli section has trailing bytes");
+      }
+      if (consumed < 0 ||
+          consumed > static_cast<int64_t>(data.events.size())) {
+        return Status::InvalidArgument(
+            "checkpoint is " + std::to_string(consumed) +
+            " events into the stream but --data holds only " +
+            std::to_string(data.events.size()));
+      }
+      std::fprintf(stderr, "restored %s: resuming at event %lld\n",
+                   path.c_str(), static_cast<long long>(consumed));
+    } else {
+      std::fprintf(stderr,
+                   "no checkpoint in %s yet: starting from the beginning\n",
+                   args.checkpoint_dir.c_str());
+    }
+  }
 
   // With a lateness bound the engine's reorder stage handles (bounded)
   // disorder itself; without one the engine rejects the first
   // non-increasing timestamp, and LoadData already enforced order for
   // ordered sources.
-  if (args.columnar) {
-    SES_RETURN_IF_ERROR(PushColumnarSlices(
-        *eng, data.schema, std::span<const Event>(data.events),
-        args.batch_rows));
-  } else {
+  const std::span<const Event> remaining =
+      std::span<const Event>(data.events)
+          .subspan(static_cast<size_t>(consumed));
+  if (checkpointing || args.crash_after_events > 0) {
+    // Event-at-a-time (or slice-at-a-time) ingest so checkpoints land at
+    // exact event offsets and a simulated crash can strike anywhere.
+    int64_t pushed_here = 0;
+    auto crash_if_due = [&args, &pushed_here] {
+      if (args.crash_after_events > 0 &&
+          pushed_here >= args.crash_after_events) {
+        std::fprintf(stderr, "simulated crash after %lld event(s)\n",
+                     static_cast<long long>(pushed_here));
+        std::_Exit(137);
+      }
+    };
+    if (args.columnar) {
+      ColumnarBatch batch = ColumnarBatch::FromEvents(data.schema, remaining);
+      const size_t rows = static_cast<size_t>(args.batch_rows);
+      for (size_t begin = 0; begin < batch.size(); begin += rows) {
+        const size_t count = std::min(rows, batch.size() - begin);
+        consumed += static_cast<int64_t>(count);
+        SES_RETURN_IF_ERROR(eng->PushColumnar(batch.Slice(begin, count)));
+        pushed_here += static_cast<int64_t>(count);
+        crash_if_due();
+      }
+    } else {
+      for (const Event& event : remaining) {
+        ++consumed;
+        SES_RETURN_IF_ERROR(eng->Push(event));
+        ++pushed_here;
+        crash_if_due();
+      }
+    }
+  } else if (args.columnar) {
     SES_RETURN_IF_ERROR(
-        eng->PushBatch(std::span<const Event>(data.events)));
+        PushColumnarSlices(*eng, data.schema, remaining, args.batch_rows));
+  } else {
+    SES_RETURN_IF_ERROR(eng->PushBatch(remaining));
   }
   SES_RETURN_IF_ERROR(eng->Flush());
   // Engines differ in WHEN matches reach the sink; normalize so every

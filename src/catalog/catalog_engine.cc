@@ -45,6 +45,10 @@ Result<std::unique_ptr<CatalogEngine::PlanRuntime>> CatalogEngine::MakeRuntime(
   runtime->plan = entry.plan;
   runtime->events_seen_base = events_pushed_;
   engine::EngineOptions engine_options = options_.engine_options;
+  // Per-plan periodic checkpoints would each write a partial state file;
+  // the catalog checkpoints as a whole (CatalogEngine::Checkpoint).
+  engine_options.checkpoint_interval_events = 0;
+  engine_options.checkpoint_sink = nullptr;
   // The runtime is heap-pinned and owns the engine, so its address outlives
   // every sink invocation (sinks run inside Push/Flush).
   PlanRuntime* raw = runtime.get();
@@ -219,6 +223,92 @@ void CatalogEngine::Reset() {
   }
   events_pushed_ = 0;
   flushed_ = false;
+}
+
+Status CatalogEngine::Checkpoint(storage::CheckpointWriter* writer) {
+  std::string base;
+  storage::PutSigned(&base, events_pushed_);
+  storage::PutBool(&base, flushed_);
+  storage::PutCount(&base, runtimes_.size());
+  for (const auto& runtime : runtimes_) {
+    storage::PutString(&base, runtime->id);
+    storage::PutSigned(&base, runtime->matches);
+    storage::PutSigned(&base, runtime->events_considered);
+    storage::PutSigned(&base, runtime->events_skipped_by_prefilter);
+    storage::PutSigned(&base, runtime->events_seen_base);
+  }
+  writer->AddSection("catalog", base);
+  for (const auto& runtime : runtimes_) {
+    storage::CheckpointWriter nested;
+    SES_RETURN_IF_ERROR(runtime->engine->Checkpoint(&nested));
+    writer->AddSection("plan/" + runtime->id, std::move(nested).Finish());
+  }
+  return Status::OK();
+}
+
+Status CatalogEngine::Restore(const storage::CheckpointReader& reader) {
+  // Serve the current registration state first, so the checkpointed plan
+  // set is compared against what would actually run.
+  SES_RETURN_IF_ERROR(Refresh());
+  Reset();
+  Status s = [&]() -> Status {
+    Result<std::string_view> base = reader.Section("catalog");
+    if (!base.ok()) {
+      return Status::Corruption(
+          "checkpoint is missing the 'catalog' section");
+    }
+    const char* p = base->data();
+    const char* limit = base->data() + base->size();
+    SES_RETURN_IF_ERROR(storage::GetSigned(&p, limit, &events_pushed_));
+    SES_RETURN_IF_ERROR(storage::GetBool(&p, limit, &flushed_));
+    uint64_t num_plans = 0;
+    SES_RETURN_IF_ERROR(storage::GetCount(&p, limit, &num_plans));
+    if (num_plans != runtimes_.size()) {
+      return Status::InvalidArgument(
+          "checkpoint holds " + std::to_string(num_plans) +
+          " plans but this catalog serves " +
+          std::to_string(runtimes_.size()));
+    }
+    // Runtimes are sorted by id and the writer walked them in order, so
+    // the ids must line up positionally.
+    for (const auto& runtime : runtimes_) {
+      std::string id;
+      SES_RETURN_IF_ERROR(storage::GetString(&p, limit, &id));
+      if (id != runtime->id) {
+        return Status::InvalidArgument(
+            "checkpoint plan '" + id + "' does not match registered plan '" +
+            runtime->id + "'");
+      }
+      SES_RETURN_IF_ERROR(storage::GetSigned(&p, limit, &runtime->matches));
+      SES_RETURN_IF_ERROR(
+          storage::GetSigned(&p, limit, &runtime->events_considered));
+      SES_RETURN_IF_ERROR(storage::GetSigned(
+          &p, limit, &runtime->events_skipped_by_prefilter));
+      SES_RETURN_IF_ERROR(
+          storage::GetSigned(&p, limit, &runtime->events_seen_base));
+    }
+    if (p != limit) {
+      return Status::Corruption(
+          "checkpoint 'catalog' section has trailing bytes");
+    }
+    for (const auto& runtime : runtimes_) {
+      Result<std::string_view> nested_bytes =
+          reader.Section("plan/" + runtime->id);
+      if (!nested_bytes.ok()) {
+        return Status::Corruption("checkpoint is missing the state of plan '" +
+                                  runtime->id + "'");
+      }
+      SES_ASSIGN_OR_RETURN(
+          storage::CheckpointReader nested,
+          storage::CheckpointReader::Parse(std::string(*nested_bytes)));
+      if (Status status = runtime->engine->Restore(nested); !status.ok()) {
+        return TagPlan(runtime->id, status);
+      }
+    }
+    return Status::OK();
+  }();
+  if (!s.ok()) Reset();
+  return s;
 }
 
 int64_t CatalogEngine::IndexSkips(const PlanRuntime& runtime) const {

@@ -32,7 +32,9 @@ struct CatalogOptions {
   /// partitionable.
   std::string engine = "serial";
   /// Template for every per-plan engine (shards, lateness bound, ...).
-  /// The sink field is ignored — the catalog installs its own demux sink.
+  /// The sink field is ignored — the catalog installs its own demux sink —
+  /// and so are the periodic-checkpoint fields: checkpoint the catalog as
+  /// a whole with CatalogEngine::Checkpoint instead of per plan.
   engine::EngineOptions engine_options;
   /// Shared-work toggles; see SharedIndexOptions. Both on by default, and
   /// neither changes any plan's match set (docs/SEMANTICS.md §10) — turn
@@ -152,6 +154,20 @@ class CatalogEngine {
   void Reset();
 
   CatalogStats stats() const;
+
+  /// Serializes the full multi-query runtime state into `writer`: a
+  /// "catalog" section (stream cursor plus per-plan routing counters) and
+  /// one nested, self-validating checkpoint per registered plan under
+  /// "plan/<id>" (the plan engine's own Checkpoint output, sealed with its
+  /// own CRCs). Call between events; the engine keeps running.
+  Status Checkpoint(storage::CheckpointWriter* writer);
+
+  /// Restores state written by Checkpoint() of a catalog engine serving
+  /// the same registered plans (matched by id) under the same
+  /// configuration. Returns InvalidArgument when the registered plan set
+  /// differs from the checkpointed one, Corruption for malformed payloads.
+  /// On error the engine is left Reset().
+  Status Restore(const storage::CheckpointReader& reader);
 
   /// One row per registered plan, sorted by id.
   std::vector<PlanStats> plan_stats() const;

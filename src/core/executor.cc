@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "storage/checkpoint.h"
+
 namespace ses {
 
 SesExecutor::SesExecutor(const SesAutomaton* automaton,
@@ -227,6 +229,82 @@ void SesExecutor::Reset() {
   next_.clear();
   pending_floor_ = kNoPending;
   stats_ = ExecutorStats{};
+}
+
+void SesExecutor::Checkpoint(std::string* out) const {
+  const Schema& schema = automaton_->pattern().schema();
+  storage::PutCount(out, instances_.size());
+  for (const AutomatonInstance& instance : instances_) {
+    storage::PutSigned(out, instance.state);
+    // Bindings in chronological order, so Restore can rebuild the buffer
+    // with the same Extend() chain. Structural sharing across instances is
+    // not preserved (it only saves memory, never changes semantics).
+    std::vector<Binding> bindings = instance.buffer.ToBindings();
+    storage::PutCount(out, bindings.size());
+    for (const Binding& binding : bindings) {
+      storage::PutSigned(out, binding.variable);
+      storage::PutEventRecord(out, binding.event, schema);
+    }
+  }
+  storage::PutSigned(out, stats_.events_seen);
+  storage::PutSigned(out, stats_.events_filtered);
+  storage::PutSigned(out, stats_.events_processed);
+  storage::PutSigned(out, stats_.instances_created);
+  storage::PutSigned(out, stats_.instances_expired);
+  storage::PutSigned(out, stats_.max_simultaneous_instances);
+  storage::PutSigned(out, stats_.transitions_evaluated);
+  storage::PutSigned(out, stats_.transitions_fired);
+  storage::PutSigned(out, stats_.conditions_evaluated);
+  storage::PutSigned(out, stats_.matches_emitted);
+}
+
+Status SesExecutor::Restore(const char** p, const char* limit) {
+  Reset();
+  const Schema& schema = automaton_->pattern().schema();
+  uint64_t num_instances = 0;
+  SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_instances));
+  instances_.reserve(num_instances);
+  for (uint64_t i = 0; i < num_instances; ++i) {
+    int64_t state = 0;
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &state));
+    if (state < 0 || state >= automaton_->num_states()) {
+      Reset();
+      return Status::Corruption(
+          "checkpoint instance state outside the automaton");
+    }
+    uint64_t num_bindings = 0;
+    SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_bindings));
+    MatchBuffer buffer;
+    for (uint64_t b = 0; b < num_bindings; ++b) {
+      int64_t variable = 0;
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &variable));
+      Event event;
+      if (Status s = storage::GetEventRecord(p, limit, schema, &event);
+          !s.ok()) {
+        Reset();
+        return s;
+      }
+      buffer = buffer.Extend(static_cast<VariableId>(variable),
+                             std::make_shared<const Event>(std::move(event)));
+    }
+    instances_.push_back(
+        AutomatonInstance{static_cast<StateId>(state), std::move(buffer)});
+  }
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.events_seen));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.events_filtered));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.events_processed));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.instances_created));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.instances_expired));
+  SES_RETURN_IF_ERROR(
+      storage::GetSigned(p, limit, &stats_.max_simultaneous_instances));
+  SES_RETURN_IF_ERROR(
+      storage::GetSigned(p, limit, &stats_.transitions_evaluated));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.transitions_fired));
+  SES_RETURN_IF_ERROR(
+      storage::GetSigned(p, limit, &stats_.conditions_evaluated));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.matches_emitted));
+  RecomputePendingFloor();
+  return Status::OK();
 }
 
 }  // namespace ses

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/automaton.h"
 #include "core/filter.h"
 #include "core/instance.h"
@@ -76,6 +78,18 @@ class SesExecutor {
 
   /// Drops all instances and statistics.
   void Reset();
+
+  /// Serializes the executor's complete runtime state — every open
+  /// automaton instance with its match buffer, plus the statistics — into
+  /// `out` using the checkpoint payload primitives (storage/checkpoint.h).
+  /// Call only between events (never mid-Consume).
+  void Checkpoint(std::string* out) const;
+
+  /// Restores state written by Checkpoint() into this executor (discarding
+  /// whatever it held). The executor must run the same automaton the
+  /// checkpoint was taken from; a state id outside the automaton is
+  /// Corruption. On error the executor is left Reset().
+  Status Restore(const char** p, const char* limit);
 
   const ExecutorStats& stats() const { return stats_; }
   size_t num_active_instances() const { return instances_.size(); }

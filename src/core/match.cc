@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "storage/checkpoint.h"
 
 namespace ses {
 
@@ -90,6 +91,36 @@ void SortMatches(std::vector<Match>* matches) {
     sorted.push_back(std::move((*matches)[entry.index]));
   }
   *matches = std::move(sorted);
+}
+
+void CheckpointMatch(const Match& match, const Schema& schema,
+                     std::string* out) {
+  storage::PutCount(out, match.bindings().size());
+  for (const Binding& binding : match.bindings()) {
+    storage::PutSigned(out, binding.variable);
+    storage::PutEventRecord(out, binding.event, schema);
+  }
+}
+
+Status RestoreMatch(const char** p, const char* limit, const Schema& schema,
+                    Match* match) {
+  uint64_t num_bindings = 0;
+  SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_bindings));
+  if (num_bindings == 0) {
+    return Status::Corruption("checkpoint match has no bindings");
+  }
+  std::vector<Binding> bindings;
+  bindings.reserve(num_bindings);
+  for (uint64_t i = 0; i < num_bindings; ++i) {
+    int64_t variable = 0;
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &variable));
+    Event event;
+    SES_RETURN_IF_ERROR(storage::GetEventRecord(p, limit, schema, &event));
+    bindings.push_back(Binding{static_cast<VariableId>(variable),
+                               std::move(event)});
+  }
+  *match = Match(std::move(bindings));
+  return Status::OK();
 }
 
 bool SameMatchSet(const std::vector<Match>& a, const std::vector<Match>& b) {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "event/event.h"
 #include "query/pattern.h"
 
@@ -73,6 +74,16 @@ void SortMatches(std::vector<Match>* matches);
 
 /// True if the two result sets contain the same substitutions.
 bool SameMatchSet(const std::vector<Match>& a, const std::vector<Match>& b);
+
+/// Serializes a match (its bindings, chronologically) into `out` with the
+/// checkpoint payload primitives; events are encoded against `schema`.
+void CheckpointMatch(const Match& match, const Schema& schema,
+                     std::string* out);
+
+/// Decodes a match written by CheckpointMatch against the same schema.
+/// Returns Corruption on truncated or empty input.
+Status RestoreMatch(const char** p, const char* limit, const Schema& schema,
+                    Match* match);
 
 }  // namespace ses
 

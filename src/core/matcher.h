@@ -75,6 +75,14 @@ class Matcher {
   /// Clears all execution state (instances, statistics, time watermark).
   void Reset();
 
+  /// Serializes the matcher's runtime state (time watermark + executor
+  /// instances and statistics) into `out`; see SesExecutor::Checkpoint.
+  void Checkpoint(std::string* out) const;
+
+  /// Restores state written by Checkpoint() into this matcher, which must
+  /// run the same automaton. On error the matcher is left Reset().
+  Status Restore(const char** p, const char* limit);
+
   const SesAutomaton& automaton() const { return *automaton_; }
   const Pattern& pattern() const { return automaton_->pattern(); }
 

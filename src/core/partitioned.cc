@@ -1,6 +1,7 @@
 #include "core/partitioned.h"
 
 #include "common/strings.h"
+#include "storage/checkpoint.h"
 
 namespace ses {
 
@@ -120,6 +121,47 @@ void PartitionedMatcher::Reset() {
   matchers_.clear();
   active_instances_ = 0;
   stats_ = PartitionedStats{};
+}
+
+void PartitionedMatcher::Checkpoint(std::string* out) const {
+  storage::PutCount(out, matchers_.size());
+  for (const auto& [key, matcher] : matchers_) {
+    storage::PutValue(out, key);
+    matcher.Checkpoint(out);
+  }
+  storage::PutSigned(out, active_instances_);
+  storage::PutSigned(out, stats_.num_partitions);
+  storage::PutSigned(out, stats_.events_seen);
+  storage::PutSigned(out, stats_.max_simultaneous_instances);
+  storage::PutSigned(out, stats_.matches_emitted);
+}
+
+Status PartitionedMatcher::Restore(const char** p, const char* limit) {
+  Reset();
+  uint64_t num_matchers = 0;
+  SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_matchers));
+  for (uint64_t i = 0; i < num_matchers; ++i) {
+    Value key;
+    SES_RETURN_IF_ERROR(storage::GetValue(p, limit, &key));
+    auto [it, inserted] =
+        matchers_.emplace(std::move(key), Matcher(automaton_, options_,
+                                                  filter_));
+    if (!inserted) {
+      Reset();
+      return Status::Corruption("checkpoint has a duplicate partition key");
+    }
+    if (Status s = it->second.Restore(p, limit); !s.ok()) {
+      Reset();
+      return s;
+    }
+  }
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &active_instances_));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.num_partitions));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.events_seen));
+  SES_RETURN_IF_ERROR(
+      storage::GetSigned(p, limit, &stats_.max_simultaneous_instances));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.matches_emitted));
+  return Status::OK();
 }
 
 Result<std::vector<Match>> PartitionedMatchRelation(

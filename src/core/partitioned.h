@@ -87,6 +87,14 @@ class PartitionedMatcher {
   /// relation (mirrors Matcher::Reset). The compiled automaton is kept.
   void Reset();
 
+  /// Serializes all runtime state — every partition's key and matcher
+  /// state, plus the aggregate counters — into `out`.
+  void Checkpoint(std::string* out) const;
+
+  /// Restores state written by Checkpoint(); the matcher must run the same
+  /// automaton and partition attribute. On error it is left Reset().
+  Status Restore(const char** p, const char* limit);
+
   const PartitionedStats& stats() const { return stats_; }
 
   /// Sum of the per-partition executor statistics (filtered events,

@@ -76,6 +76,24 @@ class SerialEngine : public Engine {
     return stats;
   }
 
+  Status CheckpointImpl(std::string* out) override {
+    matcher_.Checkpoint(out);
+    storage::PutSigned(out, stats_.matches_emitted);
+    storage::PutSigned(out, stats_.matches_emitted_early);
+    storage::PutSigned(out, stats_.max_buffered_matches);
+    return Status::OK();
+  }
+
+  Status RestoreImpl(const char** p, const char* limit) override {
+    SES_RETURN_IF_ERROR(matcher_.Restore(p, limit));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.matches_emitted));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.matches_emitted_early));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.max_buffered_matches));
+    return Status::OK();
+  }
+
  private:
   void Drain(bool early) {
     stats_.max_buffered_matches = std::max(
@@ -132,6 +150,24 @@ class PartitionedEngine : public Engine {
     stats.instances_created = aggregated.instances_created;
     stats.instances_pruned = aggregated.instances_expired;
     return stats;
+  }
+
+  Status CheckpointImpl(std::string* out) override {
+    matcher_.Checkpoint(out);
+    storage::PutSigned(out, stats_.matches_emitted);
+    storage::PutSigned(out, stats_.matches_emitted_early);
+    storage::PutSigned(out, stats_.max_buffered_matches);
+    return Status::OK();
+  }
+
+  Status RestoreImpl(const char** p, const char* limit) override {
+    SES_RETURN_IF_ERROR(matcher_.Restore(p, limit));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.matches_emitted));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.matches_emitted_early));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.max_buffered_matches));
+    return Status::OK();
   }
 
  private:
@@ -239,6 +275,23 @@ class ParallelEngine : public Engine {
 
   EngineStats StatsImpl() const override { return stats_; }
 
+  Status CheckpointImpl(std::string* out) override {
+    SES_RETURN_IF_ERROR(matcher_->Checkpoint(out));
+    storage::PutSigned(out, stats_.events_filtered);
+    storage::PutSigned(out, stats_.matches_emitted);
+    storage::PutSigned(out, stats_.matches_emitted_early);
+    return Status::OK();
+  }
+
+  Status RestoreImpl(const char** p, const char* limit) override {
+    SES_RETURN_IF_ERROR(matcher_->Restore(p, limit));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.events_filtered));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.matches_emitted));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.matches_emitted_early));
+    return Status::OK();
+  }
+
  private:
   ParallelEngine(std::shared_ptr<const plan::CompiledPlan> plan,
                  EngineOptions options)
@@ -332,6 +385,81 @@ class BruteForceEngine : public Engine {
 
   EngineStats StatsImpl() const override { return stats_; }
 
+  Status CheckpointImpl(std::string* out) override {
+    // The automaton bank itself is not serialized: every live instance
+    // binds only events from the replay window `recent_` (anything older
+    // has expired — the per-push window sweep flushed it), so the bank is
+    // rebuilt on restore by replaying `recent_` through a fresh matcher.
+    // Replay can only re-derive candidates the crashed run already judged;
+    // the restored `seen_` map suppresses re-emission.
+    const Schema& schema = plan_->pattern().schema();
+    storage::PutCount(out, recent_.size());
+    for (const Event& event : recent_) {
+      storage::PutEventRecord(out, event, schema);
+    }
+    storage::PutCount(out, seen_.size());
+    for (const auto& [key, start] : seen_) {
+      storage::PutCount(out, key.size());
+      for (const auto& [variable, event_id] : key) {
+        storage::PutSigned(out, variable);
+        storage::PutSigned(out, event_id);
+      }
+      storage::PutSigned(out, start);
+    }
+    storage::PutSigned(out, stats_.events_filtered);
+    storage::PutSigned(out, stats_.matches_emitted);
+    storage::PutSigned(out, stats_.matches_emitted_early);
+    storage::PutSigned(out, stats_.max_buffered_matches);
+    return Status::OK();
+  }
+
+  Status RestoreImpl(const char** p, const char* limit) override {
+    const Schema& schema = plan_->pattern().schema();
+    uint64_t num_recent = 0;
+    SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_recent));
+    recent_.reserve(num_recent);
+    for (uint64_t i = 0; i < num_recent; ++i) {
+      Event event;
+      SES_RETURN_IF_ERROR(storage::GetEventRecord(p, limit, schema, &event));
+      recent_.push_back(std::move(event));
+    }
+    uint64_t num_seen = 0;
+    SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_seen));
+    for (uint64_t i = 0; i < num_seen; ++i) {
+      uint64_t key_size = 0;
+      SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &key_size));
+      std::vector<std::pair<VariableId, EventId>> key;
+      key.reserve(key_size);
+      for (uint64_t j = 0; j < key_size; ++j) {
+        int64_t variable = 0;
+        int64_t event_id = 0;
+        SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &variable));
+        SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &event_id));
+        key.emplace_back(static_cast<VariableId>(variable),
+                         static_cast<EventId>(event_id));
+      }
+      Timestamp start = 0;
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &start));
+      seen_.emplace(std::move(key), start);
+    }
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.events_filtered));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.matches_emitted));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.matches_emitted_early));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.max_buffered_matches));
+    // Rebuild the automaton bank: replay the window through the fresh
+    // matcher (ResetImpl rebuilt it) and discard the re-derived candidates
+    // — every one of them was judged (and, if canonical, emitted) before
+    // the checkpoint was taken.
+    std::vector<Match> discard;
+    for (const Event& event : recent_) {
+      SES_RETURN_IF_ERROR(matcher_->Push(event, &discard));
+      discard.clear();
+    }
+    return Status::OK();
+  }
+
  private:
   BruteForceEngine(std::shared_ptr<const plan::CompiledPlan> plan,
                    EngineOptions options,
@@ -389,6 +517,101 @@ Engine::Engine(std::shared_ptr<const plan::CompiledPlan> plan,
     reorder.late_policy = options_.late_policy;
     reorder_ = std::make_unique<exec::ReorderBuffer>(reorder);
   }
+  next_checkpoint_at_ = options_.checkpoint_interval_events;
+}
+
+Status Engine::MaybeCheckpoint() {
+  if (options_.checkpoint_interval_events <= 0 ||
+      options_.checkpoint_sink == nullptr ||
+      events_pushed_ < next_checkpoint_at_) {
+    return Status::OK();
+  }
+  next_checkpoint_at_ = events_pushed_ + options_.checkpoint_interval_events;
+  storage::CheckpointWriter writer;
+  SES_RETURN_IF_ERROR(Checkpoint(&writer));
+  return options_.checkpoint_sink(writer);
+}
+
+Status Engine::Checkpoint(storage::CheckpointWriter* writer) {
+  std::string base;
+  storage::PutString(&base, name());
+  storage::PutBool(&base, flushed_);
+  storage::PutBool(&base, has_last_timestamp_);
+  storage::PutSigned(&base, last_timestamp_);
+  storage::PutSigned(&base, events_pushed_);
+  storage::PutSigned(&base, events_late_);
+  storage::PutSigned(&base, events_filtered_columnar_);
+  storage::PutBool(&base, reorder_ != nullptr);
+  if (reorder_ != nullptr) {
+    reorder_->Checkpoint(plan_->pattern().schema(), &base);
+  }
+  writer->AddSection("engine", base);
+  std::string state;
+  SES_RETURN_IF_ERROR(CheckpointImpl(&state));
+  writer->AddSection("state", state);
+  return Status::OK();
+}
+
+Status Engine::Restore(const storage::CheckpointReader& reader) {
+  Reset();
+  Status s = [&]() -> Status {
+    Result<std::string_view> base = reader.Section("engine");
+    if (!base.ok()) {
+      return Status::Corruption(
+          "checkpoint is missing the 'engine' section");
+    }
+    const char* p = base->data();
+    const char* limit = base->data() + base->size();
+    std::string engine_name;
+    SES_RETURN_IF_ERROR(storage::GetString(&p, limit, &engine_name));
+    if (engine_name != name()) {
+      return Status::InvalidArgument("checkpoint was written by engine '" +
+                                     engine_name + "', not '" +
+                                     std::string(name()) + "'");
+    }
+    SES_RETURN_IF_ERROR(storage::GetBool(&p, limit, &flushed_));
+    SES_RETURN_IF_ERROR(storage::GetBool(&p, limit, &has_last_timestamp_));
+    SES_RETURN_IF_ERROR(storage::GetSigned(&p, limit, &last_timestamp_));
+    SES_RETURN_IF_ERROR(storage::GetSigned(&p, limit, &events_pushed_));
+    SES_RETURN_IF_ERROR(storage::GetSigned(&p, limit, &events_late_));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(&p, limit, &events_filtered_columnar_));
+    bool has_reorder = false;
+    SES_RETURN_IF_ERROR(storage::GetBool(&p, limit, &has_reorder));
+    if (has_reorder != (reorder_ != nullptr)) {
+      return Status::InvalidArgument(
+          "checkpoint lateness configuration does not match this engine");
+    }
+    if (reorder_ != nullptr) {
+      SES_RETURN_IF_ERROR(
+          reorder_->Restore(plan_->pattern().schema(), &p, limit));
+    }
+    if (p != limit) {
+      return Status::Corruption(
+          "checkpoint 'engine' section has trailing bytes");
+    }
+    Result<std::string_view> state = reader.Section("state");
+    if (!state.ok()) {
+      return Status::Corruption("checkpoint is missing the 'state' section");
+    }
+    p = state->data();
+    limit = state->data() + state->size();
+    SES_RETURN_IF_ERROR(RestoreImpl(&p, limit));
+    if (p != limit) {
+      return Status::Corruption(
+          "checkpoint 'state' section has trailing bytes");
+    }
+    // Resume the periodic cadence from the restored event count, aligned
+    // to the interval, so a restored run checkpoints at the same event
+    // offsets the uninterrupted run would have.
+    if (options_.checkpoint_interval_events > 0) {
+      const int64_t interval = options_.checkpoint_interval_events;
+      next_checkpoint_at_ = (events_pushed_ / interval + 1) * interval;
+    }
+    return Status::OK();
+  }();
+  if (!s.ok()) Reset();
+  return s;
 }
 
 Status Engine::HandleLate(const Event& event) {
@@ -412,14 +635,16 @@ Status Engine::Push(const Event& event) {
     if (!released_.empty()) {
       SES_RETURN_IF_ERROR(PushBatchOrdered(released_));
     }
-    return status;
+    SES_RETURN_IF_ERROR(status);
+    return MaybeCheckpoint();
   }
   if (has_last_timestamp_ && event.timestamp() <= last_timestamp_) {
     return HandleLate(event);
   }
   last_timestamp_ = event.timestamp();
   has_last_timestamp_ = true;
-  return PushOrdered(event);
+  SES_RETURN_IF_ERROR(PushOrdered(event));
+  return MaybeCheckpoint();
 }
 
 Status Engine::PushBatch(std::span<const Event> events) {
@@ -428,7 +653,8 @@ Status Engine::PushBatch(std::span<const Event> events) {
         "PushBatch after Flush: call Reset() before pushing a new stream");
   }
   events_pushed_ += static_cast<int64_t>(events.size());
-  return IngestSpan(events);
+  SES_RETURN_IF_ERROR(IngestSpan(events));
+  return MaybeCheckpoint();
 }
 
 Status Engine::IngestSpan(std::span<const Event> events) {
@@ -508,7 +734,8 @@ Status Engine::PushColumnar(const ColumnarBatch& batch) {
     // materialize the rows and reuse the row-wise lateness machinery, so
     // the two ingest paths agree on every reject/drop decision.
     std::vector<Event> rows = batch.ToEvents();
-    return IngestSpan(rows);
+    SES_RETURN_IF_ERROR(IngestSpan(rows));
+    return MaybeCheckpoint();
   }
   last_timestamp_ = timestamps.back();
   has_last_timestamp_ = true;
@@ -522,7 +749,8 @@ Status Engine::PushColumnar(const ColumnarBatch& batch) {
     events_filtered_columnar_ +=
         static_cast<int64_t>(batch.size() - passing);
   }
-  return PushColumnarOrdered(batch, pass);
+  SES_RETURN_IF_ERROR(PushColumnarOrdered(batch, pass));
+  return MaybeCheckpoint();
 }
 
 Status Engine::PushColumnarOrdered(const ColumnarBatch& batch,
@@ -560,6 +788,7 @@ void Engine::Reset() {
   events_pushed_ = 0;
   events_late_ = 0;
   events_filtered_columnar_ = 0;
+  next_checkpoint_at_ = options_.checkpoint_interval_events;
   ResetImpl();
 }
 

@@ -15,6 +15,7 @@
 #include "exec/rebalancer.h"
 #include "exec/reorder_buffer.h"
 #include "plan/compiled_plan.h"
+#include "storage/checkpoint.h"
 
 namespace ses::engine {
 
@@ -53,6 +54,19 @@ struct EngineOptions {
   Duration lateness_bound = 0;
   /// What to do with events that violate `lateness_bound`.
   exec::LatePolicy late_policy = exec::LatePolicy::kReject;
+  /// Periodic checkpointing (every engine): after every
+  /// `checkpoint_interval_events` pushed events the engine serializes its
+  /// full runtime state with Checkpoint() and hands the writer to
+  /// `checkpoint_sink`, which may add embedder sections (e.g. the CLI's
+  /// output cursor) before sealing and persisting the bytes. 0 (the
+  /// default) disables periodic checkpoints; explicit Checkpoint() calls
+  /// work either way. Checkpointing is transparent: it never changes the
+  /// match sequence or the statistics of the run.
+  int64_t checkpoint_interval_events = 0;
+  /// Receives the filled writer at each periodic checkpoint. Runs on the
+  /// thread that drives the engine; a non-OK status aborts the triggering
+  /// Push. Required when checkpoint_interval_events > 0.
+  std::function<Status(storage::CheckpointWriter&)> checkpoint_sink;
 };
 
 /// Engine-agnostic statistics snapshot. Counters an engine cannot measure
@@ -182,6 +196,23 @@ class Engine {
   /// by the base class.
   EngineStats stats() const;
 
+  /// Serializes the engine's complete runtime state into `writer` as two
+  /// sections: "engine" (the shared ingest stage — ordering watermark,
+  /// reorder-buffer tail, ingest counters, the engine's registry name) and
+  /// "state" (the evaluator: open automaton instances with their match
+  /// buffers, partitions, shard and rebalancer state, statistics). Call
+  /// between events, not from inside a sink. The engine keeps running; a
+  /// Restore()d engine continues the stream with a byte-identical match
+  /// sequence and statistics (docs/SEMANTICS.md §12).
+  Status Checkpoint(storage::CheckpointWriter* writer);
+
+  /// Restores state written by Checkpoint() of an engine with the same
+  /// registry name, plan, and configuration. Returns InvalidArgument when
+  /// the checkpoint was written by a different engine or lateness
+  /// configuration, Corruption for malformed payloads. On error the engine
+  /// is left Reset().
+  Status Restore(const storage::CheckpointReader& reader);
+
   /// The immutable plan this engine executes.
   const plan::CompiledPlan& plan() const { return *plan_; }
 
@@ -207,12 +238,23 @@ class Engine {
   virtual void ResetImpl() = 0;
   virtual EngineStats StatsImpl() const = 0;
 
+  /// Serializes the evaluator's state (the "state" section payload) with
+  /// the checkpoint payload primitives. May quiesce worker threads.
+  virtual Status CheckpointImpl(std::string* out) = 0;
+  /// Restores what CheckpointImpl wrote. Runs on a freshly Reset()
+  /// evaluator; must consume the payload exactly.
+  virtual Status RestoreImpl(const char** p, const char* limit) = 0;
+
   std::shared_ptr<const plan::CompiledPlan> plan_;
   EngineOptions options_;
 
  private:
   /// Handles one bound-violating event on the lateness_bound == 0 path.
   Status HandleLate(const Event& event);
+
+  /// Fires a periodic checkpoint when the event counter has crossed the
+  /// next interval boundary (no-op when disabled).
+  Status MaybeCheckpoint();
 
   /// The ordering/lateness stage of PushBatch, after the flushed check and
   /// the events_pushed accounting (PushColumnar's out-of-order fallback
@@ -229,6 +271,9 @@ class Engine {
   bool flushed_ = false;
   int64_t events_pushed_ = 0;
   int64_t events_late_ = 0;
+  /// Event count at which the next periodic checkpoint fires (disabled
+  /// when checkpoint_interval_events is 0).
+  int64_t next_checkpoint_at_ = 0;
   /// Rows the columnar pre-filter dropped before the engine hook; added to
   /// StatsImpl().events_filtered in stats() so row and columnar ingest
   /// report the same totals (the executor-side filter never sees these).

@@ -19,6 +19,7 @@ struct EventBatch {
   enum class Kind {
     kEvents,  // process `events`, then run the eviction sweep
     kFlush,   // flush every partition, then acknowledge
+    kSync,    // acknowledge without touching any state (checkpoint quiesce)
     kReset,   // drop all partitions, matches, and stats, then acknowledge
     kStop,    // exit the worker loop
   };

@@ -14,6 +14,7 @@
 #include "common/strings.h"
 #include "exec/batch_queue.h"
 #include "metrics/metrics.h"
+#include "storage/checkpoint.h"
 
 namespace ses::exec {
 
@@ -194,6 +195,13 @@ struct ParallelPartitionedMatcher::Impl {
         }
         case EventBatch::Kind::kFlush:
           FlushShard(shard);
+          Acknowledge(shard);
+          break;
+        case EventBatch::Kind::kSync:
+          // Quiesce only: every batch queued before this one has been
+          // processed, and the acknowledgement's happens-before lets the
+          // ingest thread read (or rewrite) worker-owned state until its
+          // next queue Push.
           Acknowledge(shard);
           break;
         case EventBatch::Kind::kReset:
@@ -595,10 +603,11 @@ struct ParallelPartitionedMatcher::Impl {
   /// batch observes the full stream.
   void Barrier(EventBatch::Kind kind) {
     for (size_t i = 0; i < shards.size(); ++i) {
-      if (kind == EventBatch::Kind::kFlush) {
-        FlushPendingSlab(i, /*all=*/true);
-      } else {
+      if (kind == EventBatch::Kind::kReset) {
         pending[i].clear();
+      } else {
+        // kFlush and kSync must observe the full stream.
+        FlushPendingSlab(i, /*all=*/true);
       }
     }
     ++barrier_epoch;
@@ -689,6 +698,197 @@ struct ParallelPartitionedMatcher::Impl {
     max_buffered.Reset();
     std::fill(fed.begin(), fed.end(), false);
     last_stats = ParallelStats{};
+  }
+
+  // ---- Checkpoint / restore ---------------------------------------------
+
+  /// Serializes the complete runtime state after a kSync barrier. Deferred
+  /// worker-side state is drained to its ingest-side home first (sealed
+  /// runs into the merger, per-key load samples into the rebalancer) —
+  /// both drains are behavior-preserving, they only move work the next
+  /// emission or sampling round would have done anyway — so every fact has
+  /// exactly one home in the payload.
+  Status CheckpointAll(std::string* out) {
+    Barrier(EventBatch::Kind::kSync);
+    for (auto& shard : shards) {
+      if (!shard->status.ok()) return shard->status;
+    }
+    for (auto& shard : shards) {
+      std::lock_guard<std::mutex> lock(shard->runs_mu);
+      for (auto& run : shard->sealed_runs) {
+        if (!run.empty()) merge_runs.push_back(std::move(run));
+      }
+      shard->sealed_runs.clear();
+    }
+    if (rebalancer != nullptr) {
+      for (auto& shard : shards) {
+        std::map<Value, KeyLoadDelta, ValueOrderLess> key_load;
+        {
+          std::lock_guard<std::mutex> lock(shard->key_load_mu);
+          key_load.swap(shard->key_load);
+        }
+        for (const auto& [key, load] : key_load) {
+          rebalancer->ObserveKeyLoad(key, load.work, load.open_instances);
+        }
+      }
+    }
+    const Schema& schema = automaton->pattern().schema();
+    storage::PutBool(out, has_watermark);
+    storage::PutSigned(out, watermark);
+    storage::PutSigned(out, events_ingested);
+    storage::PutSigned(out, batches_enqueued);
+    storage::PutSigned(out, max_queue_depth);
+    storage::PutSigned(out, next_emit_at);
+    storage::PutSigned(out, matches_emitted_early);
+    storage::PutSigned(out, buffered_matches.value());
+    storage::PutSigned(out, max_buffered.max());
+    storage::PutCount(out, fed.size());
+    for (bool shard_fed : fed) storage::PutBool(out, shard_fed);
+    storage::PutCount(out, merge_runs.size());
+    for (const std::vector<Match>& run : merge_runs) {
+      storage::PutCount(out, run.size());
+      for (const Match& match : run) CheckpointMatch(match, schema, out);
+    }
+    storage::PutBool(out, rebalancer != nullptr);
+    if (rebalancer != nullptr) rebalancer->Checkpoint(out);
+    storage::PutCount(out, shards.size());
+    for (auto& shard : shards) {
+      storage::PutSigned(
+          out, shard->published.load(std::memory_order_acquire));
+      storage::PutCount(out, shard->partitions.size());
+      for (const auto& [key, partition] : shard->partitions) {
+        storage::PutValue(out, key);
+        storage::PutSigned(out, partition.last_seen);
+        partition.matcher.Checkpoint(out);
+      }
+      storage::PutCount(out, shard->matches.size());
+      for (const Match& match : shard->matches) {
+        CheckpointMatch(match, schema, out);
+      }
+      storage::PutSigned(out, shard->stats.events_processed);
+      storage::PutSigned(out, shard->stats.batches_processed);
+      storage::PutSigned(out, shard->stats.partitions_created);
+      storage::PutSigned(out, shard->stats.partitions_evicted);
+      storage::PutSigned(out, shard->stats.max_resident_partitions);
+      storage::PutSigned(out, shard->stats.max_queue_depth);
+      storage::PutSigned(out, shard->stats.matches_emitted);
+      storage::PutSigned(out, shard->busy_nanos.value());
+    }
+    return Status::OK();
+  }
+
+  /// Rebuilds the runtime from a CheckpointAll payload. Worker-owned state
+  /// is rewritten from the ingest thread inside the safe window between the
+  /// kReset acknowledgement (from ResetAll) and the next queue Push.
+  Status RestoreAll(const char** p, const char* limit) {
+    ResetAll();
+    Status s = [&]() -> Status {
+      const Schema& schema = automaton->pattern().schema();
+      SES_RETURN_IF_ERROR(storage::GetBool(p, limit, &has_watermark));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &watermark));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &events_ingested));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &batches_enqueued));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &max_queue_depth));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &next_emit_at));
+      SES_RETURN_IF_ERROR(
+          storage::GetSigned(p, limit, &matches_emitted_early));
+      int64_t buffered = 0;
+      int64_t max_buffered_seen = 0;
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &buffered));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &max_buffered_seen));
+      buffered_matches.Increment(buffered);
+      max_buffered.Observe(max_buffered_seen);
+      uint64_t fed_count = 0;
+      SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &fed_count));
+      if (fed_count != fed.size()) {
+        return Status::Corruption(
+            "checkpoint shard count does not match this runtime");
+      }
+      for (size_t i = 0; i < fed.size(); ++i) {
+        bool shard_fed = false;
+        SES_RETURN_IF_ERROR(storage::GetBool(p, limit, &shard_fed));
+        fed[i] = shard_fed;
+      }
+      uint64_t num_runs = 0;
+      SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_runs));
+      for (uint64_t i = 0; i < num_runs; ++i) {
+        uint64_t run_size = 0;
+        SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &run_size));
+        std::vector<Match> run;
+        run.reserve(run_size);
+        for (uint64_t j = 0; j < run_size; ++j) {
+          Match match;
+          SES_RETURN_IF_ERROR(RestoreMatch(p, limit, schema, &match));
+          run.push_back(std::move(match));
+        }
+        merge_runs.push_back(std::move(run));
+      }
+      bool has_rebalancer = false;
+      SES_RETURN_IF_ERROR(storage::GetBool(p, limit, &has_rebalancer));
+      if (has_rebalancer != (rebalancer != nullptr)) {
+        return Status::Corruption(
+            "checkpoint rebalancer presence does not match this runtime");
+      }
+      if (rebalancer != nullptr) {
+        SES_RETURN_IF_ERROR(rebalancer->Restore(p, limit));
+      }
+      uint64_t shard_count = 0;
+      SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &shard_count));
+      if (shard_count != shards.size()) {
+        return Status::Corruption(
+            "checkpoint shard count does not match this runtime");
+      }
+      for (auto& shard : shards) {
+        int64_t published = 0;
+        SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &published));
+        shard->published.store(published, std::memory_order_release);
+        uint64_t num_partitions = 0;
+        SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_partitions));
+        for (uint64_t i = 0; i < num_partitions; ++i) {
+          Value key;
+          SES_RETURN_IF_ERROR(storage::GetValue(p, limit, &key));
+          int64_t last_seen = 0;
+          SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &last_seen));
+          auto [it, inserted] = shard->partitions.emplace(
+              std::move(key),
+              Partition{Matcher(automaton, options.matcher, filter), 0});
+          if (!inserted) {
+            return Status::Corruption(
+                "checkpoint shard holds a duplicate partition key");
+          }
+          it->second.last_seen = last_seen;
+          SES_RETURN_IF_ERROR(it->second.matcher.Restore(p, limit));
+        }
+        uint64_t num_matches = 0;
+        SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_matches));
+        shard->matches.reserve(num_matches);
+        for (uint64_t i = 0; i < num_matches; ++i) {
+          Match match;
+          SES_RETURN_IF_ERROR(RestoreMatch(p, limit, schema, &match));
+          shard->matches.push_back(std::move(match));
+        }
+        SES_RETURN_IF_ERROR(
+            storage::GetSigned(p, limit, &shard->stats.events_processed));
+        SES_RETURN_IF_ERROR(
+            storage::GetSigned(p, limit, &shard->stats.batches_processed));
+        SES_RETURN_IF_ERROR(
+            storage::GetSigned(p, limit, &shard->stats.partitions_created));
+        SES_RETURN_IF_ERROR(
+            storage::GetSigned(p, limit, &shard->stats.partitions_evicted));
+        SES_RETURN_IF_ERROR(storage::GetSigned(
+            p, limit, &shard->stats.max_resident_partitions));
+        SES_RETURN_IF_ERROR(
+            storage::GetSigned(p, limit, &shard->stats.max_queue_depth));
+        SES_RETURN_IF_ERROR(
+            storage::GetSigned(p, limit, &shard->stats.matches_emitted));
+        int64_t busy = 0;
+        SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &busy));
+        shard->busy_nanos.Increment(busy);
+      }
+      return Status::OK();
+    }();
+    if (!s.ok()) ResetAll();
+    return s;
   }
 };
 
@@ -787,6 +987,14 @@ Status ParallelPartitionedMatcher::Flush(std::vector<Match>* out) {
 }
 
 void ParallelPartitionedMatcher::Reset() { impl_->ResetAll(); }
+
+Status ParallelPartitionedMatcher::Checkpoint(std::string* out) {
+  return impl_->CheckpointAll(out);
+}
+
+Status ParallelPartitionedMatcher::Restore(const char** p, const char* limit) {
+  return impl_->RestoreAll(p, limit);
+}
 
 const ParallelStats& ParallelPartitionedMatcher::stats() const {
   return impl_->last_stats;

@@ -195,6 +195,21 @@ class ParallelPartitionedMatcher {
   /// the ingest watermark so the matcher can consume a new relation.
   void Reset();
 
+  /// Quiesces every shard (sync barrier: all pending events are processed,
+  /// no state is flushed) and serializes the complete runtime state — the
+  /// ingest watermark and counters, every shard's resident partitions and
+  /// buffered matches, the incremental-emission merger, and the rebalancer
+  /// — into `out` with the checkpoint payload primitives. The matcher keeps
+  /// running afterwards; a restored matcher continues the stream with a
+  /// byte-identical match sequence (docs/SEMANTICS.md §12).
+  Status Checkpoint(std::string* out);
+
+  /// Restores state written by Checkpoint() of a matcher with the same
+  /// shard count, rebalancer configuration, and compiled pattern. Must be
+  /// called before any events are pushed (or after Reset()); on error the
+  /// matcher is left Reset().
+  Status Restore(const char** p, const char* limit);
+
   /// Statistics snapshotted at the last Flush(), plus ingest-side counters.
   const ParallelStats& stats() const;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "storage/checkpoint.h"
 
 namespace ses::exec {
 
@@ -43,6 +44,40 @@ void ObserveShardLoads(const LoadSnapshot& snapshot,
 std::string FormatEwma(const EwmaGauge& gauge) {
   return strings::Format("%.17g/%lld", gauge.value(),
                          static_cast<long long>(gauge.samples()));
+}
+
+void CheckpointEwma(const EwmaGauge& gauge, std::string* out) {
+  storage::PutDouble(out, gauge.value());
+  storage::PutSigned(out, gauge.samples());
+}
+
+Status RestoreEwma(EwmaGauge* gauge, const char** p, const char* limit) {
+  double value = 0;
+  int64_t samples = 0;
+  SES_RETURN_IF_ERROR(storage::GetDouble(p, limit, &value));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &samples));
+  gauge->RestoreState(value, samples);
+  return Status::OK();
+}
+
+void CheckpointEwmaVector(const std::vector<EwmaGauge>& gauges,
+                          std::string* out) {
+  storage::PutCount(out, gauges.size());
+  for (const EwmaGauge& g : gauges) CheckpointEwma(g, out);
+}
+
+Status RestoreEwmaVector(std::vector<EwmaGauge>* gauges, const char** p,
+                         const char* limit) {
+  uint64_t count = 0;
+  SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &count));
+  if (count != gauges->size()) {
+    return Status::Corruption(
+        "checkpoint policy shard count does not match this runtime");
+  }
+  for (EwmaGauge& g : *gauges) {
+    SES_RETURN_IF_ERROR(RestoreEwma(&g, p, limit));
+  }
+  return Status::OK();
 }
 
 /// The PR-2 heuristic, preserved verbatim behind the policy interface:
@@ -130,6 +165,24 @@ class IdleDeepestPolicy : public MigrationPolicy {
 
   RebalancePolicyKind kind() const override {
     return RebalancePolicyKind::kIdleDeepest;
+  }
+
+  void Checkpoint(std::string* out) const override {
+    CheckpointEwmaVector(depth_ewma_, out);
+    CheckpointEwmaVector(busy_ewma_, out);
+  }
+
+  Status Restore(const char** p, const char* limit) override {
+    Reset();
+    if (Status s = RestoreEwmaVector(&depth_ewma_, p, limit); !s.ok()) {
+      Reset();
+      return s;
+    }
+    if (Status s = RestoreEwmaVector(&busy_ewma_, p, limit); !s.ok()) {
+      Reset();
+      return s;
+    }
+    return Status::OK();
   }
 
  private:
@@ -337,7 +390,48 @@ class CostModelPolicy : public MigrationPolicy {
     return RebalancePolicyKind::kCostModel;
   }
 
+  void Checkpoint(std::string* out) const override {
+    CheckpointEwmaVector(depth_ewma_, out);
+    CheckpointEwmaVector(busy_ewma_, out);
+    storage::PutBool(out, migrating_);
+    storage::PutCount(out, keys_.size());
+    for (const auto& [key, state] : keys_) {
+      storage::PutValue(out, key);
+      CheckpointEwma(state.work, out);
+      CheckpointEwma(state.instances, out);
+      storage::PutBool(out, state.has_migrated);
+      storage::PutSigned(out, state.last_migrated);
+    }
+  }
+
+  Status Restore(const char** p, const char* limit) override {
+    Reset();
+    Status s = RestoreImpl(p, limit);
+    if (!s.ok()) Reset();
+    return s;
+  }
+
  private:
+  Status RestoreImpl(const char** p, const char* limit) {
+    SES_RETURN_IF_ERROR(RestoreEwmaVector(&depth_ewma_, p, limit));
+    SES_RETURN_IF_ERROR(RestoreEwmaVector(&busy_ewma_, p, limit));
+    SES_RETURN_IF_ERROR(storage::GetBool(p, limit, &migrating_));
+    uint64_t num_keys = 0;
+    SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_keys));
+    for (uint64_t i = 0; i < num_keys; ++i) {
+      Value key;
+      SES_RETURN_IF_ERROR(storage::GetValue(p, limit, &key));
+      KeyState state{EwmaGauge(options_.work_alpha),
+                     EwmaGauge(options_.work_alpha), false, 0};
+      SES_RETURN_IF_ERROR(RestoreEwma(&state.work, p, limit));
+      SES_RETURN_IF_ERROR(RestoreEwma(&state.instances, p, limit));
+      SES_RETURN_IF_ERROR(storage::GetBool(p, limit, &state.has_migrated));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &state.last_migrated));
+      keys_.emplace(std::move(key), std::move(state));
+    }
+    return Status::OK();
+  }
+
   struct KeyState {
     EwmaGauge work;
     EwmaGauge instances;

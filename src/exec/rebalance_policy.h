@@ -200,6 +200,14 @@ class MigrationPolicy {
 
   /// Which policy this is.
   virtual RebalancePolicyKind kind() const = 0;
+
+  /// Serializes the policy's deterministic state (EWMAs, hysteresis flag,
+  /// per-key cooldowns) into `out` with the checkpoint payload primitives.
+  virtual void Checkpoint(std::string* out) const = 0;
+
+  /// Restores state written by Checkpoint() of the same policy kind and
+  /// shard count. On error the policy is left Reset().
+  virtual Status Restore(const char** p, const char* limit) = 0;
 };
 
 /// Constructs the policy selected by `options.policy` for a runtime of

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "storage/checkpoint.h"
 
 namespace ses::exec {
 
@@ -133,6 +134,85 @@ void ShardRebalancer::Reset() {
   policy_->Reset();
   stats_ = RebalancerStats{};
   next_sample_at_ = options_.interval_events;
+}
+
+void ShardRebalancer::Checkpoint(std::string* out) const {
+  storage::PutSigned(out, next_sample_at_);
+  storage::PutCount(out, keys_.size());
+  for (const auto& [key, state] : keys_) {
+    storage::PutValue(out, key);
+    storage::PutSigned(out, state.home);
+    storage::PutSigned(out, state.shard);
+    storage::PutSigned(out, state.last_seen);
+    storage::PutSigned(out, state.events);
+    storage::PutSigned(out, state.work_delta);
+    storage::PutSigned(out, state.open_instances);
+  }
+  storage::PutCount(out, prev_busy_nanos_.size());
+  for (int64_t busy : prev_busy_nanos_) storage::PutSigned(out, busy);
+  storage::PutSigned(out, stats_.rounds);
+  storage::PutSigned(out, stats_.rebalances);
+  storage::PutSigned(out, stats_.keys_migrated);
+  storage::PutSigned(out, stats_.overrides_active);
+  storage::PutSigned(out, stats_.keys_tracked);
+  storage::PutSigned(out, stats_.migrating_rounds);
+  storage::PutSigned(out, stats_.hot_key_rounds);
+  storage::PutSigned(out, stats_.cooldown_blocked);
+  storage::PutSigned(out, stats_.moves_rejected);
+  policy_->Checkpoint(out);
+}
+
+Status ShardRebalancer::Restore(const char** p, const char* limit) {
+  Reset();
+  Status s = [&]() -> Status {
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &next_sample_at_));
+    uint64_t num_keys = 0;
+    SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_keys));
+    for (uint64_t i = 0; i < num_keys; ++i) {
+      Value key;
+      SES_RETURN_IF_ERROR(storage::GetValue(p, limit, &key));
+      KeyState state;
+      int64_t home = 0, shard = 0;
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &home));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &shard));
+      if (home < 0 || home >= num_shards_ || shard < 0 ||
+          shard >= num_shards_) {
+        return Status::Corruption(
+            "checkpoint rebalancer key routed outside the shard range");
+      }
+      state.home = static_cast<int>(home);
+      state.shard = static_cast<int>(shard);
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &state.last_seen));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &state.events));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &state.work_delta));
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &state.open_instances));
+      keys_.emplace(std::move(key), state);
+    }
+    uint64_t num_busy = 0;
+    SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &num_busy));
+    if (num_busy != prev_busy_nanos_.size()) {
+      return Status::Corruption(
+          "checkpoint rebalancer shard count does not match this runtime");
+    }
+    for (int64_t& busy : prev_busy_nanos_) {
+      SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &busy));
+    }
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.rounds));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.rebalances));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.keys_migrated));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.overrides_active));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.keys_tracked));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.migrating_rounds));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.hot_key_rounds));
+    SES_RETURN_IF_ERROR(
+        storage::GetSigned(p, limit, &stats_.cooldown_blocked));
+    SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.moves_rejected));
+    return policy_->Restore(p, limit);
+  }();
+  if (!s.ok()) Reset();
+  return s;
 }
 
 std::string ShardRebalancer::DebugString() const {

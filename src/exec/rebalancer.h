@@ -109,6 +109,15 @@ class ShardRebalancer {
   /// relation starts from pure hash routing).
   void Reset();
 
+  /// Serializes the complete rebalancer state — the override/tracking
+  /// table, busy-time baselines, sampling cursor, statistics, and the
+  /// policy's state — into `out` (storage/checkpoint.h primitives).
+  void Checkpoint(std::string* out) const;
+
+  /// Restores state written by Checkpoint() of a rebalancer with the same
+  /// shard count, window, and policy. On error it is left Reset().
+  Status Restore(const char** p, const char* limit);
+
   /// Deterministic serialization of the complete rebalancer state,
   /// including the policy's. Equal strings mean equal state; a Reset()
   /// rebalancer serializes identically to a freshly constructed one.

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <string>
 
+#include "storage/checkpoint.h"
+
 namespace ses::exec {
 namespace {
 
@@ -176,6 +178,52 @@ void ReorderBuffer::Reset() {
   max_seen_ = kNoTimestamp;
   last_released_ = kNoTimestamp;
   stats_ = ReorderStats();
+}
+
+void ReorderBuffer::Checkpoint(const Schema& schema, std::string* out) const {
+  storage::PutCount(out, buffer_.size());
+  for (const Event& event : buffer_) {
+    storage::PutEventRecord(out, event, schema);
+  }
+  storage::PutCount(out, sorted_);
+  storage::PutSigned(out, max_seen_);
+  storage::PutSigned(out, last_released_);
+  storage::PutSigned(out, stats_.events_admitted);
+  storage::PutSigned(out, stats_.events_reordered);
+  storage::PutSigned(out, stats_.events_late);
+  storage::PutSigned(out, stats_.max_buffered);
+}
+
+Status ReorderBuffer::Restore(const Schema& schema, const char** p,
+                              const char* limit) {
+  Reset();
+  uint64_t buffered = 0;
+  SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &buffered));
+  buffer_.reserve(buffered);
+  for (uint64_t i = 0; i < buffered; ++i) {
+    Event event;
+    if (Status s = storage::GetEventRecord(p, limit, schema, &event);
+        !s.ok()) {
+      Reset();
+      return s;
+    }
+    buffer_.push_back(std::move(event));
+  }
+  uint64_t sorted = 0;
+  SES_RETURN_IF_ERROR(storage::GetCount(p, limit, &sorted));
+  if (sorted > buffer_.size()) {
+    Reset();
+    return Status::Corruption(
+        "checkpoint reorder buffer sorted prefix exceeds the buffer");
+  }
+  sorted_ = static_cast<size_t>(sorted);
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &max_seen_));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &last_released_));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.events_admitted));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.events_reordered));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.events_late));
+  SES_RETURN_IF_ERROR(storage::GetSigned(p, limit, &stats_.max_buffered));
+  return Status::OK();
 }
 
 }  // namespace ses::exec

@@ -113,6 +113,14 @@ class ReorderBuffer {
   /// Returns the buffer to its initial empty state (counters included).
   void Reset();
 
+  /// Serializes the buffered tail, watermarks, and counters into `out`.
+  /// `schema` describes the buffered events (the pattern's schema).
+  void Checkpoint(const Schema& schema, std::string* out) const;
+
+  /// Restores state written by Checkpoint() (same schema and options). On
+  /// error the buffer is left Reset().
+  Status Restore(const Schema& schema, const char** p, const char* limit);
+
   const ReorderStats& stats() const { return stats_; }
 
   /// Events currently buffered (admitted but not yet releasable).

@@ -105,6 +105,13 @@ class EwmaGauge {
     samples_ = 0;
   }
 
+  /// Reinstates a previously observed (value, samples) pair, e.g. from a
+  /// checkpoint. Subsequent Observe() calls continue the same average.
+  void RestoreState(double value, int64_t samples) {
+    value_ = value;
+    samples_ = samples;
+  }
+
  private:
   double alpha_;
   double value_ = 0;

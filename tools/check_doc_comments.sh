@@ -2,9 +2,9 @@
 # Doc-comment lint for the runtime's public headers.
 #
 # Fails (exit 1) if a public header under src/exec/, src/metrics/,
-# src/plan/, src/engine/, src/catalog/, src/event/, or src/bench/ declares a
-# top-level class or struct that is not immediately preceded by a `///`
-# doc comment. These
+# src/plan/, src/engine/, src/catalog/, src/event/, src/storage/, or
+# src/bench/ declares a top-level class or struct that is not immediately
+# preceded by a `///` doc comment. These
 # are the headers an operator reads first (see docs/RUNTIME.md and
 # EXPERIMENTS.md), so every public type must say what it is for.
 #
@@ -21,7 +21,7 @@ set -u
 fail=0
 shopt -s nullglob
 for header in src/exec/*.h src/metrics/*.h src/plan/*.h src/engine/*.h \
-              src/catalog/*.h src/bench/*.h src/event/*.h; do
+              src/catalog/*.h src/bench/*.h src/event/*.h src/storage/*.h; do
   out=$(awk '
     /^(class|struct)[ \t]+[A-Za-z_]/ {
       # Skip pure forward declarations: "class X;" with no brace.
@@ -41,7 +41,7 @@ for header in src/exec/*.h src/metrics/*.h src/plan/*.h src/engine/*.h \
 done
 
 if [ "$fail" -ne 0 ]; then
-  echo "error: public types in src/exec/, src/metrics/, src/plan/, src/engine/, src/catalog/, src/event/, and src/bench/ need /// doc comments" >&2
+  echo "error: public types in src/exec/, src/metrics/, src/plan/, src/engine/, src/catalog/, src/event/, src/storage/, and src/bench/ need /// doc comments" >&2
   exit 1
 fi
 echo "doc-comment lint: OK"
