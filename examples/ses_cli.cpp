@@ -316,26 +316,6 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
   return args;
 }
 
-/// Parses "ID INT, L STRING, V DOUBLE".
-Result<Schema> ParseSchemaText(const std::string& text) {
-  std::vector<Attribute> attributes;
-  for (std::string_view part : strings::Split(text, ',')) {
-    part = strings::Trim(part);
-    if (part.empty()) continue;
-    size_t space = part.find_last_of(" \t");
-    if (space == std::string_view::npos) {
-      return Status::InvalidArgument(
-          "schema entries need the form 'NAME TYPE': " + std::string(part));
-    }
-    std::string name(strings::Trim(part.substr(0, space)));
-    SES_ASSIGN_OR_RETURN(ValueType type,
-                         ValueTypeFromString(strings::Trim(
-                             part.substr(space + 1))));
-    attributes.push_back(Attribute{std::move(name), type});
-  }
-  return Schema::Create(std::move(attributes));
-}
-
 /// Loaded input: the schema plus events in arrival order. Ordered sources
 /// (demo, .sestbl, CSV without --lateness) enforce time order at load;
 /// with --lateness on, CSV rows are taken as they arrive and the engine's

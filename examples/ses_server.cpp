@@ -1,0 +1,163 @@
+// ses_server — the long-running SES network server: serves the sesnet wire
+// protocol (src/net/protocol.h) on 127.0.0.1, evaluating standing queries
+// submitted by net::Client connections over client-pushed event streams.
+// docs/SERVER.md is the operator guide.
+//
+//   # serve the demo schema on an ephemeral port (printed on stdout)
+//   ses_server --schema "ID INT, L STRING, V DOUBLE, U STRING"
+//
+//   # fixed port, parallel per-plan engines, checkpointing enabled
+//   ses_server --schema "..." --port 7341 --engine parallel --threads 4
+//              --checkpoint-dir /var/lib/ses
+//
+// The server runs until SIGINT/SIGTERM, then closes every connection
+// cleanly (clients see the socket close; admitted slabs finish evaluating
+// first).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "engine/registry.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace ses;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+struct ServerArgs {
+  std::string schema_text;
+  int port = 0;
+  std::string engine = "serial";
+  int threads = 0;
+  int queue_capacity = 64;
+  long idle_timeout_ms = 60'000;
+  std::string checkpoint_dir;
+  bool quiet = false;
+};
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s --schema \"NAME TYPE, ...\" [options]\n"
+      "  --schema TEXT        stream schema (required), e.g.\n"
+      "                       \"ID INT, L STRING, V DOUBLE, U STRING\"\n"
+      "  --port N             TCP port on 127.0.0.1 (default 0 = ephemeral;\n"
+      "                       the chosen port is printed on stdout)\n"
+      "  --engine NAME        per-plan engine (default serial; see\n"
+      "                       ses_cli --list-engines)\n"
+      "  --threads N          shorthand for --engine parallel with N shards\n"
+      "  --queue-capacity N   per-connection ingest queue slots before\n"
+      "                       PushEvents answers Busy (default 64)\n"
+      "  --idle-timeout-ms N  close connections idle this long (default\n"
+      "                       60000; 0 disables)\n"
+      "  --checkpoint-dir D   enable the Checkpoint request, writing\n"
+      "                       SES_CKPT_<n>.sesckpt files under D\n"
+      "  --quiet              suppress the startup banner (port line stays)\n",
+      argv0);
+}
+
+ses::Result<ServerArgs> ParseArgs(int argc, char** argv) {
+  ServerArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(std::string(flag) + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--schema") {
+      SES_ASSIGN_OR_RETURN(args.schema_text, next());
+    } else if (flag == "--port") {
+      SES_ASSIGN_OR_RETURN(std::string v, next());
+      args.port = std::atoi(v.c_str());
+    } else if (flag == "--engine") {
+      SES_ASSIGN_OR_RETURN(args.engine, next());
+    } else if (flag == "--threads") {
+      SES_ASSIGN_OR_RETURN(std::string v, next());
+      args.threads = std::atoi(v.c_str());
+    } else if (flag == "--queue-capacity") {
+      SES_ASSIGN_OR_RETURN(std::string v, next());
+      args.queue_capacity = std::atoi(v.c_str());
+    } else if (flag == "--idle-timeout-ms") {
+      SES_ASSIGN_OR_RETURN(std::string v, next());
+      args.idle_timeout_ms = std::atol(v.c_str());
+    } else if (flag == "--checkpoint-dir") {
+      SES_ASSIGN_OR_RETURN(args.checkpoint_dir, next());
+    } else if (flag == "--quiet") {
+      args.quiet = true;
+    } else if (flag == "--help") {
+      PrintUsage(argv[0]);
+      std::exit(0);
+    } else {
+      return Status::InvalidArgument("unknown flag: " + std::string(flag));
+    }
+  }
+  if (args.schema_text.empty()) {
+    return Status::InvalidArgument("--schema is required (try --help)");
+  }
+  return args;
+}
+
+Status Run(const ServerArgs& args) {
+  net::ServerOptions options;
+  SES_ASSIGN_OR_RETURN(options.schema, ParseSchemaText(args.schema_text));
+  options.port = static_cast<uint16_t>(args.port);
+  options.engine = args.engine;
+  if (args.threads > 0) {
+    options.engine = "parallel";
+    options.engine_options.num_shards = args.threads;
+  }
+  options.queue_capacity = static_cast<size_t>(args.queue_capacity);
+  options.idle_timeout_ms = args.idle_timeout_ms;
+  options.checkpoint_dir = args.checkpoint_dir;
+
+  SES_ASSIGN_OR_RETURN(std::unique_ptr<net::Server> server,
+                       net::Server::Start(std::move(options)));
+  // Scripts (tools/server_smoke.sh) parse this line for the ephemeral port.
+  std::printf("listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server->port()));
+  std::fflush(stdout);
+  if (!args.quiet) {
+    std::fprintf(stderr,
+                 "ses_server: engine=%s queue-capacity=%d idle-timeout=%ldms"
+                 " checkpoints=%s\n",
+                 args.threads > 0 ? "parallel" : args.engine.c_str(),
+                 args.queue_capacity, args.idle_timeout_ms,
+                 args.checkpoint_dir.empty() ? "<off>"
+                                             : args.checkpoint_dir.c_str());
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "ses_server: shutting down (%zu connection(s))\n",
+               server->num_connections());
+  server->Stop();
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<ServerArgs> args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "ses_server: %s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  Status status = Run(*args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "ses_server: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -54,4 +54,34 @@ bool operator==(const Schema& a, const Schema& b) {
   return a.attributes_ == b.attributes_;
 }
 
+Result<Schema> ParseSchemaText(std::string_view text) {
+  std::vector<Attribute> attributes;
+  for (std::string_view part : strings::Split(text, ',')) {
+    part = strings::Trim(part);
+    if (part.empty()) continue;
+    size_t space = part.find_last_of(" \t");
+    if (space == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "schema entries need the form 'NAME TYPE': " + std::string(part));
+    }
+    std::string name(strings::Trim(part.substr(0, space)));
+    SES_ASSIGN_OR_RETURN(
+        ValueType type,
+        ValueTypeFromString(strings::Trim(part.substr(space + 1))));
+    attributes.push_back(Attribute{std::move(name), type});
+  }
+  return Schema::Create(std::move(attributes));
+}
+
+std::string FormatSchemaText(const Schema& schema) {
+  std::string out;
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute(i).name;
+    out += " ";
+    out += ValueTypeToString(schema.attribute(i).type);
+  }
+  return out;
+}
+
 }  // namespace ses

@@ -52,6 +52,16 @@ class Schema {
 
 bool operator==(const Attribute& a, const Attribute& b);
 
+/// Parses a comma-separated "NAME TYPE" attribute list into a schema, e.g.
+/// "ID INT, L STRING, V DOUBLE" (TYPE one of INT/INT64, DOUBLE, STRING).
+/// This is the textual schema form shared by ses_cli --schema and the wire
+/// protocol's Hello handshake (net/protocol.h); FormatSchemaText is its
+/// inverse.
+Result<Schema> ParseSchemaText(std::string_view text);
+
+/// Formats `schema` as the "NAME TYPE, ..." list ParseSchemaText accepts.
+std::string FormatSchemaText(const Schema& schema);
+
 }  // namespace ses
 
 #endif  // SES_EVENT_SCHEMA_H_

@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"
@@ -35,47 +36,69 @@ struct EventBatch {
   Timestamp watermark = 0;
 };
 
-/// Bounded FIFO of EventBatches between the ingest thread and one shard
-/// worker (mutex + two condition variables). Push blocks while the queue is
-/// at capacity, bounding the memory held by a slow shard; Pop blocks while
+/// Bounded FIFO of work items between a producer thread and one consumer
+/// (mutex + two condition variables). Push blocks while the queue is at
+/// capacity, bounding the memory held by a slow consumer; Pop blocks while
 /// it is empty. The queue mutex also provides the happens-before edge that
-/// lets the ingest thread read worker-owned state after a barrier batch has
+/// lets the producer read consumer-owned state after a barrier item has
 /// been acknowledged.
+///
+/// Two consumers sit on this primitive: the parallel runtime's shard
+/// workers (one BatchQueue of EventBatches per shard) and the network
+/// server's per-connection ingest queues (net/server.h), which use
+/// TryPush to turn "queue full" into an explicit Busy response instead of
+/// blocking the connection's reader thread.
 ///
 /// Close() is the shutdown signal: it wakes every thread blocked in
 /// Push/PushAll/Pop so neither side can deadlock when the other exits
-/// early. After Close, producers see `false` from Push/PushAll (the
-/// batches are discarded) and consumers drain the remaining queue, then
+/// early. After Close, producers see `false` from Push/PushAll/TryPush
+/// (the items are discarded) and consumers drain the remaining queue, then
 /// see std::nullopt from Pop.
-class BatchQueue {
+template <typename T>
+class BoundedQueue {
  public:
-  explicit BatchQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
 
-  BatchQueue(const BatchQueue&) = delete;
-  BatchQueue& operator=(const BatchQueue&) = delete;
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Blocks while the queue is full. Returns true once the batch is
-  /// enqueued; false if the queue was closed first (the batch is dropped).
-  bool Push(EventBatch batch) {
+  /// Blocks while the queue is full. Returns true once the item is
+  /// enqueued; false if the queue was closed first (the item is dropped).
+  bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [this] { return closed_ || queue_.size() < capacity_; });
     if (closed_) return false;
-    queue_.push_back(std::move(batch));
+    queue_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
   }
 
-  /// Slab variant: enqueues a whole run of batches destined for this shard
-  /// with one lock acquisition and one notify per admitted chunk, instead
-  /// of one lock + notify per batch. This is what makes PushBatch ingest
-  /// cheap: the ingest thread splits a large span into batch_size-bounded
-  /// batches and hands the per-shard slab over in (usually) a single
-  /// synchronization round. Blocks like Push when the queue is at capacity;
-  /// a slab larger than the remaining capacity is admitted in chunks as the
-  /// worker drains the queue. Returns false if the queue is closed before
-  /// the whole slab is admitted (the remainder is dropped).
-  bool PushAll(std::vector<EventBatch> slab) {
+  /// Non-blocking admission: enqueues and returns true when there is room,
+  /// returns false — without waiting — when the queue is at capacity or
+  /// closed (the item is dropped either way; check closed() to tell the
+  /// cases apart). This is the backpressure probe of the network server:
+  /// a full queue becomes a Busy response to the client instead of a
+  /// blocked reader thread.
+  bool TryPush(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Slab variant: enqueues a whole run of items destined for this
+  /// consumer with one lock acquisition and one notify per admitted chunk,
+  /// instead of one lock + notify per item. This is what makes PushBatch
+  /// ingest cheap: the ingest thread splits a large span into
+  /// batch_size-bounded batches and hands the per-shard slab over in
+  /// (usually) a single synchronization round. Blocks like Push when the
+  /// queue is at capacity; a slab larger than the remaining capacity is
+  /// admitted in chunks as the consumer drains the queue. Returns false if
+  /// the queue is closed before the whole slab is admitted (the remainder
+  /// is dropped).
+  bool PushAll(std::vector<T> slab) {
     size_t next = 0;
     while (next < slab.size()) {
       std::unique_lock<std::mutex> lock(mu_);
@@ -90,21 +113,21 @@ class BatchQueue {
     return true;
   }
 
-  /// Blocks while the queue is empty and open. Returns the next batch, or
-  /// std::nullopt once the queue is closed AND drained — a worker that
+  /// Blocks while the queue is empty and open. Returns the next item, or
+  /// std::nullopt once the queue is closed AND drained — a consumer that
   /// sees nullopt can exit its loop unconditionally.
-  std::optional<EventBatch> Pop() {
+  std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
     if (queue_.empty()) return std::nullopt;  // closed and drained
-    EventBatch batch = std::move(queue_.front());
+    T item = std::move(queue_.front());
     queue_.pop_front();
     not_full_.notify_one();
-    return batch;
+    return item;
   }
 
   /// Marks the queue closed and wakes everyone blocked on either side.
-  /// Idempotent; already-queued batches remain poppable.
+  /// Idempotent; already-queued items remain poppable.
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -130,10 +153,13 @@ class BatchQueue {
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<EventBatch> queue_;
+  std::deque<T> queue_;
   size_t capacity_;
   bool closed_ = false;
 };
+
+/// The parallel runtime's historical name for its shard work queues.
+using BatchQueue = BoundedQueue<EventBatch>;
 
 }  // namespace ses::exec
 

@@ -1,0 +1,548 @@
+#include "net/server.h"
+
+#include <chrono>
+#include <filesystem>
+#include <span>
+#include <utility>
+
+#include "common/logging.h"
+#include "engine/registry.h"
+#include "plan/compiled_plan.h"
+#include "query/parser.h"
+#include "storage/checkpoint.h"
+
+namespace ses::net {
+
+namespace {
+
+/// Poll slice of the reader loop: short enough that stop requests and
+/// fake-clock idle expiry are observed promptly, long enough to stay off
+/// the CPU when a connection is quiet.
+constexpr int kPollSliceMs = 25;
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  if (options.schema.num_attributes() == 0) {
+    return Status::InvalidArgument("server needs a non-empty stream schema");
+  }
+  if (!engine::EngineRegistry::Global().Contains(options.engine)) {
+    return Status::InvalidArgument("unknown engine: " + options.engine);
+  }
+  if (!options.clock_ms) options.clock_ms = SteadyNowMs;
+
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  server->catalog_ = std::make_shared<catalog::QueryCatalog>();
+
+  catalog::CatalogOptions catalog_options;
+  catalog_options.engine = server->options_.engine;
+  catalog_options.engine_options = server->options_.engine_options;
+  catalog_options.shared_type_index = server->options_.shared_type_index;
+  catalog_options.shared_prefilter = server->options_.shared_prefilter;
+  catalog_options.type_attribute = server->options_.type_attribute;
+  // The demux sink runs inside engine calls, which all hold engine_mu_ —
+  // that lock is what makes the plan_owner_/pending access safe here.
+  Server* raw = server.get();
+  catalog_options.sink = [raw](std::string_view plan_id, Match&& match) {
+    auto it = raw->plan_owner_.find(std::string(plan_id));
+    if (it == raw->plan_owner_.end()) return;  // owner already disconnected
+    it->second->pending[std::string(plan_id)].push_back(std::move(match));
+  };
+  SES_ASSIGN_OR_RETURN(server->engine_,
+                       catalog::CatalogEngine::Create(
+                           server->catalog_, std::move(catalog_options)));
+
+  SES_ASSIGN_OR_RETURN(server->listener_,
+                       ListenTcp(server->options_.port, &server->port_));
+  server->accept_thread_ = std::thread(&Server::AcceptLoop, raw);
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+int64_t Server::NowMs() const { return options_.clock_ms(); }
+
+void Server::Stop() {
+  if (stop_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  // Wake every reader blocked in poll/recv; readers tear down their own
+  // worker, plans, and queue on the way out.
+  for (const auto& conn : conns) conn->sock.ShutdownBoth();
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  listener_.Reset();
+}
+
+size_t Server::num_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  size_t live = 0;
+  for (const auto& conn : conns_) {
+    if (!conn->done.load()) ++live;
+  }
+  return live;
+}
+
+size_t Server::num_plans() const { return catalog_->size(); }
+
+void Server::AcceptLoop() {
+  while (!stop_.load()) {
+    Result<bool> readable = WaitReadable(listener_.fd(), kPollSliceMs);
+    if (!readable.ok()) break;
+    if (*readable && !stop_.load()) {
+      Result<Socket> sock = Accept(listener_);
+      if (sock.ok()) {
+        auto conn = std::make_shared<Connection>(options_.queue_capacity);
+        conn->sock = std::move(*sock);
+        conn->last_activity_ms = NowMs();
+        SetRecvTimeout(conn->sock.fd(), options_.read_timeout_ms).ok();
+        SetSendTimeout(conn->sock.fd(), options_.write_timeout_ms).ok();
+        {
+          std::lock_guard<std::mutex> lock(conns_mu_);
+          conns_.push_back(conn);
+        }
+        conn->reader = std::thread(&Server::ReaderLoop, this, conn);
+      }
+    }
+    ReapFinished();
+  }
+}
+
+void Server::ReapFinished() {
+  std::vector<std::shared_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& conn : finished) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+Result<Frame> Server::ReadFrameIdle(Connection* conn) {
+  for (;;) {
+    if (stop_.load()) return Status::IoError("server stopping");
+    SES_ASSIGN_OR_RETURN(bool readable,
+                         WaitReadable(conn->sock.fd(), kPollSliceMs));
+    if (readable) {
+      conn->last_activity_ms = NowMs();
+      return ReadFrame(conn->sock.fd());
+    }
+    if (options_.idle_timeout_ms > 0 &&
+        NowMs() - conn->last_activity_ms >= options_.idle_timeout_ms) {
+      return Status::FailedPrecondition(
+          "connection idle for " + std::to_string(options_.idle_timeout_ms) +
+          "ms; closing");
+    }
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  if (Handshake(conn.get())) {
+    conn->worker = std::thread(&Server::WorkerLoop, this, conn);
+    ServeLoop(conn);
+  }
+  // Teardown, in dependency order: stop feeding the worker, wait for it to
+  // finish every admitted slab, then release this connection's plans and
+  // signal the peer.
+  conn->queue.Close();
+  if (conn->worker.joinable()) conn->worker.join();
+  CleanupPlans(conn.get());
+  conn->sock.ShutdownBoth();
+  conn->done.store(true);
+}
+
+bool Server::Handshake(Connection* conn) {
+  Result<Frame> frame = ReadFrameIdle(conn);
+  if (!frame.ok()) {
+    if (frame.status().code() != StatusCode::kIoError) {
+      SendError(conn, frame.status());
+    }
+    return false;
+  }
+  if (frame->type != PacketType::kHello) {
+    SendError(conn, Status::FailedPrecondition(
+                        "expected Hello, got " +
+                        std::string(PacketTypeName(frame->type))));
+    return false;
+  }
+  Result<HelloRequest> hello = HelloRequest::Decode(frame->payload);
+  if (!hello.ok()) {
+    SendError(conn, hello.status());
+    return false;
+  }
+  if (hello->version != kProtocolVersion) {
+    SendError(conn, Status::InvalidArgument(
+                        "protocol version " + std::to_string(hello->version) +
+                        " not supported; this server speaks version " +
+                        std::to_string(kProtocolVersion)));
+    return false;
+  }
+  conn->name = hello->client_name;
+  HelloResponse ack;
+  ack.version = kProtocolVersion;
+  ack.schema_text = FormatSchemaText(options_.schema);
+  ack.engine = options_.engine;
+  return SendFrame(conn, PacketType::kHelloAck, ack.Encode()).ok();
+}
+
+void Server::ServeLoop(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Result<Frame> frame = ReadFrameIdle(conn.get());
+    if (!frame.ok()) {
+      const StatusCode code = frame.status().code();
+      if (code == StatusCode::kCorruption ||
+          code == StatusCode::kInvalidArgument ||
+          code == StatusCode::kFailedPrecondition) {
+        // Bad frame or idle expiry: tell the peer why, then close — a
+        // corrupt byte stream has no resynchronization point.
+        SendError(conn.get(), frame.status());
+      }
+      return;
+    }
+    switch (frame->type) {
+      case PacketType::kSubmitPlan:
+        HandleSubmitPlan(conn, *frame);
+        break;
+      case PacketType::kRemovePlan:
+        HandleRemovePlan(conn, *frame);
+        break;
+      case PacketType::kPushEvents:
+        HandlePushEvents(conn, *frame);
+        break;
+      case PacketType::kFlush: {
+        IngestItem item;
+        item.kind = IngestItem::Kind::kFlush;
+        // Blocking admission: the barrier must order after every admitted
+        // slab; the worker sends the Ack once the engine flushed. From
+        // here on this connection's pushes are rejected at admission —
+        // they could never drain past the queued flush.
+        conn->flush_queued.store(true);
+        if (!conn->queue.Push(std::move(item))) return;
+        break;
+      }
+      case PacketType::kCheckpoint:
+        HandleCheckpoint(conn.get());
+        break;
+      case PacketType::kStatsRequest:
+        HandleStats(conn.get());
+        break;
+      case PacketType::kHello:
+        SendError(conn.get(), Status::FailedPrecondition(
+                                  "handshake already completed"));
+        break;
+      default:
+        // A response packet type from a client is a protocol violation.
+        SendError(conn.get(),
+                  Status::InvalidArgument(
+                      "unexpected packet type " +
+                      std::string(PacketTypeName(frame->type)) +
+                      " from client"));
+        return;
+    }
+  }
+}
+
+void Server::HandleSubmitPlan(const std::shared_ptr<Connection>& conn,
+                              const Frame& frame) {
+  Result<SubmitPlanRequest> req = SubmitPlanRequest::Decode(frame.payload);
+  if (!req.ok()) {
+    SendError(conn.get(), req.status());
+    return;
+  }
+  Result<Pattern> pattern = ParsePattern(req->query, options_.schema);
+  if (!pattern.ok()) {
+    SendError(conn.get(),
+              Status(pattern.status().code(), "plan '" + req->plan_id +
+                                                  "': " +
+                                                  pattern.status().message()));
+    return;
+  }
+  Result<std::shared_ptr<const plan::CompiledPlan>> plan =
+      plan::CompilePlan(*pattern, plan::PlanOptions{});
+  if (!plan.ok()) {
+    SendError(conn.get(),
+              Status(plan.status().code(),
+                     "plan '" + req->plan_id + "': " +
+                         plan.status().message()));
+    return;
+  }
+  Status added;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    added = catalog_->Add(req->plan_id, std::move(*plan));
+    if (added.ok()) {
+      plan_owner_[req->plan_id] = conn;
+      conn->plan_ids.push_back(req->plan_id);
+    }
+  }
+  if (!added.ok()) {
+    SendError(conn.get(), added);
+    return;
+  }
+  SendAck(conn.get(), PacketType::kSubmitPlan, req->plan_id);
+}
+
+void Server::HandleRemovePlan(const std::shared_ptr<Connection>& conn,
+                              const Frame& frame) {
+  Result<RemovePlanRequest> req = RemovePlanRequest::Decode(frame.payload);
+  if (!req.ok()) {
+    SendError(conn.get(), req.status());
+    return;
+  }
+  Status removed;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    auto it = plan_owner_.find(req->plan_id);
+    if (it == plan_owner_.end()) {
+      removed = Status::NotFound("no plan '" + req->plan_id + "'");
+    } else if (it->second != conn) {
+      removed = Status::FailedPrecondition(
+          "plan '" + req->plan_id + "' is owned by another connection");
+    } else {
+      removed = catalog_->Remove(req->plan_id);
+      if (removed.ok()) {
+        plan_owner_.erase(it);
+        std::erase(conn->plan_ids, req->plan_id);
+        conn->pending.erase(req->plan_id);
+      }
+    }
+  }
+  if (!removed.ok()) {
+    SendError(conn.get(), removed);
+    return;
+  }
+  SendAck(conn.get(), PacketType::kRemovePlan, req->plan_id);
+}
+
+void Server::HandlePushEvents(const std::shared_ptr<Connection>& conn,
+                              const Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(conn->status_mu);
+    if (!conn->stream_status.ok()) {
+      SendError(conn.get(), conn->stream_status);
+      return;
+    }
+  }
+  if (flushed_.load() || conn->flush_queued.load()) {
+    SendError(conn.get(),
+              Status::FailedPrecondition(
+                  "stream already flushed; no further events accepted"));
+    return;
+  }
+  Result<PushEventsRequest> req =
+      PushEventsRequest::Decode(frame.payload, options_.schema);
+  if (!req.ok()) {
+    SendError(conn.get(), req.status());
+    return;
+  }
+  IngestItem item;
+  item.kind = IngestItem::Kind::kPush;
+  item.push = std::move(*req);
+  // Counted before admission so a Flush barrier that starts draining
+  // concurrently can never miss this slab.
+  AddInflight();
+  if (!conn->queue.TryPush(std::move(item))) {
+    SubInflight();
+    BusyResponse busy;
+    busy.queue_depth = conn->queue.depth();
+    busy.queue_capacity = conn->queue.capacity();
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    WriteFrame(conn->sock.fd(), PacketType::kBusy, busy.Encode()).ok();
+    return;
+  }
+  // Admission ack: evaluation happens on the worker; an evaluation error
+  // surfaces as the Error reply to the next request on this connection.
+  SendAck(conn.get(), PacketType::kPushEvents, "queued");
+}
+
+void Server::HandleCheckpoint(Connection* conn) {
+  if (options_.checkpoint_dir.empty()) {
+    SendError(conn, Status::FailedPrecondition(
+                        "server started without --checkpoint-dir"));
+    return;
+  }
+  storage::CheckpointWriter writer;
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    status = engine_->Checkpoint(&writer);
+  }
+  if (!status.ok()) {
+    SendError(conn, status);
+    return;
+  }
+  const int64_t seq = checkpoint_seq_.fetch_add(1) + 1;
+  const std::string path = options_.checkpoint_dir + "/SES_CKPT_" +
+                           std::to_string(seq) + ".sesckpt";
+  status = storage::WriteCheckpointFile(path, std::move(writer).Finish());
+  if (!status.ok()) {
+    SendError(conn, status);
+    return;
+  }
+  SendAck(conn, PacketType::kCheckpoint, path);
+}
+
+void Server::HandleStats(Connection* conn) {
+  StatsResponse stats;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    stats.catalog = engine_->stats();
+    stats.plans = engine_->plan_stats();
+  }
+  SendFrame(conn, PacketType::kStats, stats.Encode()).ok();
+}
+
+void Server::WorkerLoop(std::shared_ptr<Connection> conn) {
+  while (std::optional<IngestItem> item = conn->queue.Pop()) {
+    if (options_.eval_gate) options_.eval_gate();
+    if (item->kind == IngestItem::Kind::kPush) {
+      Status status;
+      std::vector<Delivery> out;
+      {
+        std::lock_guard<std::mutex> lock(engine_mu_);
+        status =
+            item->push.layout == PushEventsRequest::Layout::kColumnar
+                ? engine_->PushColumnar(item->push.columnar)
+                : engine_->PushBatch(std::span<const Event>(item->push.events));
+        out = TakePendingLocked();
+      }
+      Deliver(std::move(out));
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(conn->status_mu);
+        if (conn->stream_status.ok()) conn->stream_status = status;
+      }
+      SubInflight();
+    } else {
+      // The engine Flush is global: it ends the stream for every plan of
+      // every connection. Wait for all admitted slabs server-wide first,
+      // so a concurrent client's queued-but-unevaluated events are
+      // evaluated rather than invalidated. (This connection's own slabs
+      // are already done — they precede the flush in its FIFO queue.)
+      WaitInflightDrained();
+      Status status;
+      std::vector<Delivery> out;
+      {
+        std::lock_guard<std::mutex> lock(engine_mu_);
+        status = engine_->Flush();
+        if (status.ok()) flushed_.store(true);
+        out = TakePendingLocked();
+      }
+      // A slab of this connection that failed evaluation must fail the
+      // barrier too — otherwise the engine's idempotent-OK re-flush would
+      // silently mask a stream with missing matches.
+      if (status.ok()) {
+        std::lock_guard<std::mutex> lock(conn->status_mu);
+        status = conn->stream_status;
+      }
+      // Matches first, then the barrier Ack: once a client sees the Flush
+      // Ack, every match of the stream has been written to its socket.
+      Deliver(std::move(out));
+      if (status.ok()) {
+        SendAck(conn.get(), PacketType::kFlush, "");
+      } else {
+        SendError(conn.get(), status);
+      }
+    }
+  }
+}
+
+void Server::AddInflight() {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  ++inflight_pushes_;
+}
+
+void Server::SubInflight() {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  if (--inflight_pushes_ == 0) inflight_cv_.notify_all();
+}
+
+void Server::WaitInflightDrained() {
+  // Every admitted slab is evaluated even during teardown (BoundedQueue
+  // consumers drain after Close), so the count always reaches zero; the
+  // timed wait is a belt-and-braces guard against a missed wakeup.
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  while (inflight_pushes_ != 0) {
+    inflight_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+void Server::CleanupPlans(Connection* conn) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  for (const std::string& id : conn->plan_ids) {
+    catalog_->Remove(id).ok();  // the engine drops it at its next refresh
+    plan_owner_.erase(id);
+  }
+  conn->plan_ids.clear();
+  conn->pending.clear();
+}
+
+Status Server::SendFrame(Connection* conn, PacketType type,
+                         std::string_view payload) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  return WriteFrame(conn->sock.fd(), type, payload);
+}
+
+void Server::SendAck(Connection* conn, PacketType request,
+                     std::string_view info) {
+  AckResponse ack;
+  ack.request = request;
+  ack.info = std::string(info);
+  SendFrame(conn, PacketType::kAck, ack.Encode()).ok();
+}
+
+void Server::SendError(Connection* conn, const Status& status) {
+  ErrorResponse error;
+  error.code = status.code();
+  error.message = status.message();
+  SendFrame(conn, PacketType::kError, error.Encode()).ok();
+}
+
+std::vector<Server::Delivery> Server::TakePendingLocked() {
+  std::vector<Delivery> out;
+  for (auto& [id, conn] : plan_owner_) {
+    auto it = conn->pending.find(id);
+    if (it == conn->pending.end() || it->second.empty()) continue;
+    Delivery delivery;
+    delivery.conn = conn;
+    delivery.plan_id = id;
+    delivery.matches = std::move(it->second);
+    it->second.clear();
+    out.push_back(std::move(delivery));
+  }
+  return out;
+}
+
+void Server::Deliver(std::vector<Delivery> deliveries) {
+  for (Delivery& delivery : deliveries) {
+    const std::string payload = MatchBatchResponse::Encode(
+        delivery.plan_id, std::span<const Match>(delivery.matches),
+        options_.schema);
+    std::lock_guard<std::mutex> lock(delivery.conn->write_mu);
+    WriteFrame(delivery.conn->sock.fd(), PacketType::kMatchBatch, payload)
+        .ok();
+  }
+}
+
+}  // namespace ses::net

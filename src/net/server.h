@@ -1,0 +1,253 @@
+#ifndef SES_NET_SERVER_H_
+#define SES_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog_engine.h"
+#include "catalog/query_catalog.h"
+#include "common/result.h"
+#include "engine/engine.h"
+#include "event/schema.h"
+#include "exec/batch_queue.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace ses::net {
+
+/// Runtime knobs of a Server, fixed at Start.
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (Server::port()
+  /// reports the choice — the test-suite default).
+  uint16_t port = 0;
+  /// The stream schema every connection's plans and events encode against;
+  /// announced in the HelloAck.
+  Schema schema;
+  /// Registry name of the per-plan evaluator (engine/registry.h).
+  std::string engine = "serial";
+  /// Template for every per-plan engine; the sink field is ignored (the
+  /// server installs its own demux sink).
+  engine::EngineOptions engine_options;
+  /// Shared-work toggles, forwarded to catalog::CatalogOptions.
+  bool shared_type_index = true;
+  bool shared_prefilter = true;
+  std::string type_attribute;
+  /// Per-connection ingest queue capacity, in PushEvents slabs. A full
+  /// queue turns the next PushEvents into a Busy response (backpressure)
+  /// instead of unbounded buffering.
+  size_t queue_capacity = 64;
+  /// Close a connection that has sent nothing for this long (0 disables).
+  /// Measured on `clock_ms`, so tests can drive it with a fake clock.
+  int64_t idle_timeout_ms = 60'000;
+  /// Bound on a single stalled socket read (a peer that stops mid-frame)
+  /// and on a single blocked write (a peer that stops draining matches).
+  int read_timeout_ms = 10'000;
+  int write_timeout_ms = 10'000;
+  /// Directory for Checkpoint requests; empty rejects them with
+  /// FailedPrecondition.
+  std::string checkpoint_dir;
+  /// Millisecond clock for idle-timeout decisions; defaults to the steady
+  /// clock. Tests inject a fake clock to expire idle connections
+  /// deterministically (real sockets stay untouched).
+  std::function<int64_t()> clock_ms;
+  /// Test hook: when set, the ingest worker calls it before evaluating
+  /// each queued item. Lets tests hold a worker mid-drain to fill the
+  /// bounded queue and observe Busy deterministically.
+  std::function<void()> eval_gate;
+};
+
+/// A long-running loopback TCP server evaluating standing queries over
+/// client-pushed event streams: the network face of the multi-pattern
+/// catalog runtime (docs/SERVER.md is the ops guide, net/protocol.h the
+/// wire contract).
+///
+/// One shared catalog::CatalogEngine serves every connection, so plans
+/// from different clients share the type index and pre-filter work exactly
+/// as an in-process catalog run would. Per connection the server runs two
+/// threads: a reader that speaks the protocol (handshake first, then
+/// request dispatch) and answers control requests synchronously, and an
+/// ingest worker that drains that connection's bounded queue
+/// (exec::BoundedQueue) into the engine — so a slow evaluation never stops
+/// the reader from answering, and a full queue becomes an explicit Busy
+/// response. Matches are routed back to the connection that submitted the
+/// matching plan, as MatchBatch frames.
+///
+/// Plan ids are global across the server (AlreadyExists on a duplicate);
+/// a connection owns the plans it submitted, and they are removed — with
+/// any undelivered matches — when it disconnects, times out idle, or
+/// sends a malformed frame (a corrupt stream cannot be resynchronized, so
+/// the server answers with a typed Error and closes).
+class Server {
+ public:
+  /// Validates the options (schema non-empty, engine registered), binds
+  /// the listening socket, and starts the accept loop.
+  static Result<std::unique_ptr<Server>> Start(ServerOptions options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port (the ephemeral choice when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes every connection, and joins all threads.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Currently live connections (monitoring and tests).
+  size_t num_connections() const;
+
+  /// Currently registered plans across all connections.
+  size_t num_plans() const;
+
+ private:
+  /// One queued unit of ingest work: a decoded PushEvents slab, or the
+  /// Flush barrier (which the worker acknowledges itself, so the Ack
+  /// orders after every admitted slab's evaluation).
+  struct IngestItem {
+    enum class Kind { kPush, kFlush };
+    Kind kind = Kind::kPush;
+    PushEventsRequest push;
+  };
+
+  /// Per-connection state. Thread roles: `reader` owns the socket's read
+  /// side and all synchronous replies; `worker` drains `queue`. Both write
+  /// frames under `write_mu` (as do other connections' workers delivering
+  /// matches). `plan_ids` and `pending` are guarded by the server's
+  /// engine_mu_; `stream_status` by `status_mu`.
+  struct Connection {
+    explicit Connection(size_t queue_capacity) : queue(queue_capacity) {}
+
+    Socket sock;
+    std::mutex write_mu;
+    exec::BoundedQueue<IngestItem> queue;
+    std::thread reader;
+    std::thread worker;
+    /// Reader finished (including worker join); the accept loop reaps it.
+    std::atomic<bool> done{false};
+    /// A Flush is queued behind this connection's admitted slabs. Further
+    /// PushEvents are rejected at admission: the flush worker waits for
+    /// every connection's in-flight slabs, and a push queued behind its
+    /// own connection's flush could never drain.
+    std::atomic<bool> flush_queued{false};
+    /// Plans this connection submitted (engine_mu_).
+    std::vector<std::string> plan_ids;
+    /// Matches produced but not yet written to the socket, per plan
+    /// (engine_mu_; filled by the catalog sink during engine calls).
+    std::map<std::string, std::vector<Match>> pending;
+    std::mutex status_mu;
+    /// First asynchronous evaluation error; surfaced as the Error reply to
+    /// the connection's next request (admission Acks mean push errors are
+    /// detected after the Ack).
+    Status stream_status;
+    /// Client-announced name, for log lines.
+    std::string name;
+    /// When the last frame arrived (options_.clock_ms), set at accept and
+    /// on every received frame. Owned by the reader thread (the accept
+    /// loop's initial store happens-before the thread starts); the idle
+    /// timeout measures from here, NOT from when the reader resumes
+    /// waiting — so a fake clock advanced while the reader is between
+    /// frames still expires the connection.
+    int64_t last_activity_ms = 0;
+  };
+
+  /// An extracted pending-match buffer, handed from under engine_mu_ to
+  /// the socket writes outside it.
+  struct Delivery {
+    std::shared_ptr<Connection> conn;
+    std::string plan_id;
+    std::vector<Match> matches;
+  };
+
+  explicit Server(ServerOptions options);
+
+  int64_t NowMs() const;
+
+  void AcceptLoop();
+  void ReapFinished();
+
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop(std::shared_ptr<Connection> conn);
+
+  /// Reads the next frame, polling in short slices so stop and the idle
+  /// deadline are observed; FailedPrecondition signals idle expiry.
+  Result<Frame> ReadFrameIdle(Connection* conn);
+
+  /// True when the handshake completed and the connection may proceed.
+  bool Handshake(Connection* conn);
+  /// Serves decoded frames until disconnect/error; returns on teardown.
+  void ServeLoop(const std::shared_ptr<Connection>& conn);
+
+  void HandleSubmitPlan(const std::shared_ptr<Connection>& conn,
+                        const Frame& frame);
+  void HandleRemovePlan(const std::shared_ptr<Connection>& conn,
+                        const Frame& frame);
+  void HandlePushEvents(const std::shared_ptr<Connection>& conn,
+                        const Frame& frame);
+  void HandleCheckpoint(Connection* conn);
+  void HandleStats(Connection* conn);
+
+  /// Removes every plan the connection owns and drops its pending matches.
+  void CleanupPlans(Connection* conn);
+
+  Status SendFrame(Connection* conn, PacketType type,
+                   std::string_view payload);
+  void SendAck(Connection* conn, PacketType request, std::string_view info);
+  void SendError(Connection* conn, const Status& status);
+
+  /// In-flight slab accounting: every admitted PushEvents slab increments,
+  /// its evaluation decrements, and the Flush barrier waits for zero — so
+  /// one connection's Flush orders after every slab any connection had
+  /// already admitted (instead of invalidating them mid-queue).
+  void AddInflight();
+  void SubInflight();
+  void WaitInflightDrained();
+
+  /// Moves every connection's pending buffers out. Caller holds engine_mu_.
+  std::vector<Delivery> TakePendingLocked();
+  /// Writes the extracted buffers as MatchBatch frames (no engine lock
+  /// held; write errors are the owning reader's problem to notice).
+  void Deliver(std::vector<Delivery> deliveries);
+
+  ServerOptions options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+
+  /// Engine state: every CatalogEngine call (and the plan-ownership maps
+  /// the sink updates during those calls) happens under engine_mu_.
+  mutable std::mutex engine_mu_;
+  std::shared_ptr<catalog::QueryCatalog> catalog_;
+  std::unique_ptr<catalog::CatalogEngine> engine_;
+  std::unordered_map<std::string, std::shared_ptr<Connection>> plan_owner_;
+  /// Set once a Flush was evaluated; later PushEvents are rejected with
+  /// FailedPrecondition at admission (the engine is not auto-reset, so a
+  /// StatsRequest after Flush still reports the full run).
+  std::atomic<bool> flushed_{false};
+  std::atomic<int64_t> checkpoint_seq_{0};
+
+  /// Admitted-but-not-yet-evaluated PushEvents slabs across every
+  /// connection (see AddInflight).
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  int64_t inflight_pushes_ = 0;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ses::net
+
+#endif  // SES_NET_SERVER_H_

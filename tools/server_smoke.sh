@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the network server (docs/SERVER.md): starts a real
+# ses_server process, drives it with ses_loadgen over loopback TCP, then
+# replays every dumped client stream through ses_cli and diffs the match
+# listings byte for byte. The server is the system under test — in CI it
+# is built with ASan+UBSan, so a single out-of-bounds read in the codec or
+# connection handling fails the job even when the diffs happen to pass.
+#
+# Each loadgen client uses a private label alphabet ("A3"/"B3" for client
+# 3), so its match set must equal a standalone single-pattern ses_cli run
+# over its own dumped stream; both sides print the same
+# `match,variable,event,T` CSV, so plain diff is the whole check.
+#
+# Usage: tools/server_smoke.sh [CLIENTS] [EVENTS]
+#   CLIENTS  concurrent loadgen connections (default 8)
+#   EVENTS   events per client (default 2000)
+#
+# Environment:
+#   SES_SERVER         path to ses_server  (default ./build/examples/ses_server)
+#   SES_LOADGEN        path to ses_loadgen (default ./build/examples/ses_loadgen)
+#   SES_CLI            path to ses_cli     (default ./build/examples/ses_cli)
+#   SES_LOADGEN_FLAGS  extra loadgen flags, e.g. "--columnar" or "--batch 64"
+#   SES_KEEP_DIR       on failure, copy the workdir (logs, dumps, diffs) here
+#                      for the CI artifact upload
+#
+# Exit status: 0 when every client's wire-delivered matches reproduced the
+# ses_cli reference and the server shut down cleanly, non-zero otherwise.
+# Run from the repository root. Used by the server-smoke CI job
+# (.github/workflows/ci.yml), once row-encoded and once --columnar.
+
+set -euo pipefail
+
+SERVER="${SES_SERVER:-./build/examples/ses_server}"
+LOADGEN="${SES_LOADGEN:-./build/examples/ses_loadgen}"
+CLI="${SES_CLI:-./build/examples/ses_cli}"
+CLIENTS="${1:-8}"
+EVENTS="${2:-2000}"
+EXTRA=(${SES_LOADGEN_FLAGS:-})
+SCHEMA="ID INT, L STRING, V DOUBLE"
+
+for bin in "$SERVER" "$LOADGEN" "$CLI"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found (build first, or set SES_SERVER/..)" >&2
+    exit 2
+  fi
+done
+
+workdir=$(mktemp -d)
+server_pid=""
+
+keep_evidence() {
+  if [ -n "${SES_KEEP_DIR:-}" ]; then
+    mkdir -p "$SES_KEEP_DIR"
+    cp -r "$workdir"/. "$SES_KEEP_DIR"/
+  fi
+}
+
+cleanup() {
+  status=$?
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2> /dev/null; then
+    kill -TERM "$server_pid" 2> /dev/null || true
+    wait "$server_pid" 2> /dev/null || true
+  fi
+  if [ "$status" -ne 0 ]; then
+    keep_evidence
+  fi
+  rm -rf "$workdir"
+  exit "$status"
+}
+trap cleanup EXIT
+
+# 1. Start the server on an ephemeral port and parse the port line it
+#    prints on stdout. A sanitizer-instrumented server can be slow to come
+#    up, hence the generous poll loop.
+"$SERVER" --schema "$SCHEMA" --queue-capacity 16 \
+  > "$workdir/server.out" 2> "$workdir/server.err" &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 200); do
+  if ! kill -0 "$server_pid" 2> /dev/null; then
+    echo "error: ses_server exited during startup" >&2
+    cat "$workdir/server.err" >&2
+    exit 1
+  fi
+  port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+    "$workdir/server.out")
+  if [ -n "$port" ]; then break; fi
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "error: ses_server never printed its port line" >&2
+  cat "$workdir/server.err" >&2
+  exit 1
+fi
+
+echo "server_smoke: port=$port clients=$CLIENTS events=$EVENTS" \
+     "flags='${SES_LOADGEN_FLAGS:-}'"
+
+# 2. Drive it: N concurrent clients, small batches so the queue-capacity
+#    16 server answers some Busy frames under load, dumping each client's
+#    stream + query + wire-delivered matches for the differential check.
+mkdir -p "$workdir/dump"
+"$LOADGEN" --port "$port" --clients "$CLIENTS" --events "$EVENTS" \
+  --batch 128 --dump-dir "$workdir/dump" \
+  "${EXTRA[@]+"${EXTRA[@]}"}" | tee "$workdir/loadgen.out"
+
+# 3. Replay every dumped stream through ses_cli and diff. The loadgen
+#    writes matches in SortMatches order with ids assigned by rank, which
+#    is exactly what `ses_cli --format csv` prints for the same stream.
+fail=0
+for c in $(seq 0 $((CLIENTS - 1))); do
+  base="$workdir/dump/client$c"
+  "$CLI" --schema "$SCHEMA" --data "$base.csv" --query-file "$base.query" \
+    --format csv > "$base.ref.csv"
+  if ! diff -u "$base.ref.csv" "$base.matches.csv" > "$base.diff"; then
+    echo "error: client $c wire matches diverged from ses_cli" >&2
+    head -20 "$base.diff" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+
+# 4. Clean shutdown: SIGTERM, then require exit 0 so sanitizer reports
+#    (including leaks found at exit) fail the run.
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "error: ses_server shutdown reported failure" >&2
+  cat "$workdir/server.err" >&2
+  exit 1
+fi
+server_pid=""
+
+matches=$(awk 'END { print NR - 1 }' "$workdir"/dump/client0.matches.csv)
+echo "server_smoke: OK ($CLIENTS client(s) x $EVENTS events," \
+     "client0 delivered $matches match row(s), all diffs clean)"
