@@ -346,6 +346,14 @@ Result<PushEventsRequest> PushEventsRequest::Decode(std::string_view payload,
     out.layout = Layout::kRow;
     uint64_t count = 0;
     SES_RETURN_IF_ERROR(storage::GetCount(&p, limit, &count));
+    // Each event record occupies at least one byte, so a count beyond the
+    // payload size is corrupt; checking first keeps reserve() from throwing
+    // on a crafted frame.
+    if (count > payload.size()) {
+      return Status::Corruption("PushEvents row count " +
+                                std::to_string(count) +
+                                " exceeds the payload size");
+    }
     out.events.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
       Event event;

@@ -357,19 +357,28 @@ void Server::HandlePushEvents(const std::shared_ptr<Connection>& conn,
     SendError(conn.get(), req.status());
     return;
   }
+  // Admission is atomic with the flush-barrier state: a barrier already
+  // draining answers Busy (retry later), a completed flush answers the
+  // flushed error — a slab can never be admitted into the window between
+  // the drain and the engine Flush.
+  switch (TryAdmitPush()) {
+    case Admission::kFlushed:
+      SendError(conn.get(),
+                Status::FailedPrecondition(
+                    "stream already flushed; no further events accepted"));
+      return;
+    case Admission::kDraining:
+      SendBusy(conn.get());
+      return;
+    case Admission::kAdmitted:
+      break;
+  }
   IngestItem item;
   item.kind = IngestItem::Kind::kPush;
   item.push = std::move(*req);
-  // Counted before admission so a Flush barrier that starts draining
-  // concurrently can never miss this slab.
-  AddInflight();
   if (!conn->queue.TryPush(std::move(item))) {
     SubInflight();
-    BusyResponse busy;
-    busy.queue_depth = conn->queue.depth();
-    busy.queue_capacity = conn->queue.capacity();
-    std::lock_guard<std::mutex> lock(conn->write_mu);
-    WriteFrame(conn->sock.fd(), PacketType::kBusy, busy.Encode()).ok();
+    SendBusy(conn.get());
     return;
   }
   // Admission ack: evaluation happens on the worker; an evaluation error
@@ -436,11 +445,13 @@ void Server::WorkerLoop(std::shared_ptr<Connection> conn) {
       SubInflight();
     } else {
       // The engine Flush is global: it ends the stream for every plan of
-      // every connection. Wait for all admitted slabs server-wide first,
-      // so a concurrent client's queued-but-unevaluated events are
-      // evaluated rather than invalidated. (This connection's own slabs
-      // are already done — they precede the flush in its FIFO queue.)
-      WaitInflightDrained();
+      // every connection. Raise the barrier first — new pushes answer Busy
+      // server-wide — then wait for all admitted slabs, so a concurrent
+      // client's queued-but-unevaluated events are evaluated rather than
+      // invalidated, and sustained pushes cannot starve the drain. (This
+      // connection's own slabs are already done — they precede the flush
+      // in its FIFO queue.)
+      BeginFlushBarrier();
       Status status;
       std::vector<Delivery> out;
       {
@@ -449,6 +460,7 @@ void Server::WorkerLoop(std::shared_ptr<Connection> conn) {
         if (status.ok()) flushed_.store(true);
         out = TakePendingLocked();
       }
+      EndFlushBarrier();
       // A slab of this connection that failed evaluation must fail the
       // barrier too — otherwise the engine's idempotent-OK re-flush would
       // silently mask a stream with missing matches.
@@ -468,9 +480,12 @@ void Server::WorkerLoop(std::shared_ptr<Connection> conn) {
   }
 }
 
-void Server::AddInflight() {
+Server::Admission Server::TryAdmitPush() {
   std::lock_guard<std::mutex> lock(inflight_mu_);
+  if (flushed_.load()) return Admission::kFlushed;
+  if (flush_waiters_ > 0) return Admission::kDraining;
   ++inflight_pushes_;
+  return Admission::kAdmitted;
 }
 
 void Server::SubInflight() {
@@ -478,14 +493,25 @@ void Server::SubInflight() {
   if (--inflight_pushes_ == 0) inflight_cv_.notify_all();
 }
 
-void Server::WaitInflightDrained() {
-  // Every admitted slab is evaluated even during teardown (BoundedQueue
-  // consumers drain after Close), so the count always reaches zero; the
-  // timed wait is a belt-and-braces guard against a missed wakeup.
+void Server::BeginFlushBarrier() {
   std::unique_lock<std::mutex> lock(inflight_mu_);
+  // From here on TryAdmitPush answers kDraining, so the in-flight count
+  // drains monotonically to zero. Every admitted slab is evaluated even
+  // during teardown (BoundedQueue consumers drain after Close), so the
+  // count always reaches zero; the timed wait is a belt-and-braces guard
+  // against a missed wakeup.
+  ++flush_waiters_;
   while (inflight_pushes_ != 0) {
     inflight_cv_.wait_for(lock, std::chrono::milliseconds(100));
   }
+}
+
+void Server::EndFlushBarrier() {
+  // flushed_ was stored (on success) before this runs, so a push admitted
+  // after the barrier drops sees kFlushed, never the engine's post-flush
+  // state.
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  --flush_waiters_;
 }
 
 void Server::CleanupPlans(Connection* conn) {
@@ -517,6 +543,13 @@ void Server::SendError(Connection* conn, const Status& status) {
   error.code = status.code();
   error.message = status.message();
   SendFrame(conn, PacketType::kError, error.Encode()).ok();
+}
+
+void Server::SendBusy(Connection* conn) {
+  BusyResponse busy;
+  busy.queue_depth = conn->queue.depth();
+  busy.queue_capacity = conn->queue.capacity();
+  SendFrame(conn, PacketType::kBusy, busy.Encode()).ok();
 }
 
 std::vector<Server::Delivery> Server::TakePendingLocked() {

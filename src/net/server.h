@@ -204,14 +204,24 @@ class Server {
                    std::string_view payload);
   void SendAck(Connection* conn, PacketType request, std::string_view info);
   void SendError(Connection* conn, const Status& status);
+  void SendBusy(Connection* conn);
 
-  /// In-flight slab accounting: every admitted PushEvents slab increments,
-  /// its evaluation decrements, and the Flush barrier waits for zero — so
-  /// one connection's Flush orders after every slab any connection had
-  /// already admitted (instead of invalidating them mid-queue).
-  void AddInflight();
+  /// In-flight slab accounting and the Flush barrier. Every admitted
+  /// PushEvents slab increments the count; its evaluation decrements it.
+  /// A Flush barrier first raises flush_waiters_, which makes TryAdmitPush
+  /// answer kDraining (a server-wide Busy) — so the count drains
+  /// monotonically to zero instead of the barrier chasing a momentary zero
+  /// under sustained pushes, and no slab can be admitted into the window
+  /// between the drain and the engine Flush.
+  enum class Admission { kAdmitted, kDraining, kFlushed };
+  /// Atomically checks the flush state and, when open, counts the slab
+  /// in-flight. The one admission point for PushEvents.
+  Admission TryAdmitPush();
   void SubInflight();
-  void WaitInflightDrained();
+  /// Closes admission (kDraining), then waits for every admitted slab to
+  /// evaluate. Paired with EndFlushBarrier after the engine Flush ran.
+  void BeginFlushBarrier();
+  void EndFlushBarrier();
 
   /// Moves every connection's pending buffers out. Caller holds engine_mu_.
   std::vector<Delivery> TakePendingLocked();
@@ -236,10 +246,12 @@ class Server {
   std::atomic<int64_t> checkpoint_seq_{0};
 
   /// Admitted-but-not-yet-evaluated PushEvents slabs across every
-  /// connection (see AddInflight).
+  /// connection, and the count of Flush barriers currently draining
+  /// (see TryAdmitPush).
   mutable std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   int64_t inflight_pushes_ = 0;
+  int64_t flush_waiters_ = 0;
 
   mutable std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;

@@ -184,6 +184,14 @@ Status WriteAll(int fd, std::string_view data) {
 }
 
 Status WriteFrame(int fd, PacketType type, std::string_view payload) {
+  // Reject oversized payloads before encoding: beyond kMaxFrameBody the peer
+  // would drop the connection anyway, and past 4 GiB the uint32 length prefix
+  // would wrap and desync the stream.
+  if (1 + payload.size() + 4 > kMaxFrameBody) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the frame body limit " + std::to_string(kMaxFrameBody));
+  }
   std::string wire;
   wire.reserve(4 + 1 + payload.size() + 4);
   EncodeFrame(type, payload, &wire);

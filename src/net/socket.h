@@ -65,7 +65,10 @@ Status SetSendTimeout(int fd, int timeout_ms);
 /// Writes all of `data`, retrying partial writes; SIGPIPE is suppressed.
 Status WriteAll(int fd, std::string_view data);
 
-/// Encodes and writes one frame.
+/// Encodes and writes one frame. A payload whose frame body would exceed
+/// kMaxFrameBody is rejected with InvalidArgument before any byte is
+/// written (the peer would drop it anyway, and a >4 GiB payload would wrap
+/// the uint32 length prefix and desync the stream).
 Status WriteFrame(int fd, PacketType type, std::string_view payload);
 
 /// Reads one frame (length prefix, then body) and validates it through

@@ -24,6 +24,7 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "storage/checkpoint.h"
 
 namespace ses {
 namespace {
@@ -122,6 +123,16 @@ TEST(FrameCodec, RejectsOversizedBody) {
   Result<Frame> frame = DecodeFrame(wire, &consumed);
   ASSERT_FALSE(frame.ok());
   EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameCodec, WriteFrameRejectsOversizedPayloadBeforeWriting) {
+  // The write path refuses a payload the peer would reject, before any
+  // byte reaches the socket — the invalid fd proves no write is attempted.
+  const std::string payload(kMaxFrameBody - 4, 'z');  // one byte too many
+  const Status status =
+      ses::net::WriteFrame(-1, PacketType::kPushEvents, payload);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(FrameCodec, RejectsUnknownPacketType) {
@@ -277,6 +288,33 @@ TEST(PayloadCodec, PushEventsEmptySlabRoundTrip) {
       PushEventsRequest::Decode(payload, schema);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_TRUE(decoded->events.empty());
+}
+
+TEST(PayloadCodec, PushEventsHugeRowCountIsCorruptionNotAlloc) {
+  // A crafted payload whose varint event count is absurdly large must fail
+  // the payload-size sanity check, not reach events.reserve() — a reserve
+  // of 2^60 would throw and kill the process.
+  const Schema schema = TestSchema();
+  std::string payload;
+  payload.push_back(
+      static_cast<char>(PushEventsRequest::Layout::kRow));
+  ses::storage::PutCount(&payload, uint64_t{1} << 60);
+  Result<PushEventsRequest> decoded =
+      PushEventsRequest::Decode(payload, schema);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PayloadCodec, PushEventsHugeColumnarRowCountIsCorruptionNotAlloc) {
+  const Schema schema = TestSchema();
+  std::string payload;
+  payload.push_back(
+      static_cast<char>(PushEventsRequest::Layout::kColumnar));
+  ses::storage::PutCount(&payload, uint64_t{1} << 60);
+  Result<PushEventsRequest> decoded =
+      PushEventsRequest::Decode(payload, schema);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
 }
 
 TEST(PayloadCodec, PushEventsColumnarRoundTrip) {
